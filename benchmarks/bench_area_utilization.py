@@ -1,0 +1,43 @@
+"""E4 — Section 3: "The MultiNoC system uses 98% of the available
+slices and 78% of the LUTs" of the Spartan-IIe XC2S200E.
+"""
+
+import pytest
+
+from conftest import report
+from repro.fpga import AreaModel, XC2S200E
+from repro.system import SystemConfig
+
+
+def estimate():
+    model = AreaModel()
+    area = model.system(SystemConfig.paper())
+    return area, area.utilization(XC2S200E)
+
+
+def test_area_utilization(benchmark):
+    area, util = benchmark(estimate)
+    report(
+        benchmark,
+        "E4 XC2S200E utilisation",
+        [
+            ("slices", "98%", f"{util['slices']:.1%}"),
+            ("LUTs", "78%", f"{util['luts']:.1%}"),
+            ("BlockRAMs", "(not stated)", f"{util['brams']:.1%}"),
+            ("NoC share of logic", "(significant)", f"{area.noc_fraction():.1%}"),
+        ],
+    )
+    assert util["slices"] == pytest.approx(0.98, abs=0.005)
+    assert util["luts"] == pytest.approx(0.78, abs=0.005)
+    assert area.total.fits(XC2S200E)
+    # Section 3: "The NoC area can be seen to be an important part of
+    # the design" in this small prototype
+    assert area.noc_fraction() > 0.15
+
+
+def test_smaller_device_does_not_fit(benchmark):
+    """The design needs the 200E: the next part down overflows."""
+    from repro.fpga import device
+
+    area = benchmark(lambda: AreaModel().system(SystemConfig.paper()))
+    assert not area.total.fits(device("XC2S150E"))

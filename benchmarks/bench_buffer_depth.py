@@ -1,0 +1,64 @@
+"""E3 — Section 2.1: 2-flit buffers bound the blocked-wormhole damage;
+"Larger buffers can provide enhanced NoC performance".
+
+A contended transpose workload runs to completion at several input
+buffer depths; completion time and worst-case latency must improve
+monotonically (while the 2-flit default remains the area-frugal choice
+the paper made — see E4's router area formula).
+"""
+
+import pytest
+
+from conftest import report
+from repro.apps.workloads import TrafficConfig, drive_traffic
+from repro.fpga import AreaModel
+from repro.noc import HermesNetwork
+
+DEPTHS = [2, 4, 8, 16]
+
+
+def run_contended(depth):
+    net = HermesNetwork(4, 4, buffer_depth=depth)
+    cfg = TrafficConfig(
+        pattern="transpose", rate=0.035, duration=3000, payload_flits=12, seed=5
+    )
+    drive_traffic(net, cfg)
+    sim = net.make_simulator()
+    sim.step(cfg.duration)
+    net.run_to_drain(sim, max_cycles=500_000)
+    net.collect_received()
+    return {
+        "completion": sim.cycle,
+        "max_latency": net.stats.max_latency,
+        "delivered": net.stats.packets_delivered,
+    }
+
+
+def test_buffer_depth_ablation(benchmark):
+    results = benchmark(lambda: {d: run_contended(d) for d in DEPTHS})
+    deliveries = {r["delivered"] for r in results.values()}
+    assert len(deliveries) == 1, "same offered load at every depth"
+
+    model = AreaModel()
+    rows = []
+    for depth in DEPTHS:
+        r = results[depth]
+        area = model.router(5, buffer_depth=depth).slices
+        rows.append(
+            (
+                f"depth {depth:>2}: completion / max-latency / slices",
+                "improves with depth" if depth > 2 else "2-flit baseline",
+                f"{r['completion']} / {r['max_latency']} / {area}",
+            )
+        )
+    report(benchmark, "E3 buffer depth vs performance vs area", rows)
+
+    completions = [results[d]["completion"] for d in DEPTHS]
+    max_latencies = [results[d]["max_latency"] for d in DEPTHS]
+    areas = [model.router(5, buffer_depth=d).slices for d in DEPTHS]
+    # performance improves ...
+    assert completions == sorted(completions, reverse=True)
+    assert max_latencies == sorted(max_latencies, reverse=True)
+    # ... but area grows: the paper's 2-flit choice is the area trade-off
+    assert areas == sorted(areas)
+    assert completions[0] > completions[-1] * 1.2  # a real effect, not noise

@@ -1,0 +1,115 @@
+"""E13 — Section 1, claim (ii): "scalability of bandwidth, when
+compared to traditional bus architectures".
+
+The same uniform-random workload drives the Hermes mesh and a
+traditional shared bus (one transaction at a time, round-robin
+arbitration) at growing system sizes.  The expected shape: the bus is
+competitive — even ahead — for the tiny 2x2 prototype (no multi-hop
+latency), but completion time explodes with IP count while the mesh
+scales, which is the paper's reason to pay the NoC's area cost.
+"""
+
+import pytest
+
+from conftest import report
+from repro.apps.workloads import TrafficConfig, drive_traffic
+from repro.noc import HermesNetwork, SharedBusNetwork
+
+SIZES = [2, 3, 4, 6]
+
+
+def run_fabric(make, n):
+    net = make(n, n)
+    cfg = TrafficConfig(
+        pattern="uniform", rate=0.01, duration=2500, payload_flits=8, seed=3
+    )
+    drive_traffic(net, cfg)
+    sim = net.make_simulator()
+    sim.step(cfg.duration)
+    net.run_to_drain(sim, max_cycles=2_000_000)
+    net.collect_received()
+    return {
+        "completion": sim.cycle,
+        "delivered": net.stats.packets_delivered,
+    }
+
+
+def test_bandwidth_scalability_vs_bus(benchmark):
+    def sweep():
+        return {
+            n: {
+                "bus": run_fabric(SharedBusNetwork, n),
+                "noc": run_fabric(HermesNetwork, n),
+            }
+            for n in SIZES
+        }
+
+    results = benchmark(sweep)
+    rows = []
+    for n in SIZES:
+        bus = results[n]["bus"]
+        noc = results[n]["noc"]
+        assert bus["delivered"] == noc["delivered"]
+        ratio = bus["completion"] / noc["completion"]
+        rows.append(
+            (
+                f"{n}x{n} ({n * n} IPs): completion bus vs noc",
+                "NoC scales, bus saturates",
+                f"{bus['completion']} vs {noc['completion']} ({ratio:.2f}x)",
+            )
+        )
+    report(benchmark, "E13 shared bus vs Hermes NoC", rows)
+
+    # small system: bus is competitive (within 20%) — the prototype size
+    # does not showcase the NoC's bandwidth yet
+    r2 = results[2]
+    assert r2["bus"]["completion"] < r2["noc"]["completion"] * 1.2
+    # large system: the NoC finishes the same work at least 2x sooner
+    r6 = results[6]
+    assert r6["bus"]["completion"] > 2 * r6["noc"]["completion"]
+    # and the gap widens monotonically with system size
+    ratios = [
+        results[n]["bus"]["completion"] / results[n]["noc"]["completion"]
+        for n in SIZES
+    ]
+    assert ratios == sorted(ratios)
+
+
+def test_saturation_throughput(benchmark):
+    """Offered load far beyond the bus's 1 flit/cycle: accepted
+    throughput of the mesh keeps growing with size, the bus's cannot."""
+
+    def saturate(make, n):
+        net = make(n, n)
+        cfg = TrafficConfig(
+            pattern="uniform", rate=0.08, duration=2000, payload_flits=8, seed=7
+        )
+        drive_traffic(net, cfg)
+        sim = net.make_simulator()
+        sim.step(cfg.duration)
+        net.run_to_drain(sim, max_cycles=5_000_000)
+        net.collect_received()
+        return net.stats.delivered_flits / sim.cycle
+
+    results = benchmark(
+        lambda: {
+            n: (saturate(SharedBusNetwork, n), saturate(HermesNetwork, n))
+            for n in (2, 4, 6)
+        }
+    )
+    rows = []
+    for n, (bus_rate, noc_rate) in results.items():
+        rows.append(
+            (
+                f"{n}x{n} accepted flits/cycle (bus vs noc)",
+                "bus capped at ~1",
+                f"{bus_rate:.2f} vs {noc_rate:.2f}",
+            )
+        )
+    report(benchmark, "E13b saturation throughput", rows)
+    for n, (bus_rate, noc_rate) in results.items():
+        assert bus_rate <= 1.05  # a bus moves at most one flit per cycle
+    # the mesh's accepted bandwidth grows with size
+    noc_rates = [results[n][1] for n in (2, 4, 6)]
+    assert noc_rates == sorted(noc_rates)
+    assert results[6][1] > 2 * results[6][0]

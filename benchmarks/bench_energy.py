@@ -1,0 +1,70 @@
+"""E15 — Section 1, claim (i): NoC "energy efficiency" versus the bus.
+
+First-order wire-capacitance model over *measured* traffic: each mesh
+flit-hop pays for a router traversal plus one short tile-pitch link;
+each bus flit drives a wire spanning every IP.  The per-bit energy of
+the bus therefore grows linearly with system size while the mesh grows
+only with the average hop count (~sqrt(n)).
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis import (
+    bus_energy_from_stats,
+    crossover_ips,
+    noc_energy_from_stats,
+)
+from repro.apps.workloads import TrafficConfig, drive_traffic
+from repro.noc import HermesNetwork, SharedBusNetwork
+
+SIZES = [2, 3, 4, 6]
+
+
+def run_and_measure(n):
+    out = {}
+    for name, make in (("noc", HermesNetwork), ("bus", SharedBusNetwork)):
+        net = make(n, n)
+        cfg = TrafficConfig(rate=0.005, duration=2000, payload_flits=8, seed=3)
+        drive_traffic(net, cfg)
+        sim = net.make_simulator()
+        sim.step(cfg.duration)
+        net.run_to_drain(sim, max_cycles=2_000_000)
+        net.collect_received()
+        if name == "noc":
+            out[name] = noc_energy_from_stats(net.stats)
+        else:
+            out[name] = bus_energy_from_stats(net.stats, n * n)
+    return out
+
+
+def test_energy_per_bit_vs_bus(benchmark):
+    results = benchmark(lambda: {n: run_and_measure(n) for n in SIZES})
+    rows = []
+    for n in SIZES:
+        noc = results[n]["noc"].pj_per_bit
+        bus = results[n]["bus"].pj_per_bit
+        rows.append(
+            (
+                f"{n}x{n} ({n * n} IPs): pJ/bit noc vs bus",
+                "NoC more efficient, gap grows",
+                f"{noc:.2f} vs {bus:.2f} ({bus / noc:.1f}x)",
+            )
+        )
+    rows.append(
+        ("model crossover size", "small systems", f"{crossover_ips()} IPs")
+    )
+    report(benchmark, "E15 interconnect energy (claim i)", rows)
+
+    ratios = [
+        results[n]["bus"].pj_per_bit / results[n]["noc"].pj_per_bit
+        for n in SIZES
+    ]
+    # the NoC wins at every size and the advantage grows with the system
+    assert all(r > 1.0 for r in ratios)
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 3.0
+    # bus energy/bit grows ~linearly with IP count; mesh sub-linearly
+    bus_growth = results[6]["bus"].pj_per_bit / results[2]["bus"].pj_per_bit
+    noc_growth = results[6]["noc"].pj_per_bit / results[2]["noc"].pj_per_bit
+    assert bus_growth > 3 * noc_growth

@@ -1,0 +1,63 @@
+"""E5 — Section 3 + Figure 7: floorplanning is required at 98%
+occupancy, and the paper's placement rationale emerges from wirelength
+optimisation (serial next to its pins, NoC in the middle, processors at
+the BlockRAM edges).
+"""
+
+import pytest
+
+from conftest import report
+from repro.fpga import Floorplanner, XC2S200E
+
+
+def plan():
+    planner = Floorplanner()
+    annealed = planner.anneal(iterations=2500, seed=1)
+    randoms = [planner.random_placement(seed=s) for s in range(8)]
+    return annealed, randoms
+
+
+def test_floorplan_quality(benchmark):
+    annealed, randoms = benchmark(plan)
+    avg_random_cost = sum(p.cost for p in randoms) / len(randoms)
+    avg_random_wl = sum(p.wirelength for p in randoms) / len(randoms)
+    report(
+        benchmark,
+        "E5 floorplanning at 98% occupancy",
+        [
+            ("annealed placement fits", "fits (after effort)", annealed.fits),
+            ("wirelength (CLB, annealed vs random avg)", "(better)",
+             f"{annealed.wirelength:.0f} vs {avg_random_wl:.0f}"),
+            ("cost (annealed vs random avg)", "(better)",
+             f"{annealed.cost:.0f} vs {avg_random_cost:.0f}"),
+        ],
+    )
+    assert annealed.fits
+    assert annealed.cost < avg_random_cost
+
+
+def test_figure7_placement_rationale(benchmark):
+    annealed = benchmark(
+        lambda: Floorplanner(pin_column=0).anneal(iterations=2500, seed=1)
+    )
+    cols = XC2S200E.clb_cols
+    serial_x, _ = annealed.centroid("serial")
+    noc_x, _ = annealed.centroid("noc")
+    mem_x, _ = annealed.centroid("mem0")
+    p1_x, _ = annealed.centroid("proc1")
+    p2_x, _ = annealed.centroid("proc2")
+    report(
+        benchmark,
+        "E5b Figure 7 placement rationale (x centroids, die is 0..42)",
+        [
+            ("serial IP near the I/O pins", "die edge", f"{serial_x:.1f}"),
+            ("NoC centred for all IPs", "middle", f"{noc_x:.1f}"),
+            ("memory IP near BlockRAM column", "edge", f"{mem_x:.1f}"),
+            ("processors flank the NoC", "left/right", f"{p1_x:.1f} / {p2_x:.1f}"),
+        ],
+    )
+    assert serial_x < cols / 3  # next to the pads
+    assert cols * 0.25 < noc_x < cols * 0.75  # central
+    assert min(mem_x, cols - mem_x) < cols / 4  # near a BRAM edge
+    # processors sit on opposite sides of the NoC
+    assert (p1_x - noc_x) * (p2_x - noc_x) < 0

@@ -1,0 +1,81 @@
+"""E9 — Figure 9: the two debugging paths of the Serial software.
+
+1. Direct memory reads — the literal "00 01 01 00 20" byte sequence the
+   user typed (read 1 word of P1's local memory at 0020h).
+2. printf monitoring — intermediate values streamed to the per-
+   processor interaction monitor.
+"""
+
+import pytest
+
+from conftest import report
+from repro.host import SerialSoftware
+from repro.r8 import assemble
+from repro.system import MultiNoC
+
+
+def figure9_flow():
+    system = MultiNoC()
+    sim = system.make_simulator()
+    host = SerialSoftware(system).connect(sim)
+    host.sync()
+
+    # a program that stores a result at 0x20 and printfs a progress value
+    host.run_program((0, 1), 1, assemble(
+        "CLR R0\n"
+        "LDI R1, 0x1234\n"
+        "LDI R2, 0x20\n"
+        "ST R1, R2, R0\n"      # result in memory (debug path 1)
+        "LDI R2, 0xFFFF\n"
+        "ST R1, R2, R0\n"      # printf (debug path 2)
+        "HALT"
+    ))
+
+    # Debug path 1: the raw Figure 9 read frame, byte for byte.
+    host.uart_tx.send_bytes([0x00, 0x01, 0x01, 0x00, 0x20])
+    sim.run_until(lambda: host.read_returns, max_cycles=200_000)
+    read_reply = host.read_returns.popleft()
+
+    return host, read_reply
+
+
+def test_figure9_debugging(benchmark):
+    host, read_reply = benchmark(figure9_flow)
+    report(
+        benchmark,
+        "E9 Figure 9 debugging paths",
+        [
+            ('typed bytes "00 01 01 00 20" return', "memory contents",
+             f"[{read_reply.words[0]:#06x}] @ {read_reply.address:#06x}"),
+            ("printf monitor shows", "intermediate values",
+             [hex(v) for v in host.monitor(1).printf_values]),
+        ],
+    )
+    assert read_reply.address == 0x20
+    assert read_reply.words == [0x1234]
+    assert host.monitor(1).printf_values == [0x1234]
+    assert "printf" in host.monitor(1).transcript()
+
+
+def test_serial_line_overhead(benchmark):
+    """Loading cost over the RS-232 model: cycles per program word."""
+
+    def load_cost():
+        system = MultiNoC()
+        sim = system.make_simulator()
+        host = SerialSoftware(system).connect(sim)
+        host.sync()
+        obj = assemble(".word " + ", ".join(["7"] * 64))
+        start = sim.cycle
+        host.load_program((0, 1), obj)
+        return (sim.cycle - start) / 64
+
+    cycles_per_word = benchmark(load_cost)
+    report(
+        benchmark,
+        "E9b serial loading overhead",
+        [("cycles per 16-bit word", "(low-cost, low-performance link)",
+          f"{cycles_per_word:.0f}")],
+    )
+    # 2 bytes x 10 bits x divisor 4 = 80 cycles minimum per word
+    assert cycles_per_word >= 80

@@ -1,0 +1,78 @@
+"""E1 — Section 2.1 latency formula: latency = (sum Ri + P) x 2.
+
+Sweeps hop count and payload size on an idle mesh and compares the
+measured injection-to-delivery latency against (a) this simulator's
+exact closed form and (b) the paper's formula.
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis import hops, model_latency, paper_latency
+from repro.noc import HermesNetwork
+
+
+def measure_latency(src, dst, payload_flits, routing_cycles=7):
+    net = HermesNetwork(5, 5, routing_cycles=routing_cycles)
+    sim = net.make_simulator()
+    net.send(src, dst, [0xAA] * payload_flits)
+    net.run_to_drain(sim, max_cycles=100_000)
+    return net.collect_received()[0].latency
+
+
+SWEEP = [
+    ((0, 0), (1, 0), 4),
+    ((0, 0), (3, 0), 4),
+    ((0, 0), (4, 4), 4),
+    ((0, 0), (2, 2), 16),
+    ((0, 0), (2, 2), 64),
+]
+
+
+def test_latency_formula(benchmark):
+    def run_sweep():
+        return [
+            (src, dst, p, measure_latency(src, dst, p)) for src, dst, p in SWEEP
+        ]
+
+    results = benchmark(run_sweep)
+    rows = []
+    for src, dst, payload, measured in results:
+        n = hops(src, dst)
+        packet = payload + 2
+        exact = model_latency(n, packet)
+        paper = paper_latency(n, packet)
+        rows.append(
+            (
+                f"n={n} P={packet}",
+                f"{paper} (formula)",
+                f"{measured} (model {exact})",
+            )
+        )
+        assert measured == exact, "simulator must match its closed form"
+        # same shape: linear, identical payload slope, within ~35% of the
+        # paper's absolute numbers at Ri=7
+        assert measured <= paper <= measured * 1.5
+    report(benchmark, "E1 latency = (sum Ri + P) x 2", rows)
+
+
+def test_latency_formula_equivalent_ri(benchmark):
+    """With routing_cycles=11 (the paper's 2xRi accounting at Ri=7) the
+    absolute numbers match the formula within a 3-cycle constant."""
+
+    def run():
+        out = []
+        for src, dst, payload in SWEEP:
+            out.append(
+                (src, dst, payload, measure_latency(src, dst, payload, 11))
+            )
+        return out
+
+    results = benchmark(run)
+    rows = []
+    for src, dst, payload, measured in results:
+        n = hops(src, dst)
+        paper = paper_latency(n, payload + 2)
+        rows.append((f"n={n} P={payload + 2}", paper, measured))
+        assert abs(measured - paper) <= 3
+    report(benchmark, "E1b latency with equivalent Ri", rows)

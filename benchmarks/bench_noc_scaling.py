@@ -1,0 +1,47 @@
+"""E7 — Sections 1/3/5: NoC cost amortises with system size.
+
+"NoCs are a feasible communication medium for systems containing more
+than a hundred IPs (e.g. 10x10 NoCs). ... The router surface will
+remain constant and the NoC dimensions will scale less than the IPs,
+becoming a very small fraction of the whole system, typically less
+than 10 or 5%."
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis import ip_scale_for_fraction, noc_fraction_sweep
+from repro.fpga import AreaModel
+
+
+def sweep():
+    return {
+        scale: noc_fraction_sweep([2, 3, 4, 6, 8, 10], ip_area_scale=scale)
+        for scale in (1.0, 2.0, 4.0, 8.0)
+    }
+
+
+def test_noc_fraction_amortises(benchmark):
+    curves = benchmark(sweep)
+    rows = []
+    for scale, points in curves.items():
+        series = ", ".join(
+            f"{p.mesh[0]}x{p.mesh[1]}:{p.noc_fraction:.1%}" for p in points
+        )
+        rows.append((f"IP scale x{scale:g}", "falls with richer IPs", series))
+    ten_pct = ip_scale_for_fraction(0.10)
+    five_pct = ip_scale_for_fraction(0.05)
+    rows.append(("IP scale for <10% at 10x10", "<10%", f"x{ten_pct:.1f}"))
+    rows.append(("IP scale for <5% at 10x10", "<5%", f"x{five_pct:.1f}"))
+    report(benchmark, "E7 NoC area fraction vs system size", rows)
+
+    # router surface is constant: per-router slices don't depend on mesh size
+    model = AreaModel()
+    assert model.router(5).slices == AreaModel().router(5).slices
+    # fraction falls monotonically as IPs grow
+    at_10x10 = [curves[s][-1].noc_fraction for s in (1.0, 2.0, 4.0, 8.0)]
+    assert at_10x10 == sorted(at_10x10, reverse=True)
+    # the paper's 10% and 5% figures are reached at plausible IP sizes
+    assert curves[4.0][-1].noc_fraction < 0.10
+    assert curves[8.0][-1].noc_fraction < 0.05
+    assert 1.0 < ten_pct < five_pct < 16.0

@@ -1,0 +1,97 @@
+"""E8 — Section 2.1: the nine packet services, exercised end to end on
+the full system, with measured round-trip cycle costs.
+"""
+
+import pytest
+
+from conftest import report
+from repro.host import SerialSoftware
+from repro.r8 import assemble
+from repro.system import MultiNoC
+
+
+def build_session():
+    system = MultiNoC()
+    sim = system.make_simulator()
+    host = SerialSoftware(system).connect(sim)
+    host.sync()
+    return system, sim, host
+
+
+def exercise_all_services():
+    system, sim, host = build_session()
+    costs = {}
+
+    t0 = sim.cycle
+    host.write_memory((1, 1), 0x10, [0xABCD])  # service: write in memory
+    costs["write in memory"] = sim.cycle - t0
+
+    t0 = sim.cycle
+    words = host.read_memory((1, 1), 0x10, 1)  # read + read return
+    costs["read + read return"] = sim.cycle - t0
+    assert words == [0xABCD]
+
+    # activate + printf + scanf + scanf return
+    host.set_scanf_handler(1, lambda: 21)
+    t0 = sim.cycle
+    host.run_program((0, 1), 1, assemble(
+        "CLR R0\nLDI R2, 0xFFFF\n"
+        "LD R1, R2, R0\n"      # scanf -> scanf return
+        "ADD R1, R1, R1\n"
+        "ST R1, R2, R0\n"      # printf
+        "HALT"
+    ))
+    costs["activate/scanf/scanf-return/printf"] = sim.cycle - t0
+    assert host.monitor(1).printf_values == [42]
+
+    # notify + wait between the processors
+    t0 = sim.cycle
+    host.load_program((0, 1), assemble(
+        "CLR R0\nLDL R3, 2\nLDI R2, 0xFFFE\nST R3, R2, R0\nHALT"  # wait
+    ))
+    host.load_program((1, 0), assemble(
+        "CLR R0\nLDL R3, 1\nLDI R2, 0xFFFD\nST R3, R2, R0\nHALT"  # notify
+    ))
+    host.activate((0, 1))
+    host.activate((1, 0))
+    sim.run_until(lambda: system.all_halted, max_cycles=200_000)
+    costs["wait + notify pair"] = sim.cycle - t0
+    return system, costs
+
+
+def test_all_nine_services(benchmark):
+    system, costs = benchmark(exercise_all_services)
+    rows = [
+        (f"{name} (cycles incl. serial I/O)", "works", cycles)
+        for name, cycles in costs.items()
+    ]
+    report(benchmark, "E8 the nine packet services", rows)
+    assert all(c > 0 for c in costs.values())
+    # nothing was dropped anywhere
+    assert not system.memory(0).dropped_packets
+    for proc in system.processors.values():
+        assert not proc.dropped_packets
+    assert not system.serial.dropped_packets
+
+
+def test_remote_memory_load_store_cost(benchmark):
+    """NUMA latency: a remote LD stalls the core for the NoC round trip."""
+
+    def measure():
+        system, sim, host = build_session()
+        host.write_memory((1, 1), 0, [7])
+        host.run_program((0, 1), 1, assemble(
+            "CLR R0\nLDI R2, 2048\n" + "LD R1, R2, R0\n" * 16 + "HALT"
+        ))
+        proc = system.processor(1)
+        return proc.cpu.cycles_stalled / 16
+
+    stall_per_load = benchmark(measure)
+    report(
+        benchmark,
+        "E8b remote load stall",
+        [("cycles stalled per remote LD", "(NoC round trip)",
+          f"{stall_per_load:.1f}")],
+    )
+    # must cover two 3-router XY traversals plus memory service time
+    assert 40 < stall_per_load < 200

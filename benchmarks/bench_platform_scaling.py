@@ -1,0 +1,96 @@
+"""E12 — Sections 1 and 5: "The approach can be extended to any number
+of processor IPs and/or memory IPs, using the natural scalability of
+NoCs" / "Increasing the number of identical IPs enhances the
+parallelism degree."
+
+Builds and runs progressively larger MultiNoC instances, and measures
+aggregate compute throughput as processors are added.
+"""
+
+import pytest
+
+from conftest import report
+from repro.core import MultiNoCPlatform
+
+WORK_PROGRAM = """
+        CLR  R0
+        LDI  R1, 200
+        LDL  R2, 1
+        CLR  R3
+loop:   ADD  R3, R3, R1
+        SUB  R1, R1, R2
+        JMPZD done
+        JMP  loop
+done:   LDI  R4, 0xFFFF
+        ST   R3, R4, R0
+        HALT
+"""
+
+
+def run_platform(mesh, n_processors, n_memories=1):
+    session = MultiNoCPlatform(
+        mesh=mesh, n_processors=n_processors, n_memories=n_memories
+    ).launch()
+    session.host.sync()
+    for pid in range(1, n_processors + 1):
+        session.start(pid, WORK_PROGRAM)
+    start = session.sim.cycle
+    session.wait_all_halted(max_cycles=5_000_000)
+    elapsed = session.sim.cycle - start
+    session.sim.step(5000)  # drain printfs
+    for pid in range(1, n_processors + 1):
+        values = session.host.monitor(pid).printf_values
+        assert values == [20100], f"P{pid} computed {values}"
+    retired = sum(
+        p.cpu.instructions_retired for p in session.system.processors.values()
+    )
+    return {"elapsed": elapsed, "retired": retired}
+
+
+CONFIGS = [
+    ((2, 2), 2),
+    ((3, 3), 4),
+    ((3, 3), 7),
+    ((4, 4), 10),
+]
+
+
+def test_platform_scales_to_many_processors(benchmark):
+    results = benchmark(lambda: {n: run_platform(m, n) for m, n in CONFIGS})
+    rows = []
+    throughputs = {}
+    for (mesh, n), r in zip(CONFIGS, results.values()):
+        ipc = r["retired"] / r["elapsed"]
+        throughputs[n] = ipc
+        rows.append(
+            (
+                f"{mesh[0]}x{mesh[1]} mesh, {n} processors",
+                "builds and runs",
+                f"{r['retired']} instrs, {ipc:.2f} aggregate IPC",
+            )
+        )
+    report(benchmark, "E12 platform scalability", rows)
+    # parallelism degree rises with identical IPs (paper Section 5)
+    ns = [n for _, n in CONFIGS]
+    assert throughputs[ns[-1]] > throughputs[ns[0]] * 3
+    series = [throughputs[n] for n in ns]
+    assert series == sorted(series)
+
+
+def test_construction_cost_of_10x10(benchmark):
+    """A hundred-IP platform (the paper's 10x10 vision) instantiates."""
+
+    def build():
+        platform = MultiNoCPlatform(
+            mesh=(10, 10), n_processors=60, n_memories=39
+        )
+        system = platform.build()
+        return sum(1 for _ in system.iter_components())
+
+    n_components = benchmark(build)
+    report(
+        benchmark,
+        "E12b 10x10 instantiation",
+        [("components in a 100-IP system", "(feasible)", n_components)],
+    )
+    assert n_components > 300  # 100 routers + 60 processor IPs + ...

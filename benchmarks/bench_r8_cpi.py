@@ -1,0 +1,83 @@
+"""E11 — Section 2.4: the R8 has a "CPI (Clocks Per Instruction)
+between 2 and 4".
+
+Measured on the cycle-accurate core across instruction-mix
+microbenchmarks, and cross-checked against the functional simulator's
+accounting.
+"""
+
+import pytest
+
+from conftest import report
+from repro.apps import programs
+from repro.core import Program
+from repro.r8 import LocalBus, R8Cpu, assemble
+from repro.sim import Simulator
+
+MIXES = {
+    "pure ALU": "LDL R1, 1\n" + "ADD R2, R2, R1\nXOR R3, R2, R1\n" * 40 + "HALT",
+    "memory heavy": (
+        "CLR R0\nLDI R6, 0x80\n"
+        + "ST R2, R6, R0\nLD R3, R6, R0\n" * 40
+        + "HALT"
+    ),
+    "call heavy": (
+        "CLR R0\n" + "JSRD sub\n" * 1 + "LDI R1, 40\nLDL R2, 1\n"
+        "loop: JSRD sub\nSUB R1, R1, R2\nJMPZD done\nJMP loop\ndone: HALT\n"
+        "sub: RTS"
+    ),
+    "balanced": programs.instruction_mix(reps=24),
+}
+
+
+def measure_cpi():
+    results = {}
+    for name, source in MIXES.items():
+        bus = LocalBus()
+        bus.load(assemble(source).memory_image())
+        cpu = R8Cpu("cpu", bus)
+        sim = Simulator()
+        sim.add(cpu)
+        cpu.activate()
+        sim.run_until(lambda: cpu.halted, max_cycles=200_000)
+        results[name] = cpu.cpi()
+    return results
+
+
+def test_cpi_between_2_and_4(benchmark):
+    results = benchmark(measure_cpi)
+    rows = [
+        (f"{name} mix", "2 <= CPI <= 4", f"{cpi:.2f}")
+        for name, cpi in results.items()
+    ]
+    report(benchmark, "E11 R8 clocks per instruction", rows)
+    for name, cpi in results.items():
+        assert 2.0 <= cpi <= 4.0, name
+    # the mixes genuinely span the range
+    assert min(results.values()) < 2.3
+    assert max(results.values()) > 2.9
+
+
+def test_iss_and_cycle_core_agree_on_cycles(benchmark):
+    """The functional simulator's CPI table matches the FSM exactly."""
+
+    def compare():
+        source = programs.instruction_mix(reps=16)
+        iss = Program.from_source(source).simulate()
+        bus = LocalBus()
+        bus.load(assemble(source).memory_image())
+        cpu = R8Cpu("cpu", bus)
+        sim = Simulator()
+        sim.add(cpu)
+        cpu.activate()
+        sim.run_until(lambda: cpu.halted, max_cycles=200_000)
+        return iss.cycles, cpu.cycles_active
+
+    iss_cycles, core_cycles = benchmark(compare)
+    report(
+        benchmark,
+        "E11b ISS vs cycle-accurate core",
+        [("total cycles (ISS vs core)", "identical",
+          f"{iss_cycles} vs {core_cycles}")],
+    )
+    assert iss_cycles == core_cycles

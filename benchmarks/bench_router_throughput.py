@@ -1,0 +1,82 @@
+"""E2 — Section 2.1: "the theoretical peak throughput of each Hermes
+router is 1Gbits/s" (50 MHz, 8-bit flits, five ports).
+
+Five continuous wormholes are driven through all five output ports of a
+centre router; the measured aggregate flit rate is converted to bits/s
+at the paper's 50 MHz clock.
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis import router_peak_bps
+from repro.noc import HermesNetwork
+
+CLOCK_HZ = 50e6
+
+#: five flows that each occupy a distinct output port of router (1,1)
+FLOWS = [
+    ((0, 1), (2, 1)),  # -> EAST
+    ((2, 1), (0, 1)),  # -> WEST
+    ((1, 0), (1, 2)),  # -> NORTH
+    ((1, 2), (1, 0)),  # -> SOUTH
+    ((1, 1), (1, 1)),  # -> LOCAL
+]
+
+WARMUP = 300
+WINDOW = 2000
+
+
+def saturate_center_router():
+    net = HermesNetwork(3, 3, routing_cycles=1)
+    sim = net.make_simulator()
+    # enough long packets to keep every port busy through the window
+    for _ in range(6):
+        for src, dst in FLOWS:
+            net.send(src, dst, [0x55] * 250)
+    sim.step(WARMUP)
+    center = (1, 1)
+    start_flits = net.stats.router_flits_sent(center)
+    sim.step(WINDOW)
+    flits = net.stats.router_flits_sent(center) - start_flits
+    return flits / WINDOW  # flits per cycle through the router
+
+
+def test_router_peak_throughput(benchmark):
+    flits_per_cycle = benchmark(saturate_center_router)
+    measured_bps = flits_per_cycle * 8 * CLOCK_HZ
+    peak = router_peak_bps(5, CLOCK_HZ, 8)
+    report(
+        benchmark,
+        "E2 router peak throughput @50MHz",
+        [
+            ("aggregate (5 ports)", "1.000 Gbit/s", f"{measured_bps / 1e9:.3f} Gbit/s"),
+            ("flits/cycle", 2.5, round(flits_per_cycle, 3)),
+        ],
+    )
+    # each port moves 1 flit per 2 cycles: 2.5 flits/cycle aggregate
+    assert measured_bps == pytest.approx(1e9, rel=0.05)
+    assert measured_bps <= peak + 1e-6
+
+
+def test_single_port_throughput(benchmark):
+    """One port alone moves 200 Mbit/s: the handshake's 2-cycle bound."""
+
+    def single_flow():
+        net = HermesNetwork(2, 1, routing_cycles=1)
+        sim = net.make_simulator()
+        for _ in range(6):
+            net.send((0, 0), (1, 0), [0xAA] * 250)
+        sim.step(WARMUP)
+        start = net.stats.router_flits_sent((1, 0))
+        sim.step(WINDOW)
+        return (net.stats.router_flits_sent((1, 0)) - start) / WINDOW
+
+    flits_per_cycle = benchmark(single_flow)
+    measured = flits_per_cycle * 8 * CLOCK_HZ
+    report(
+        benchmark,
+        "E2b single-port throughput",
+        [("one port", "200 Mbit/s", f"{measured / 1e6:.1f} Mbit/s")],
+    )
+    assert measured == pytest.approx(200e6, rel=0.05)

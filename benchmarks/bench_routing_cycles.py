@@ -1,0 +1,58 @@
+"""E14 (ablation) — the per-router routing time Ri.
+
+The paper states Ri is "at least 7 clock cycles" in their control logic.
+This ablation quantifies what that control-logic depth costs: unloaded
+latency grows linearly with routing_cycles (slope n, the closed form's
+per-hop term) and saturation throughput falls, since every packet
+occupies the centralised control for Ri cycles per hop.
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis import hops, measure_point, mesh_factory, model_latency
+from repro.noc import HermesNetwork
+
+RCS = [1, 3, 7, 11]
+
+
+def unloaded_latency(rc):
+    net = HermesNetwork(4, 4, routing_cycles=rc)
+    sim = net.make_simulator()
+    net.send((0, 0), (3, 3), [0xAA] * 8)
+    net.run_to_drain(sim, max_cycles=100_000)
+    return net.collect_received()[0].latency
+
+
+def test_routing_cycles_ablation(benchmark):
+    def run():
+        latencies = {rc: unloaded_latency(rc) for rc in RCS}
+        throughputs = {
+            rc: measure_point(
+                mesh_factory(4, 4, routing_cycles=rc), rate=0.08, duration=1200
+            ).accepted_flits_per_cycle
+            for rc in RCS
+        }
+        return latencies, throughputs
+
+    latencies, throughputs = benchmark(run)
+    n = hops((0, 0), (3, 3))
+    rows = []
+    for rc in RCS:
+        rows.append(
+            (
+                f"Ri={rc}: unloaded latency / accepted f/c",
+                f"model {model_latency(n, 10, rc)} / (falls with Ri)",
+                f"{latencies[rc]} / {throughputs[rc]:.2f}",
+            )
+        )
+    report(benchmark, "E14 routing-time (Ri) ablation", rows)
+
+    for rc in RCS:
+        assert latencies[rc] == model_latency(n, 10, routing_cycles=rc)
+    # latency slope in Ri is exactly the hop count
+    assert latencies[11] - latencies[7] == 4 * n
+    # cheaper control logic buys throughput
+    series = [throughputs[rc] for rc in RCS]
+    assert series == sorted(series, reverse=True)
+    assert throughputs[1] > 1.3 * throughputs[11]

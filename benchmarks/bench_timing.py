@@ -1,0 +1,30 @@
+"""E6 — Section 3: timing analysis estimated 21.23 MHz; the 50 MHz
+board clock was divided by two with a clkdll and the system ran at
+25 MHz anyway ("the circuit worked correctly").
+"""
+
+import pytest
+
+from conftest import report
+from repro.fpga import prototype
+
+
+def test_timing_estimate_and_clock_plan(benchmark):
+    rep = benchmark(lambda: prototype(anneal_iterations=2500, seed=1))
+    report(
+        benchmark,
+        "E6 timing estimate and clocking",
+        [
+            ("estimated Fmax", "21.23 MHz", f"{rep.timing.fmax_mhz:.2f} MHz"),
+            ("critical path", "47.1 ns", f"{rep.timing.critical_path_ns:.2f} ns"),
+            ("clkdll division", "50 MHz / 2", f"50 MHz / {rep.clock.division}"),
+            ("operating clock", "25 MHz", f"{rep.clock.output_mhz:.0f} MHz"),
+            ("runs above the estimate", "yes (worked anyway)",
+             not rep.clock.meets_timing),
+        ],
+    )
+    assert rep.timing.fmax_mhz == pytest.approx(21.23, abs=1.5)
+    assert rep.clock.division == 2
+    assert rep.clock.output_mhz == pytest.approx(25.0)
+    # the paper's gamble: the chosen clock exceeds the static estimate
+    assert not rep.clock.meets_timing

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""A scripted debugging session in the R8 Simulator environment.
+
+The paper's flow begins with "writing, simulating and debugging
+assembly code" (Section 4) and pitches MultiNoC for teaching
+(Section 5).  This example drives the debugger exactly like a student
+at the prompt: disassemble, set breakpoints and watchpoints, single
+step, inspect registers and memory.
+"""
+
+from repro.r8 import assemble
+from repro.r8.debugger import Debugger
+
+PROGRAM = """
+; compute 13 factorial-style product steps into `result`
+        CLR  R0
+        LDI  R1, 1          ; accumulator
+        LDI  R2, 5          ; n
+        LDL  R3, 1
+loop:   OR   R2, R2, R2
+        JMPZD store
+        ; accumulator *= n, by repeated addition
+        CLR  R4
+        MOV  R5, R2
+mul:    OR   R5, R5, R5
+        JMPZD muldone
+        ADD  R4, R4, R1
+        SUB  R5, R5, R3
+        JMP  mul
+muldone:
+        MOV  R1, R4
+        SUB  R2, R2, R3
+        JMP  loop
+store:  LDI  R6, result
+        ST   R1, R6, R0
+        HALT
+result: .word 0
+"""
+
+SESSION = """
+dis 0 6
+break muldone
+run
+regs
+mem result 1
+unbreak muldone
+watch result
+run
+mem result 1
+"""
+
+
+def main() -> None:
+    dbg = Debugger()
+    dbg.load_object(assemble(PROGRAM))
+
+    for line in SESSION.strip().splitlines():
+        line = line.strip()
+        print(f"(r8db) {line}")
+        print(dbg.execute(line))
+        print()
+
+    result = dbg.sim.memory[dbg.symbols["result"]]
+    print(f"final result: {result} (5! = 120)")
+    assert result == 120
+    hit = dbg.sim.watch_hits[0]
+    print(f"watchpoint saw a {hit[0]} of {hit[2]} at {hit[1]:#06x} "
+          f"from PC {hit[3]:#06x}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The Section 3 prototyping flow, virtually: area, floorplan, timing,
+clocking — reproducing the paper's implementation report for the
+XC2S200E and exploring what larger devices would allow (Section 5).
+"""
+
+from repro.fpga import AreaModel, DEVICES, Floorplanner, XC2S200E, prototype
+from repro.system import SystemConfig
+
+
+def main() -> None:
+    print("=" * 64)
+    print("virtual implementation of the paper's 2x2 MultiNoC")
+    print("=" * 64)
+    report = prototype(anneal_iterations=3000, seed=1)
+    print(report.summary())
+
+    print()
+    print("itemised utilisation (synthesis-report style):")
+    print(report.area.table(XC2S200E))
+
+    print()
+    print("floorplanning matters at 98% occupancy — random placements:")
+    planner = Floorplanner()
+    for seed in range(4):
+        random_placement = planner.random_placement(seed=seed)
+        print(
+            f"  random #{seed}: wirelength {random_placement.wirelength:6.1f} CLB"
+            f"  (annealed: {report.placement.wirelength:.1f})"
+        )
+
+    print()
+    print("mapping MultiNoC onto the whole Spartan-IIE family:")
+    model = AreaModel()
+    need = model.system(SystemConfig.paper()).total
+    for name, dev in DEVICES.items():
+        fits = need.fits(dev)
+        util = need.slices / dev.slices
+        print(f"  {name:<10} {dev.slices:>5} slices: "
+              f"{'fits' if fits else 'DOES NOT FIT':<13} ({util:.0%} used)")
+
+    print()
+    print("Section 5: 'Mapping the MultiNoC system in a larger FPGA device"
+          " would allow increasing the NoC dimension':")
+    for mesh, procs, mems in [((2, 2), 2, 1), ((3, 3), 6, 2), ((4, 4), 12, 3)]:
+        config = SystemConfig(
+            mesh=mesh,
+            serial=(0, 0),
+            processors={
+                i + 1: divmod(i + 1, mesh[0])[::-1]
+                for i in range(procs)
+            },
+            memories=[
+                divmod(procs + 1 + j, mesh[0])[::-1] for j in range(mems)
+            ],
+        )
+        total = model.system(config).total
+        home = next(
+            (d for d in DEVICES.values() if total.fits(d)), None
+        )
+        print(f"  {mesh[0]}x{mesh[1]} with {procs} CPUs + {mems} memories: "
+              f"{total.slices} slices -> "
+              f"{home.name if home else 'beyond the family'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Figure 8 flow, end to end.
+
+1. write assembly and simulate it on the stand-alone R8 Simulator,
+2. launch the 2x2 MultiNoC, synchronise baud with 0x55,
+3. send the object code over the serial line, fill data memory,
+4. activate the processor,
+5. interact through printf/scanf and read results back (Figure 9).
+"""
+
+from repro import MultiNoCPlatform, Program
+
+PROGRAM = """
+; multiply the scanf'd value by the table entry at `factor`,
+; store the product at `result`, printf it, halt.
+        CLR  R0
+        LDI  R2, 0xFFFF
+        LD   R1, R2, R0        ; scanf: ask the host for a value
+        LDI  R3, factor
+        LD   R3, R3, R0        ; table entry (filled by the host)
+        CLR  R4                ; product accumulator
+        LDL  R5, 1
+loop:   OR   R3, R3, R3
+        JMPZD done
+        ADD  R4, R4, R1        ; product += value
+        SUB  R3, R3, R5
+        JMP  loop
+done:   LDI  R6, result
+        ST   R4, R6, R0
+        ST   R4, R2, R0        ; printf(product)
+        HALT
+
+factor: .word 0
+result: .word 0
+"""
+
+
+def main() -> None:
+    program = Program.from_source(PROGRAM, name="quickstart")
+
+    # Step 1 (Figure 8): "Simulate the Assembly Code" on the R8 Simulator.
+    sim = program.simulate(scanf_values=[6])
+    # the factor defaults to 0 in stand-alone simulation: product is 0
+    print(f"R8 Simulator dry run: printed {sim.printed}, CPI {sim.cpi():.2f}")
+
+    # Steps 2-3: start the platform, sync, send object code and data.
+    session = MultiNoCPlatform.standard().launch()
+    session.host.sync()
+    print(f"baud synchronised at cycle {session.sim.cycle}")
+
+    p1 = session.processor_address(1)
+    session.host.load_program(p1, program.obj)
+    session.write(1, program.symbol("factor"), [7])  # fill memory contents
+
+    # Steps 4-6: activate, serve scanf, watch printf.
+    session.host.set_scanf_handler(1, lambda: 6)
+    session.host.activate(p1)
+    session.sim.run_until(
+        lambda: session.system.processor(1).cpu.halted, max_cycles=1_000_000
+    )
+    session.sim.step(4000)  # let the last serial frame reach the host
+
+    # Debugging, both Figure 9 ways: printf monitor and direct memory read.
+    monitor = session.host.monitor(1)
+    print("interaction monitor:")
+    print(monitor.transcript())
+    result = session.read(1, program.symbol("result"), 1)[0]
+    print(f"memory read of `result`: {result}")
+    assert result == 42
+    assert monitor.printf_values == [42]
+    print("quickstart OK: 6 x 7 =", result)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Partial and dynamic reconfiguration (paper Section 5).
+
+"Partial and dynamic reconfiguration allows, for example, that the IP
+cores position be modified in execution at run-time, favoring the IPs
+communication with improved throughput.  Reconfiguration can also be
+used to reduce system area consumption through insertion and removal of
+IP cores on demand."
+
+Demonstrates both: a processor hammering a far-away memory IP gets a
+2x NUMA-latency win when the memory is relocated next door; then a
+memory IP is removed and the area model shows the freed slices.
+"""
+
+from repro.core import MultiNoCPlatform
+from repro.fpga import AreaModel
+from repro.system import ReconfigurationManager
+
+LOADS = 32
+PROGRAM = (
+    "CLR R0\nLDI R2, 1024\n" + "LD R1, R2, R0\n" * LOADS + "HALT"
+)
+
+
+def measure_stall(session):
+    cpu = session.system.processor(1).cpu
+    cpu.reset()
+    session.run(1, PROGRAM)
+    return cpu.cycles_stalled / LOADS
+
+
+def main() -> None:
+    session = MultiNoCPlatform(
+        mesh=(4, 4),
+        n_processors=1,
+        n_memories=1,
+        processors_at={1: (1, 0)},
+        memories_at=[(3, 3)],
+    ).launch()
+    session.host.sync()
+    session.write("mem0", 0, [0xCAFE])
+    mgr = ReconfigurationManager(session.system)
+
+    print("processor at (1,0), memory at (3,3) — 5 hops away:")
+    far = measure_stall(session)
+    print(f"  remote LD stalls the core {far:.0f} cycles")
+
+    print("reconfiguring at run time: relocating the memory to (2,0)...")
+    mgr.relocate("mem0", (2, 0))
+    near = measure_stall(session)
+    print(f"  remote LD now stalls {near:.0f} cycles "
+          f"({far / near:.1f}x faster), data intact: "
+          f"{session.read('mem0', 0, 1)[0]:#06x}")
+
+    print("\narea on demand: removing the memory IP...")
+    model = AreaModel()
+    before = model.system(session.system.config).total
+    mgr.remove_memory(0)
+    after = model.system(session.system.config).total
+    print(f"  {before.slices} -> {after.slices} slices "
+          f"({before.slices - after.slices} freed), "
+          f"{before.brams - after.brams} BlockRAMs returned")
+
+    print("...and inserting a fresh one at the near slot:")
+    mgr.insert_memory((2, 0))
+    session.write("mem0", 0, [0xBEEF])
+    print(f"  new memory IP serves reads: {session.read('mem0', 0, 1)[0]:#06x}")
+    print(f"\n{mgr.reconfigurations} reconfigurations performed on the "
+          "running system")
+
+
+if __name__ == "__main__":
+    main()

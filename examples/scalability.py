@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Scalability: bigger meshes, more processors, and the NoC-cost
+argument (paper Sections 1, 3 and 5).
+
+Builds 2x2 / 3x3 / 4x4 platforms, runs the same workload on every
+processor, shows aggregate throughput scaling, and prints the NoC
+area-fraction curve behind the "less than 10 or 5%" claim.
+"""
+
+from repro.analysis import noc_fraction_sweep
+from repro.core import MultiNoCPlatform
+
+WORK = """
+        CLR  R0
+        LDI  R1, 150
+        LDL  R2, 1
+        CLR  R3
+loop:   ADD  R3, R3, R1
+        SUB  R1, R1, R2
+        JMPZD done
+        JMP  loop
+done:   LDI  R4, 0xFFFF
+        ST   R3, R4, R0
+        HALT
+"""
+
+EXPECTED = sum(range(1, 151))
+
+
+def run_platform(mesh, n_processors):
+    session = MultiNoCPlatform(mesh=mesh, n_processors=n_processors).launch()
+    session.host.sync()
+    for pid in range(1, n_processors + 1):
+        session.start(pid, WORK)
+    start = session.sim.cycle
+    session.wait_all_halted(max_cycles=5_000_000)
+    elapsed = session.sim.cycle - start
+    session.sim.step(6000)
+    for pid in range(1, n_processors + 1):
+        assert session.host.monitor(pid).printf_values == [EXPECTED]
+    retired = sum(
+        p.cpu.instructions_retired
+        for p in session.system.processors.values()
+    )
+    return elapsed, retired
+
+
+def main() -> None:
+    print("running the same kernel on every processor of growing platforms:")
+    base_ipc = None
+    for mesh, n in [((2, 2), 2), ((3, 3), 6), ((4, 4), 12)]:
+        elapsed, retired = run_platform(mesh, n)
+        ipc = retired / elapsed
+        base_ipc = base_ipc or ipc
+        print(f"  {mesh[0]}x{mesh[1]} mesh, {n:>2} CPUs: "
+              f"{retired:>6} instructions in {elapsed:>6} cycles "
+              f"-> {ipc:.2f} IPC ({ipc / base_ipc:.1f}x the 2-CPU platform)")
+
+    print("\nNoC share of the logic area as systems grow"
+          " (the paper's <10%/<5% claim):")
+    header = "  mesh      " + "".join(f"  IPs x{s:<4g}" for s in (1, 2, 4, 8))
+    print(header)
+    curves = {
+        s: {p.mesh: p.noc_fraction for p in noc_fraction_sweep([2, 4, 6, 10],
+                                                               ip_area_scale=s)}
+        for s in (1, 2, 4, 8)
+    }
+    for n in (2, 4, 6, 10):
+        row = f"  {n}x{n:<7}"
+        for s in (1, 2, 4, 8):
+            row += f"  {curves[s][(n, n)]:>7.1%} "
+        print(row)
+    print("\nwith 4x richer IPs a 10x10 NoC costs "
+          f"{curves[4][(10, 10)]:.1%} of the system; "
+          f"with 8x, {curves[8][(10, 10)]:.1%} — the paper's 10%/5% figures.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""The "sea of processors" (paper abstract and Section 1).
+
+"The main motivation to propose this design is to enable the
+investigation of current trends to increase the number of embedded
+processors in SoCs, leading to the concept of 'sea of processors'
+systems."
+
+Twelve R8 processors on a 4x4 mesh cooperatively sum the series
+1..N_TOTAL: every processor computes a partial sum over its own chunk,
+then a wait/notify chain reduces the partials — each processor reads its
+successor's result straight out of that processor's local memory through
+the NUMA window, adds its own, and passes the baton down until processor
+1 printf's the grand total to the host.
+"""
+
+from repro.core import MultiNoCPlatform
+
+N_PROCS = 12
+CHUNK = 50  # numbers per processor
+RESULT_ADDR = 0x80  # where each processor parks its (partial) total
+
+
+def window_base(pid: int, peer: int) -> int:
+    """NUMA window base through which *pid* sees *peer*'s local memory.
+
+    Windows are assigned in peer-id order (see
+    MultiNoC._build_address_map): 1K per remote IP, starting at 1024.
+    """
+    others = [p for p in range(1, N_PROCS + 1) if p != pid]
+    return 1024 * (1 + others.index(peer))
+
+
+def worker(pid: int) -> str:
+    """Partial sum of [(pid-1)*CHUNK + 1 .. pid*CHUNK], then reduce."""
+    first = (pid - 1) * CHUNK + 1
+    last = pid * CHUNK
+    reduce_part = ""
+    if pid < N_PROCS:
+        # wait for the successor, then fetch its accumulated total
+        successor_result = window_base(pid, pid + 1) + RESULT_ADDR
+        reduce_part = f"""
+        LDI  R3, {pid + 1}
+        LDI  R2, 0xFFFE
+        ST   R3, R2, R0      ; wait for P{pid + 1}
+        LDI  R2, {successor_result}
+        LD   R4, R2, R0      ; successor's accumulated total (NUMA read)
+        ADD  R5, R5, R4
+        LDI  R2, {RESULT_ADDR}
+        ST   R5, R2, R0      ; re-publish the accumulated total
+"""
+    finish = (
+        f"""
+        LDI  R2, 0xFFFF
+        ST   R5, R2, R0      ; P1 announces the grand total
+        HALT
+"""
+        if pid == 1
+        else f"""
+        LDI  R3, {pid - 1}
+        LDI  R2, 0xFFFD
+        ST   R3, R2, R0      ; pass the baton to P{pid - 1}
+        HALT
+"""
+    )
+    return f"""
+; worker {pid}: sum {first}..{last}, then chain-reduce
+        CLR  R0
+        LDI  R1, {first}
+        LDI  R6, {last}
+        LDL  R7, 1
+        CLR  R5
+sum:    ADD  R5, R5, R1
+        SUB  R8, R6, R1
+        JMPZD summed
+        ADD  R1, R1, R7
+        JMP  sum
+summed: LDI  R2, {RESULT_ADDR}
+        ST   R5, R2, R0      ; publish the partial for my predecessor
+{reduce_part}{finish}
+"""
+
+
+def main() -> None:
+    n_total = N_PROCS * CHUNK
+    expected = n_total * (n_total + 1) // 2
+    session = MultiNoCPlatform(mesh=(4, 4), n_processors=N_PROCS).launch()
+    session.host.sync()
+
+    print(f"deploying {N_PROCS} workers over a 4x4 Hermes mesh...")
+    for pid in range(1, N_PROCS + 1):
+        session.start(pid, worker(pid))
+
+    start = session.sim.cycle
+    session.wait_all_halted(max_cycles=10_000_000)
+    elapsed = session.sim.cycle - start
+    session.sim.step(6000)
+
+    total = session.host.monitor(1).printf_values[-1]
+    print(f"sum(1..{n_total}) computed by the sea of processors: {total}")
+    print(f"expected: {expected & 0xFFFF} (mod 2^16)")
+    assert total == expected & 0xFFFF
+
+    partials = [
+        session.read(pid, RESULT_ADDR, 1)[0] for pid in range(1, N_PROCS + 1)
+    ]
+    print("accumulated totals down the chain:", partials)
+    stalls = {
+        pid: session.system.processor(pid).cpu.cycles_stalled
+        for pid in (1, N_PROCS)
+    }
+    print(f"the chain drained {elapsed} cycles after the last activation "
+          "(workers compute while later ones are still being loaded); "
+          f"P1 (chain end) stalled {stalls[1]} cycles in wait states, "
+          f"P{N_PROCS} (chain start) only {stalls[N_PROCS]}")
+    print("sea-of-processors reduction OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Analytical models: latency formula, throughput, area scaling."""
+
+from .energy import (
+    EnergyEstimate,
+    bus_energy_from_stats,
+    bus_flit_pj,
+    crossover_ips,
+    noc_energy_from_stats,
+    noc_flit_hop_pj,
+)
+from .loadsweep import LoadPoint, measure_point, mesh_factory, saturation_rate, sweep
+from .latency import (
+    equivalent_routing_cycles,
+    hops,
+    model_latency,
+    paper_latency,
+)
+from .scaling import ScalingPoint, ip_scale_for_fraction, noc_fraction_sweep
+from .throughput import (
+    bisection_peak_bps,
+    flits_per_cycle_to_bps,
+    port_peak_bps,
+    router_peak_bps,
+)
+
+__all__ = [
+    "EnergyEstimate",
+    "LoadPoint",
+    "bus_energy_from_stats",
+    "bus_flit_pj",
+    "crossover_ips",
+    "noc_energy_from_stats",
+    "noc_flit_hop_pj",
+    "ScalingPoint",
+    "bisection_peak_bps",
+    "equivalent_routing_cycles",
+    "flits_per_cycle_to_bps",
+    "hops",
+    "ip_scale_for_fraction",
+    "model_latency",
+    "noc_fraction_sweep",
+    "paper_latency",
+    "port_peak_bps",
+    "measure_point",
+    "mesh_factory",
+    "router_peak_bps",
+    "saturation_rate",
+    "sweep",
+]

@@ -1,0 +1,117 @@
+"""Interconnect energy model (paper Section 1, claim (i)).
+
+The paper's first argument for NoCs is "(i) energy efficiency and
+reliability".  The standard first-order model behind that claim: wire
+energy is proportional to switched capacitance, i.e. to wire *length*.
+A mesh moves flits over short point-to-point links (one CLB-pitch hop at
+a time) plus a router traversal each hop; a shared bus drives one wire
+that spans every IP on the die, so each transfer switches the full-die
+capacitance regardless of how far the data actually travels.
+
+Constants are normalised (energy in picojoules per flit) with ratios
+taken from the classic early-2000s NoC literature: a router traversal
+costs about as much as 1.5 mm of wire, and a Spartan-II CLB pitch is
+~0.19 mm.  Absolute values are illustrative; the *shape* — per-bit bus
+energy growing with system size while NoC energy grows only with hop
+count — is the claim under test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..noc.flit import FLIT_BITS
+from ..noc.stats import NetworkStats
+
+#: energy to move one flit across 1 mm of wire (pJ)
+WIRE_PJ_PER_FLIT_MM = 0.40
+#: energy for one flit to traverse a router (buffers + arbitration + mux)
+ROUTER_PJ_PER_FLIT = 0.60
+#: physical pitch of one CLB tile on the Spartan-IIe (mm)
+CLB_PITCH_MM = 0.19
+#: bus arbitration/driver overhead per flit
+BUS_DRIVER_PJ_PER_FLIT = 0.30
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy of a traffic run, with a per-bit figure of merit."""
+
+    total_pj: float
+    delivered_bits: int
+
+    @property
+    def pj_per_bit(self) -> float:
+        if self.delivered_bits == 0:
+            return 0.0
+        return self.total_pj / self.delivered_bits
+
+
+def link_length_mm(ip_clbs: float) -> float:
+    """Length of one mesh link: the pitch of an IP tile.
+
+    IP tiles are squares of ``ip_clbs`` CLBs, so neighbouring routers are
+    ``sqrt(ip_clbs)`` CLB pitches apart.
+    """
+    return math.sqrt(max(ip_clbs, 1.0)) * CLB_PITCH_MM
+
+
+def bus_length_mm(n_ips: int, ip_clbs: float) -> float:
+    """Length of a shared bus serving ``n_ips`` tiles.
+
+    The bus snakes past every IP: total length is one tile pitch per
+    connected IP (a generous *lower* bound for a real global bus).
+    """
+    return n_ips * link_length_mm(ip_clbs)
+
+
+def noc_flit_hop_pj(ip_clbs: float = 400.0) -> float:
+    """Energy for one flit to advance one hop (router + one link)."""
+    return ROUTER_PJ_PER_FLIT + WIRE_PJ_PER_FLIT_MM * link_length_mm(ip_clbs)
+
+
+def bus_flit_pj(n_ips: int, ip_clbs: float = 400.0) -> float:
+    """Energy for one flit to cross the shared bus."""
+    return (
+        BUS_DRIVER_PJ_PER_FLIT
+        + WIRE_PJ_PER_FLIT_MM * bus_length_mm(n_ips, ip_clbs)
+    )
+
+
+def noc_energy_from_stats(
+    stats: NetworkStats, ip_clbs: float = 400.0
+) -> EnergyEstimate:
+    """Energy of a measured mesh run: every counted flit-send is one hop
+    (router traversal + outgoing link)."""
+    flit_hops = sum(stats.flits_sent.values())
+    total = flit_hops * noc_flit_hop_pj(ip_clbs)
+    return EnergyEstimate(total, stats.delivered_flits * FLIT_BITS)
+
+
+def bus_energy_from_stats(
+    stats: NetworkStats, n_ips: int, ip_clbs: float = 400.0
+) -> EnergyEstimate:
+    """Energy of a measured shared-bus run: every delivered flit crossed
+    the full-length bus exactly once."""
+    total = stats.delivered_flits * bus_flit_pj(n_ips, ip_clbs)
+    return EnergyEstimate(total, stats.delivered_flits * FLIT_BITS)
+
+
+def crossover_ips(
+    avg_hops: float = None, ip_clbs: float = 400.0, max_ips: int = 4096
+) -> int:
+    """Smallest system size at which the mesh is more energy-efficient
+    than the bus for uniform traffic.
+
+    For an n-IP square mesh, uniform traffic averages ~(2/3)·sqrt(n)
+    hops; the bus always pays for n tile-pitches of wire.
+    """
+    for n in range(2, max_ips + 1):
+        hops = avg_hops if avg_hops is not None else (2 / 3) * math.sqrt(n)
+        mesh = hops * noc_flit_hop_pj(ip_clbs)
+        bus = bus_flit_pj(n, ip_clbs)
+        if mesh < bus:
+            return n
+    raise ValueError("no crossover below max_ips")

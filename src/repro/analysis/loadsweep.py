@@ -1,0 +1,110 @@
+"""Latency-versus-offered-load characterisation.
+
+The classic interconnect evaluation curve: sweep the injection rate,
+measure average latency and accepted throughput, find the saturation
+point.  Supports both fabrics (the Hermes mesh and the shared-bus
+baseline), backing the paper's bandwidth-scalability claim with the
+standard methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..apps.workloads import TrafficConfig, drive_traffic
+from ..noc.network import HermesNetwork
+
+
+@dataclass
+class LoadPoint:
+    """One point of the latency/throughput curve."""
+
+    offered_rate: float  # packets per node per cycle
+    offered_flits_per_cycle: float  # whole-fabric offered load
+    accepted_flits_per_cycle: float  # delivered flits over the whole run
+    average_latency: float
+    max_latency: int
+    injection_window: int
+    completion_cycles: int
+
+    @property
+    def saturated(self) -> bool:
+        """The fabric needed substantially longer than the injection
+        window to drain the offered traffic: demand exceeded capacity."""
+        return self.completion_cycles > 1.25 * self.injection_window
+
+
+def measure_point(
+    fabric_factory: Callable[[], object],
+    rate: float,
+    pattern: str = "uniform",
+    payload_flits: int = 8,
+    duration: int = 2000,
+    seed: int = 11,
+    max_cycles: int = 3_000_000,
+) -> LoadPoint:
+    """Run one injection rate to completion and collect the metrics."""
+    net = fabric_factory()
+    config = TrafficConfig(
+        pattern=pattern,
+        rate=rate,
+        duration=duration,
+        payload_flits=payload_flits,
+        seed=seed,
+    )
+    sources = drive_traffic(net, config)
+    sim = net.make_simulator()
+    sim.step(duration)
+    net.run_to_drain(sim, max_cycles=max_cycles)
+    net.collect_received()
+    injected = sum(s.injected for s in sources)
+    n_nodes = len(net.interfaces)
+    flits_per_packet = payload_flits + 2
+    return LoadPoint(
+        offered_rate=rate,
+        offered_flits_per_cycle=rate * n_nodes * flits_per_packet,
+        accepted_flits_per_cycle=(
+            net.stats.delivered_flits / sim.cycle if sim.cycle else 0.0
+        ),
+        average_latency=net.stats.average_latency,
+        max_latency=net.stats.max_latency,
+        injection_window=duration,
+        completion_cycles=sim.cycle,
+    )
+
+
+def sweep(
+    fabric_factory: Callable[[], object],
+    rates: Optional[List[float]] = None,
+    **kwargs,
+) -> List[LoadPoint]:
+    """Measure a whole latency-load curve."""
+    rates = rates if rates is not None else [0.002, 0.005, 0.01, 0.02, 0.04]
+    return [measure_point(fabric_factory, rate, **kwargs) for rate in rates]
+
+
+def saturation_rate(
+    fabric_factory: Callable[[], object],
+    lo: float = 0.001,
+    hi: float = 0.2,
+    iterations: int = 6,
+    **kwargs,
+) -> float:
+    """Bisect for the injection rate where the fabric saturates."""
+    if not measure_point(fabric_factory, hi, **kwargs).saturated:
+        return hi
+    for _ in range(iterations):
+        mid = (lo + hi) / 2
+        if measure_point(fabric_factory, mid, **kwargs).saturated:
+            hi = mid
+        else:
+            lo = mid
+    return (lo + hi) / 2
+
+
+def mesh_factory(
+    width: int, height: int, **kwargs
+) -> Callable[[], HermesNetwork]:
+    """Convenience factory-factory for sweeps over mesh sizes."""
+    return lambda: HermesNetwork(width, height, **kwargs)

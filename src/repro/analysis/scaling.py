@@ -1,0 +1,71 @@
+"""Scalability analysis (paper Sections 1, 3 and 5).
+
+Quantifies two of the paper's claims:
+
+* "NoCs are a feasible communication medium for systems containing more
+  than a hundred IPs (e.g. 10x10 NoCs). ... The router surface will
+  remain constant and the NoC dimensions will scale less than the IPs,
+  becoming a very small fraction of the whole system, typically less
+  than 10 or 5%."
+* "The approach can be extended to any number of processor IPs and/or
+  memory IPs, using the natural scalability of NoCs."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..fpga.area import AreaModel
+
+
+@dataclass
+class ScalingPoint:
+    """NoC area share for one mesh size / IP richness combination."""
+
+    mesh: Tuple[int, int]
+    ip_area_scale: float
+    noc_fraction: float
+
+    @property
+    def n_ips(self) -> int:
+        return self.mesh[0] * self.mesh[1]
+
+
+def noc_fraction_sweep(
+    sizes: Optional[List[int]] = None,
+    ip_area_scale: float = 1.0,
+    model: Optional[AreaModel] = None,
+) -> List[ScalingPoint]:
+    """NoC area fraction across square mesh sizes."""
+    sizes = sizes if sizes is not None else [2, 3, 4, 5, 6, 8, 10]
+    model = model if model is not None else AreaModel()
+    return [
+        ScalingPoint(
+            (n, n), ip_area_scale, model.noc_fraction((n, n), ip_area_scale=ip_area_scale)
+        )
+        for n in sizes
+    ]
+
+
+def ip_scale_for_fraction(
+    target_fraction: float,
+    mesh: Tuple[int, int] = (10, 10),
+    model: Optional[AreaModel] = None,
+    hi: float = 64.0,
+) -> float:
+    """How much richer the IPs must get for the NoC share to drop below
+    *target_fraction* (bisection search on the area model)."""
+    model = model if model is not None else AreaModel()
+    lo = 1e-3
+    if model.noc_fraction(mesh, ip_area_scale=hi) > target_fraction:
+        raise ValueError(
+            f"even {hi}x IPs keep the NoC above {target_fraction:.0%}"
+        )
+    for _ in range(64):
+        mid = (lo + hi) / 2
+        if model.noc_fraction(mesh, ip_area_scale=mid) > target_fraction:
+            lo = mid
+        else:
+            hi = mid
+    return hi

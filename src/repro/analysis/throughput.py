@@ -1,0 +1,38 @@
+"""Throughput models (paper Section 2.1).
+
+"At the operating frequency of 50MHz, with a word size (flit) of 8 bits
+the theoretical peak throughput of each Hermes router is 1Gbits/s."
+
+The handshake moves one flit per two cycles per port, so each port
+carries ``flit_bits / 2`` bits per cycle; a five-port router at 50 MHz
+yields 5 x 4 bits x 50 MHz = 1 Gbit/s.
+"""
+
+from __future__ import annotations
+
+
+def port_peak_bps(clock_hz: float = 50e6, flit_bits: int = 8) -> float:
+    """Peak bandwidth of one router port (one direction)."""
+    return clock_hz * flit_bits / 2.0
+
+
+def router_peak_bps(
+    ports: int = 5, clock_hz: float = 50e6, flit_bits: int = 8
+) -> float:
+    """Aggregate peak bandwidth of a router across all output ports."""
+    return ports * port_peak_bps(clock_hz, flit_bits)
+
+
+def bisection_peak_bps(
+    width: int, height: int, clock_hz: float = 50e6, flit_bits: int = 8
+) -> float:
+    """Peak bandwidth across the mesh bisection (both directions)."""
+    cut_links = 2 * min(width, height)
+    return cut_links * port_peak_bps(clock_hz, flit_bits)
+
+
+def flits_per_cycle_to_bps(
+    flits_per_cycle: float, clock_hz: float = 50e6, flit_bits: int = 8
+) -> float:
+    """Convert a measured flit rate into bits per second."""
+    return flits_per_cycle * flit_bits * clock_hz

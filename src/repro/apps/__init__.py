@@ -1,0 +1,31 @@
+"""Applications: the Figure 10 edge detector, canned programs, NoC workloads."""
+
+from . import image, programs, workloads
+from .edge_detection import (
+    ASM_LAYOUT,
+    C_LAYOUT,
+    EdgeDetectionApp,
+    EdgeDetectionResult,
+    WorkerLayout,
+    reference_sobel,
+    worker_c_program,
+    worker_c_source,
+    worker_program,
+    worker_source,
+)
+
+__all__ = [
+    "ASM_LAYOUT",
+    "C_LAYOUT",
+    "EdgeDetectionApp",
+    "EdgeDetectionResult",
+    "image",
+    "programs",
+    "WorkerLayout",
+    "reference_sobel",
+    "worker_c_program",
+    "worker_c_source",
+    "worker_program",
+    "worker_source",
+    "workloads",
+]

@@ -1,0 +1,359 @@
+"""Parallel edge detection (paper Section 4, Figure 10).
+
+"In this application the host computer sends an image line, after what
+each embedded processor computes one gradient (gx and gy).  Next, that
+embedded processor adds gx and gy and notifies the host, which receives
+the processed line, and sends a new line to the MultiNoC system."
+
+The reproduction keeps that exact data flow: the host streams 3-line
+windows into the processors' local memories, each R8 computes the Sobel
+magnitude ``|gx| + |gy|`` of its middle line, signals completion
+through the printf service (the host-facing notify), and the host reads
+the result line back.  Lines are dealt round-robin over the available
+processors, so with two processors both gradients pipelines run
+concurrently — the source of the measured speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..host.serial_software import SerialSoftware
+from ..r8.assembler import ObjectCode, assemble
+from ..system.multinoc import MultiNoC
+
+#: Maximum line width the buffers allow.
+MAX_WIDTH = 0x30
+
+
+@dataclass(frozen=True)
+class WorkerLayout:
+    """Local-memory layout of a worker program (word addresses).
+
+    The hand-written assembly worker is small enough to keep its buffers
+    at 0x200; the C-compiled worker's code is larger, so its buffers sit
+    higher (the layout travels with the program).
+    """
+
+    row0: int = 0x200  # line above
+    row1: int = 0x230  # line to process
+    row2: int = 0x260  # line below
+    out: int = 0x290
+    flag: int = 0x2C0  # host writes line_id+1; worker clears when done
+    width: int = 0x2C1
+
+
+#: Layout of the assembly worker.
+ASM_LAYOUT = WorkerLayout()
+
+#: Layout of the C worker (code extends past 0x200).
+C_LAYOUT = WorkerLayout(
+    row0=0x300, row1=0x330, row2=0x360, out=0x390, flag=0x3B0, width=0x3B1
+)
+
+# backwards-compatible constant names (the assembly worker's layout)
+ROW0_BASE = ASM_LAYOUT.row0
+ROW1_BASE = ASM_LAYOUT.row1
+ROW2_BASE = ASM_LAYOUT.row2
+OUT_BASE = ASM_LAYOUT.out
+FLAG_ADDR = ASM_LAYOUT.flag
+WIDTH_ADDR = ASM_LAYOUT.width
+
+
+def reference_sobel(image: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Golden model: per-pixel |gx| + |gy| with zeroed borders."""
+    height = len(image)
+    width = len(image[0]) if height else 0
+    out = [[0] * width for _ in range(height)]
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            a = image
+            gx = (
+                a[y - 1][x + 1] + 2 * a[y][x + 1] + a[y + 1][x + 1]
+                - a[y - 1][x - 1] - 2 * a[y][x - 1] - a[y + 1][x - 1]
+            )
+            gy = (
+                a[y + 1][x - 1] + 2 * a[y + 1][x] + a[y + 1][x + 1]
+                - a[y - 1][x - 1] - 2 * a[y - 1][x] - a[y - 1][x + 1]
+            )
+            out[y][x] = min(255, abs(gx) + abs(gy))
+    return out
+
+
+def worker_source() -> str:
+    """R8 assembly for the edge-detection worker.
+
+    Polls FLAG; on line_id+1, computes the Sobel magnitude of ROW1 into
+    OUT (borders zero), clears FLAG, printf's the line id, loops.
+
+    Register plan: R0=0, R1=x, R2/R3 row pointers+offsets, R4..R7 pixel
+    accumulators, R8 gx, R9 gy, R10 width-1, R11 scratch, R12 line id.
+    """
+    return f"""
+; ---- parallel edge detection worker (Figure 10) ----
+        .equ ROW0, {ROW0_BASE}
+        .equ ROW1, {ROW1_BASE}
+        .equ ROW2, {ROW2_BASE}
+        .equ OUT,  {OUT_BASE}
+        .equ FLAG, {FLAG_ADDR}
+        .equ WIDTH, {WIDTH_ADDR}
+
+start:  CLR  R0
+poll:   LDI  R2, FLAG
+        LD   R12, R2, R0      ; R12 = line_id + 1 (0 = nothing to do)
+        OR   R12, R12, R12
+        JMPZD poll
+        LDI  R2, WIDTH
+        LD   R10, R2, R0      ; R10 = width
+        LDL  R11, 1
+        SUB  R10, R10, R11    ; R10 = width - 1 (last column)
+
+; zero the border pixels (x = 0 and x = width-1)
+        LDI  R2, OUT
+        ST   R0, R2, R0
+        ST   R0, R2, R10
+
+        LDL  R1, 1            ; x = 1
+col:    SUB  R11, R10, R1     ; reached last column?
+        JMPZD finish
+
+; gx = (r0[x+1]+2*r1[x+1]+r2[x+1]) - (r0[x-1]+2*r1[x-1]+r2[x-1])
+        LDL  R11, 1
+        ADD  R3, R1, R11      ; x+1
+        LDI  R2, ROW0
+        LD   R4, R2, R3
+        LDI  R2, ROW1
+        LD   R5, R2, R3
+        SL0  R5, R5
+        ADD  R4, R4, R5
+        LDI  R2, ROW2
+        LD   R5, R2, R3
+        ADD  R4, R4, R5       ; east column sum
+        SUB  R3, R1, R11      ; x-1
+        LDI  R2, ROW0
+        LD   R5, R2, R3
+        LDI  R2, ROW1
+        LD   R6, R2, R3
+        SL0  R6, R6
+        ADD  R5, R5, R6
+        LDI  R2, ROW2
+        LD   R6, R2, R3
+        ADD  R5, R5, R6       ; west column sum
+        SUB  R8, R4, R5       ; gx
+        JMPND gx_neg
+        JMPD  gx_done
+gx_neg: SUB  R8, R0, R8       ; |gx|
+gx_done:
+
+; gy = (r2[x-1]+2*r2[x]+r2[x+1]) - (r0[x-1]+2*r0[x]+r0[x+1])
+        LDL  R11, 1
+        SUB  R3, R1, R11      ; x-1
+        LDI  R2, ROW2
+        LD   R4, R2, R3
+        LD   R5, R2, R1
+        SL0  R5, R5
+        ADD  R4, R4, R5
+        ADD  R3, R1, R11      ; x+1
+        LD   R5, R2, R3
+        ADD  R4, R4, R5       ; south row sum
+        SUB  R3, R1, R11      ; x-1
+        LDI  R2, ROW0
+        LD   R5, R2, R3
+        LD   R6, R2, R1
+        SL0  R6, R6
+        ADD  R5, R5, R6
+        ADD  R3, R1, R11      ; x+1
+        LD   R6, R2, R3
+        ADD  R5, R5, R6       ; north row sum
+        SUB  R9, R4, R5       ; gy
+        JMPND gy_neg
+        JMPD  gy_done
+gy_neg: SUB  R9, R0, R9       ; |gy|
+gy_done:
+
+        ADD  R8, R8, R9       ; |gx| + |gy|
+; clamp to 255
+        LDI  R11, 255
+        SUB  R7, R11, R8      ; 255 - value; borrow set if value > 255
+        JMPCD clamp
+        JMPD  store
+clamp:  MOV  R8, R11
+store:  LDI  R2, OUT
+        ST   R8, R2, R1
+
+        LDL  R11, 1
+        ADD  R1, R1, R11      ; x += 1
+        JMP  col
+
+finish: LDI  R2, FLAG         ; hand the line back to the host
+        ST   R0, R2, R0
+        LDL  R11, 1
+        SUB  R12, R12, R11    ; line id
+        LDI  R2, 0xFFFF
+        ST   R12, R2, R0      ; "notify" the host: printf(line_id)
+        JMP  poll
+"""
+
+
+def worker_program() -> ObjectCode:
+    """Assembled edge-detection worker."""
+    return assemble(worker_source(), filename="edge_worker.asm")
+
+
+def worker_c_source() -> str:
+    """The same worker written in R8C (the future-work C compiler).
+
+    Functionally identical to :func:`worker_source`; slower per pixel
+    (stack-machine code generation) but produced straight from C.
+    """
+    lay = C_LAYOUT
+    return f"""
+// parallel edge detection worker, C edition
+void main() {{
+    while (1) {{
+        int line = peek({lay.flag});
+        if (line == 0) continue;
+        int width = peek({lay.width});
+        poke({lay.out}, 0);
+        poke({lay.out} + width - 1, 0);
+        int x = 1;
+        while (x < width - 1) {{
+            int east = peek({lay.row0} + x + 1)
+                     + 2 * peek({lay.row1} + x + 1)
+                     + peek({lay.row2} + x + 1);
+            int west = peek({lay.row0} + x - 1)
+                     + 2 * peek({lay.row1} + x - 1)
+                     + peek({lay.row2} + x - 1);
+            int gx = east - west;
+            if (gx > 32767) gx = 0 - gx;    // |gx| in wrapping arithmetic
+            int south = peek({lay.row2} + x - 1)
+                      + 2 * peek({lay.row2} + x)
+                      + peek({lay.row2} + x + 1);
+            int north = peek({lay.row0} + x - 1)
+                      + 2 * peek({lay.row0} + x)
+                      + peek({lay.row0} + x + 1);
+            int gy = south - north;
+            if (gy > 32767) gy = 0 - gy;
+            int v = gx + gy;
+            if (v > 255) v = 255;
+            poke({lay.out} + x, v);
+            x += 1;
+        }}
+        poke({lay.flag}, 0);
+        printf(line - 1);                   // notify the host: line done
+    }}
+}}
+"""
+
+
+def worker_c_program() -> ObjectCode:
+    """The C worker, compiled to object code."""
+    from ..cc import compile_source
+
+    return compile_source(worker_c_source())
+
+
+@dataclass
+class EdgeDetectionResult:
+    """Outcome of one edge-detection run."""
+
+    output: List[List[int]]
+    cycles: int
+    lines_per_processor: dict = field(default_factory=dict)
+
+
+class EdgeDetectionApp:
+    """Host-side driver for the parallel edge detection demo."""
+
+    def __init__(
+        self,
+        host: SerialSoftware,
+        processors: Optional[List[int]] = None,
+        program: Optional[ObjectCode] = None,
+        layout: Optional[WorkerLayout] = None,
+    ):
+        self.host = host
+        self.system: MultiNoC = host.system
+        self.processors = (
+            processors
+            if processors is not None
+            else sorted(self.system.processors)
+        )
+        self.program = program
+        # the buffer layout travels with the program: pass C_LAYOUT with
+        # worker_c_program(); the default matches worker_program()
+        self.layout = layout if layout is not None else ASM_LAYOUT
+
+    def deploy(self) -> None:
+        """Load and start the worker on every participating processor."""
+        if not self.host.synced:
+            self.host.sync()
+        program = self.program if self.program is not None else worker_program()
+        for pid in self.processors:
+            addr = self.system.config.processors[pid]
+            self.host.load_program(addr, program)
+            self.host.activate(addr)
+
+    def _send_window(
+        self, pid: int, line_id: int, rows: List[List[int]], width: int
+    ) -> None:
+        addr = self.system.config.processors[pid]
+        lay = self.layout
+        self.host.write_memory(addr, lay.row0, rows[0])
+        self.host.write_memory(addr, lay.row1, rows[1])
+        self.host.write_memory(addr, lay.row2, rows[2])
+        self.host.write_memory(addr, lay.width, [width])
+        self.host.write_memory(addr, lay.flag, [line_id + 1])
+
+    def _await_line(self, pid: int, line_id: int, max_cycles: int) -> None:
+        monitor = self.host.monitor(pid)
+        done = lambda: line_id in monitor.printf_values
+        self.host._run_until(done, max_cycles, f"line {line_id} from P{pid}")
+
+    def _read_line(self, pid: int, width: int) -> List[int]:
+        addr = self.system.config.processors[pid]
+        return self.host.read_memory(addr, self.layout.out, width)
+
+    def run(
+        self, image: Sequence[Sequence[int]], max_cycles_per_line: int = 2_000_000
+    ) -> EdgeDetectionResult:
+        """Process *image*, pipelining lines over the processors."""
+        height = len(image)
+        width = len(image[0])
+        if width > MAX_WIDTH:
+            raise ValueError(f"line width {width} exceeds buffer ({MAX_WIDTH})")
+        output = [[0] * width for _ in range(height)]
+        start_cycle = self.host._require_sim().cycle
+        lines_done: dict = {pid: 0 for pid in self.processors}
+
+        # in-flight bookkeeping: pid -> (line_id)
+        pending: dict = {}
+        next_line = 1
+        order: List[int] = []
+
+        def dispatch(pid: int) -> None:
+            nonlocal next_line
+            if next_line >= height - 1:
+                return
+            window = [
+                list(image[next_line - 1]),
+                list(image[next_line]),
+                list(image[next_line + 1]),
+            ]
+            self._send_window(pid, next_line, window, width)
+            pending[pid] = next_line
+            next_line += 1
+
+        for pid in self.processors:
+            dispatch(pid)
+        while pending:
+            # collect in dispatch order to keep the pipeline moving
+            pid = min(pending, key=pending.get)
+            line_id = pending.pop(pid)
+            self._await_line(pid, line_id, max_cycles_per_line)
+            output[line_id] = self._read_line(pid, width)
+            lines_done[pid] += 1
+            dispatch(pid)
+        cycles = self.host._require_sim().cycle - start_cycle
+        return EdgeDetectionResult(output, cycles, lines_done)

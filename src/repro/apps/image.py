@@ -1,0 +1,139 @@
+"""Grayscale image utilities for the edge-detection demo.
+
+The paper's Figure 10 GUI loads an image on the host, streams lines to
+the board, and displays the processed result.  These helpers give the
+reproduction the same file workflow: PGM (portable graymap) reading and
+writing in both ASCII (P2) and binary (P5) flavours, plus synthetic
+test-pattern generators.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+Image = List[List[int]]
+
+
+class PgmError(Exception):
+    """Malformed PGM data."""
+
+
+def _tokens(data: bytes):
+    """Yield whitespace-separated header tokens, honouring # comments."""
+    pos = 0
+    while pos < len(data):
+        ch = data[pos : pos + 1]
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == b"#":
+            end = data.find(b"\n", pos)
+            pos = len(data) if end < 0 else end + 1
+            continue
+        end = pos
+        while end < len(data) and not data[end : end + 1].isspace():
+            end += 1
+        yield data[pos:end], end
+        pos = end
+
+
+def read_pgm(path: Union[str, Path]) -> Image:
+    """Read a P2 (ASCII) or P5 (binary) PGM file into row-major lists."""
+    data = Path(path).read_bytes()
+    tokens = _tokens(data)
+    try:
+        magic, _ = next(tokens)
+        (width_tok, _), (height_tok, _), (maxval_tok, after_header) = (
+            next(tokens),
+            next(tokens),
+            next(tokens),
+        )
+    except StopIteration as exc:
+        raise PgmError("truncated PGM header") from exc
+    if magic not in (b"P2", b"P5"):
+        raise PgmError(f"not a PGM file (magic {magic!r})")
+    width, height, maxval = int(width_tok), int(height_tok), int(maxval_tok)
+    if width < 1 or height < 1 or not 0 < maxval < 65536:
+        raise PgmError(f"bad dimensions {width}x{height} maxval {maxval}")
+
+    values: List[int] = []
+    if magic == b"P2":
+        rest = data[after_header:].split()
+        values = [int(v) for v in rest]
+    else:
+        payload = data[after_header + 1 :]  # single whitespace after maxval
+        if maxval < 256:
+            values = list(payload[: width * height])
+        else:
+            raw = payload[: 2 * width * height]
+            values = [
+                (raw[i] << 8) | raw[i + 1] for i in range(0, len(raw), 2)
+            ]
+    if len(values) < width * height:
+        raise PgmError(
+            f"expected {width * height} pixels, found {len(values)}"
+        )
+    scale = 255 / maxval
+    image = []
+    for y in range(height):
+        row = values[y * width : (y + 1) * width]
+        image.append([min(255, round(v * scale)) for v in row])
+    return image
+
+
+def write_pgm(
+    image: Sequence[Sequence[int]],
+    path: Union[str, Path],
+    binary: bool = False,
+) -> Path:
+    """Write *image* as P5 (binary=True) or P2 PGM."""
+    height = len(image)
+    width = len(image[0]) if height else 0
+    if not width:
+        raise PgmError("empty image")
+    if any(len(row) != width for row in image):
+        raise PgmError("ragged image rows")
+    path = Path(path)
+    header = f"{'P5' if binary else 'P2'}\n{width} {height}\n255\n"
+    if binary:
+        body = bytes(min(255, max(0, v)) for row in image for v in row)
+        path.write_bytes(header.encode() + body)
+    else:
+        lines = [" ".join(str(min(255, max(0, v))) for v in row) for row in image]
+        path.write_text(header + "\n".join(lines) + "\n")
+    return path
+
+
+# -- synthetic test patterns ---------------------------------------------------
+
+
+def gradient(width: int, height: int) -> Image:
+    """A horizontal luminance ramp (no vertical edges inside)."""
+    return [
+        [round(x * 255 / max(width - 1, 1)) for x in range(width)]
+        for _ in range(height)
+    ]
+
+
+def checkerboard(width: int, height: int, cell: int = 2) -> Image:
+    """Alternating bright/dark cells: edges everywhere."""
+    return [
+        [255 if ((x // cell) + (y // cell)) % 2 else 0 for x in range(width)]
+        for y in range(height)
+    ]
+
+
+def disc(width: int, height: int, radius: float = None) -> Image:
+    """A bright disc on a dark field (the demo image)."""
+    import math
+
+    cx, cy = (width - 1) / 2, (height - 1) / 2
+    radius = radius if radius is not None else min(width, height) / 3
+    return [
+        [
+            220 if math.hypot(x - cx, y - cy) < radius else 30
+            for x in range(width)
+        ]
+        for y in range(height)
+    ]

@@ -1,0 +1,260 @@
+"""Canned R8 programs used by examples, tests and benchmarks.
+
+Each factory returns assembly source; ``assemble`` them and load with
+the host or a simulator.  All programs follow MultiNoC conventions:
+results at documented local addresses, I/O through the memory-mapped
+FFFF/FFFE/FFFD cells.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def sum_range(n: int, result_addr: int = 0x80) -> str:
+    """Sum 1..n into ``result_addr`` and printf the total."""
+    return f"""
+; sum 1..{n}
+        CLR  R0
+        LDI  R1, {n}
+        CLR  R2
+        LDL  R3, 1
+loop:   ADD  R2, R2, R1
+        SUB  R1, R1, R3
+        JMPZD done
+        JMP  loop
+done:   LDI  R4, {result_addr}
+        ST   R2, R4, R0
+        LDI  R4, 0xFFFF
+        ST   R2, R4, R0
+        HALT
+"""
+
+
+def fibonacci(n: int, result_addr: int = 0x80) -> str:
+    """Store fib(0..n-1) at ``result_addr`` (fib(0)=0, fib(1)=1)."""
+    return f"""
+; first {n} Fibonacci numbers
+        CLR  R0
+        CLR  R1            ; fib(i)
+        LDL  R2, 1         ; fib(i+1)
+        LDI  R3, {result_addr}
+        LDI  R4, {n}
+        LDL  R5, 1
+loop:   ST   R1, R3, R0
+        ADD  R6, R1, R2
+        MOV  R1, R2
+        MOV  R2, R6
+        ADD  R3, R3, R5
+        SUB  R4, R4, R5
+        JMPZD done
+        JMP  loop
+done:   HALT
+"""
+
+
+def vector_add(length: int, a_addr: int, b_addr: int, out_addr: int) -> str:
+    """out[i] = a[i] + b[i] for i in 0..length-1 (all local buffers)."""
+    return f"""
+; vector add, {length} elements
+        CLR  R0
+        CLR  R1
+        LDI  R4, {a_addr}
+        LDI  R5, {b_addr}
+        LDI  R6, {out_addr}
+        LDI  R7, {length}
+        LDL  R8, 1
+loop:   LD   R2, R4, R1
+        LD   R3, R5, R1
+        ADD  R2, R2, R3
+        ST   R2, R6, R1
+        ADD  R1, R1, R8
+        SUB  R9, R7, R1
+        JMPZD done
+        JMP  loop
+done:   HALT
+"""
+
+
+def remote_copy(length: int, remote_base: int, local_base: int) -> str:
+    """Copy ``length`` words from a remote window into local memory.
+
+    Exercises the NUMA path: every LD crosses the NoC to another IP.
+    """
+    return f"""
+; remote -> local copy, {length} words
+        CLR  R0
+        CLR  R1
+        LDI  R4, {remote_base}
+        LDI  R5, {local_base}
+        LDI  R6, {length}
+        LDL  R7, 1
+loop:   LD   R2, R4, R1
+        ST   R2, R5, R1
+        ADD  R1, R1, R7
+        SUB  R8, R6, R1
+        JMPZD done
+        JMP  loop
+done:   HALT
+"""
+
+
+def echo_scanf(times: int) -> str:
+    """Read ``times`` values with scanf and printf each straight back."""
+    return f"""
+; scanf/printf echo x{times}
+        CLR  R0
+        LDI  R1, {times}
+        LDL  R2, 1
+        LDI  R3, 0xFFFF
+loop:   LD   R4, R3, R0     ; scanf
+        ST   R4, R3, R0     ; printf
+        SUB  R1, R1, R2
+        JMPZD done
+        JMP  loop
+done:   HALT
+"""
+
+
+def ping(peer_id: int, rounds: int) -> str:
+    """Half of a ping-pong pair: notify peer, wait for its notify, repeat.
+
+    Run :func:`pong` on the peer.  Printfs the round count when done.
+    """
+    return f"""
+; ping: drive {rounds} notify/wait rounds with processor {peer_id}
+        CLR  R0
+        LDI  R1, {rounds}
+        LDL  R2, 1
+        LDI  R5, {peer_id}
+        LDI  R6, 0xFFFD     ; notify address
+        LDI  R7, 0xFFFE     ; wait address
+loop:   ST   R5, R6, R0     ; notify peer
+        ST   R5, R7, R0     ; wait for peer
+        SUB  R1, R1, R2
+        JMPZD done
+        JMP  loop
+done:   LDI  R3, {rounds}
+        LDI  R4, 0xFFFF
+        ST   R3, R4, R0
+        HALT
+"""
+
+
+def pong(peer_id: int, rounds: int) -> str:
+    """The passive half: wait first, then notify, ``rounds`` times."""
+    return f"""
+; pong: answer {rounds} notify/wait rounds with processor {peer_id}
+        CLR  R0
+        LDI  R1, {rounds}
+        LDL  R2, 1
+        LDI  R5, {peer_id}
+        LDI  R6, 0xFFFD
+        LDI  R7, 0xFFFE
+loop:   ST   R5, R7, R0     ; wait for peer
+        ST   R5, R6, R0     ; notify peer
+        SUB  R1, R1, R2
+        JMPZD done
+        JMP  loop
+done:   HALT
+"""
+
+
+def instruction_mix(reps: int = 16) -> str:
+    """A microbenchmark touching every CPI class (for experiment E11)."""
+    body: List[str] = []
+    for _ in range(reps):
+        body.append("        ADD  R2, R2, R3")
+        body.append("        XOR  R4, R2, R3")
+        body.append("        SL0  R5, R4")
+        body.append("        ST   R2, R6, R0")
+        body.append("        LD   R7, R6, R0")
+        body.append("        PUSH R2")
+        body.append("        POP  R8")
+    return (
+        """
+; CPI instruction mix
+        CLR  R0
+        LDL  R2, 3
+        LDL  R3, 5
+        LDI  R6, 0x80
+"""
+        + "\n".join(body)
+        + """
+        HALT
+"""
+    )
+
+
+def matvec_worker(
+    rows: int,
+    cols: int,
+    row_offset: int,
+    matrix_window: int,
+    vector_addr: int,
+    out_window: int,
+) -> str:
+    """One worker's share of a distributed matrix-vector multiply.
+
+    The matrix lives row-major in the remote Memory IP (reached through
+    ``matrix_window``); the input vector is preloaded into this worker's
+    local memory at ``vector_addr``; results go back to the remote memory
+    at ``out_window``.  Each worker handles ``rows`` rows starting at
+    ``row_offset`` — splitting the row range across processors is the
+    whole parallelisation (paper Section 5: "increasing the number of
+    identical IPs enhances the parallelism degree").
+
+    Register plan: R1 row, R2 col, R3 acc, R4/R5 operands, R6 row base,
+    R9 product, R10 scratch.
+    """
+    return f"""
+; matvec worker: rows {row_offset}..{row_offset + rows - 1} of a {rows}x{cols} share
+        CLR  R0
+        LDL  R7, 1
+        LDI  R1, {row_offset}
+        LDI  R11, {row_offset + rows}
+row:    ; R6 = matrix base of this row (row * cols, by repeated add)
+        CLR  R6
+        MOV  R8, R1
+rbase:  OR   R8, R8, R8
+        JMPZD rdone
+        LDI  R10, {cols}
+        ADD  R6, R6, R10
+        SUB  R8, R8, R7
+        JMP  rbase
+rdone:  LDI  R10, {matrix_window}
+        ADD  R6, R6, R10
+        CLR  R2
+        CLR  R3
+col:    LD   R4, R6, R2      ; matrix[row][col]  (remote read)
+        LDI  R10, {vector_addr}
+        LD   R5, R10, R2     ; vector[col]       (local read)
+        ; R9 = R4 * R5 by shift-add
+        CLR  R9
+mul:    OR   R5, R5, R5
+        JMPZD mdone
+        LDI  R10, 1
+        AND  R10, R5, R10
+        JMPZD mskip
+        ADD  R9, R9, R4
+mskip:  SL0  R4, R4
+        SR0  R5, R5
+        JMP  mul
+mdone:  ADD  R3, R3, R9
+        ADD  R2, R2, R7
+        LDI  R10, {cols}
+        SUB  R8, R10, R2
+        JMPZD coldone
+        JMP  col
+coldone:
+        LDI  R10, {out_window}
+        ST   R3, R10, R1     ; out[row] = acc   (remote write)
+        ADD  R1, R1, R7
+        SUB  R8, R11, R1
+        JMPZD all_done
+        JMP  row
+all_done:
+        LDI  R10, 0xFFFF
+        ST   R1, R10, R0     ; printf(next row) = done marker
+        HALT
+"""

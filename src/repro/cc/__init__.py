@@ -1,0 +1,7 @@
+"""R8C: a small C compiler targeting the R8 (the paper's future work)."""
+
+from .compiler import compile_source, compile_to_asm
+from .lexer import CcError
+from .parser import parse
+
+__all__ = ["CcError", "compile_source", "compile_to_asm", "parse"]

@@ -1,0 +1,146 @@
+"""Abstract syntax tree for R8C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Array element ``name[index]``."""
+
+    name: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Assign(Expr):
+    """``target = value`` where target is Var or Index; op for += etc."""
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+    op: str = "="
+
+
+# -- statements --------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Expr] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class LocalDecl(Stmt):
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+# -- top level ----------------------------------------------------------------------
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    size: int = 1  # >1 for arrays
+    init: List[int] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Function:
+    name: str
+    params: List[str]
+    body: Block
+    returns_value: bool = True
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[Function] = field(default_factory=list)

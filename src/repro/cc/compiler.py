@@ -1,0 +1,42 @@
+"""Compiler driver: R8C source -> assembly -> object code.
+
+The paper lists "a C compiler to automatically generate R8 assembly
+code, allowing faster software implementation" as future work
+(Section 5); this is that compiler, for a practical C subset:
+
+* 16-bit ``int`` everywhere (unsigned comparison semantics),
+* global variables and arrays, function-local variables and parameters,
+* ``if/else``, ``while``, ``for``, ``break``, ``continue``, ``return``,
+* full expression syntax including ``* / %`` (software routines),
+  shifts, bitwise and short-circuit logical operators,
+* MultiNoC builtins: ``printf(v)``, ``scanf()``, ``wait(p)``,
+  ``notify(p)``, ``peek(addr)``, ``poke(addr, v)``, ``halt()``.
+
+Not supported (diagnosed as errors): pointers beyond the peek/poke
+builtins, local arrays, recursion *is* supported, block-scoped
+shadowing is not.
+"""
+
+from __future__ import annotations
+
+from ..r8.assembler import ObjectCode, assemble
+from .codegen import CodeGenerator
+from .lexer import CcError
+from .parser import parse
+
+
+def compile_to_asm(
+    source: str, stack_top: int = 0x03FF, peephole: bool = True
+) -> str:
+    """Compile R8C *source* to R8 assembly text."""
+    unit = parse(source)
+    return CodeGenerator(unit, stack_top=stack_top, peephole=peephole).generate()
+
+
+def compile_source(
+    source: str, stack_top: int = 0x03FF, peephole: bool = True
+) -> ObjectCode:
+    """Compile R8C *source* straight to object code."""
+    return assemble(
+        compile_to_asm(source, stack_top, peephole=peephole), filename="<r8c>"
+    )

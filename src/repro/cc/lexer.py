@@ -1,0 +1,101 @@
+"""Lexer for R8C, the C subset compiled to R8 assembly."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+
+class CcError(Exception):
+    """Any compile-time error, with source position."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)
+
+
+KEYWORDS = {
+    "int",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "!", "~",
+    "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num', 'ident', 'kw', 'op', 'eof'
+    text: str
+    value: int = 0
+    line: int = 0
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<num>\d+)
+  | (?P<char>'(?:[^'\\]|\\.)')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_ESCAPES = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        m = _TOKEN_RE.match(source, pos)
+        if m:
+            text = m.group()
+            line += text.count("\n")
+            pos = m.end()
+            kind = m.lastgroup
+            if kind in ("ws", "comment"):
+                continue
+            if kind == "hex":
+                tokens.append(Token("num", text, int(text, 16), line))
+            elif kind == "num":
+                tokens.append(Token("num", text, int(text), line))
+            elif kind == "char":
+                body = text[1:-1]
+                if body.startswith("\\"):
+                    value = _ESCAPES.get(body[1], ord(body[1]))
+                else:
+                    value = ord(body)
+                tokens.append(Token("num", text, value, line))
+            elif kind == "ident":
+                tokens.append(
+                    Token("kw" if text in KEYWORDS else "ident", text, 0, line)
+                )
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, 0, line))
+                pos += len(op)
+                break
+        else:
+            raise CcError(f"unexpected character {source[pos]!r}", line)
+    tokens.append(Token("eof", "", 0, line))
+    return tokens

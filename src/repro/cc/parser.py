@@ -1,0 +1,268 @@
+"""Recursive-descent parser for R8C."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast
+from .lexer import CcError, Token, tokenize
+
+#: binary operator precedence (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            got = self.peek()
+            want = text if text is not None else kind
+            raise CcError(f"expected {want!r}, got {got.text!r}", got.line)
+        return tok
+
+    # -- top level -------------------------------------------------------------
+
+    def parse(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self.peek().kind != "eof":
+            self._parse_top_level(unit)
+        return unit
+
+    def _parse_top_level(self, unit: ast.TranslationUnit) -> None:
+        tok = self.peek()
+        if tok.kind != "kw" or tok.text not in ("int", "void"):
+            raise CcError(
+                f"expected declaration, got {tok.text!r}", tok.line
+            )
+        returns_value = tok.text == "int"
+        self.next()
+        name = self.expect("ident")
+        if self.accept("op", "("):
+            params = []
+            if not self.accept("op", ")"):
+                while True:
+                    self.expect("kw", "int")
+                    params.append(self.expect("ident").text)
+                    if self.accept("op", ")"):
+                        break
+                    self.expect("op", ",")
+            body = self._parse_block()
+            unit.functions.append(
+                ast.Function(name.text, params, body, returns_value, name.line)
+            )
+            return
+        if not returns_value:
+            raise CcError("void is only valid for functions", name.line)
+        # global variable or array
+        size = 1
+        init: List[int] = []
+        if self.accept("op", "["):
+            size_tok = self.expect("num")
+            size = size_tok.value
+            if size < 1:
+                raise CcError("array size must be positive", size_tok.line)
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                while True:
+                    init.append(self._parse_const())
+                    if self.accept("op", "}"):
+                        break
+                    self.expect("op", ",")
+            else:
+                init.append(self._parse_const())
+        if len(init) > size:
+            raise CcError(
+                f"{len(init)} initialisers for {size}-element object", name.line
+            )
+        self.expect("op", ";")
+        unit.globals.append(ast.GlobalVar(name.text, size, init, name.line))
+
+    def _parse_const(self) -> int:
+        negative = bool(self.accept("op", "-"))
+        tok = self.expect("num")
+        return (-tok.value if negative else tok.value) & 0xFFFF
+
+    # -- statements ----------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        brace = self.expect("op", "{")
+        block = ast.Block(line=brace.line)
+        while not self.accept("op", "}"):
+            block.body.append(self._parse_statement())
+        return block
+
+    def _parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text == ";":
+            self.next()
+            return ast.Block(line=tok.line)  # empty statement
+        if tok.kind == "op" and tok.text == "{":
+            return self._parse_block()
+        if tok.kind == "kw":
+            if tok.text == "int":
+                self.next()
+                name = self.expect("ident")
+                init = None
+                if self.accept("op", "="):
+                    init = self._parse_expression()
+                self.expect("op", ";")
+                return ast.LocalDecl(name=name.text, init=init, line=name.line)
+            if tok.text == "if":
+                self.next()
+                self.expect("op", "(")
+                cond = self._parse_expression()
+                self.expect("op", ")")
+                then = self._parse_statement()
+                otherwise = None
+                if self.accept("kw", "else"):
+                    otherwise = self._parse_statement()
+                return ast.If(cond=cond, then=then, otherwise=otherwise, line=tok.line)
+            if tok.text == "while":
+                self.next()
+                self.expect("op", "(")
+                cond = self._parse_expression()
+                self.expect("op", ")")
+                return ast.While(cond=cond, body=self._parse_statement(), line=tok.line)
+            if tok.text == "for":
+                self.next()
+                self.expect("op", "(")
+                init = None if self.peek().text == ";" else self._parse_expression()
+                self.expect("op", ";")
+                cond = None if self.peek().text == ";" else self._parse_expression()
+                self.expect("op", ";")
+                step = None if self.peek().text == ")" else self._parse_expression()
+                self.expect("op", ")")
+                return ast.For(
+                    init=init, cond=cond, step=step,
+                    body=self._parse_statement(), line=tok.line,
+                )
+            if tok.text == "return":
+                self.next()
+                value = None
+                if self.peek().text != ";":
+                    value = self._parse_expression()
+                self.expect("op", ";")
+                return ast.Return(value=value, line=tok.line)
+            if tok.text == "break":
+                self.next()
+                self.expect("op", ";")
+                return ast.Break(line=tok.line)
+            if tok.text == "continue":
+                self.next()
+                self.expect("op", ";")
+                return ast.Continue(line=tok.line)
+        expr = self._parse_expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr=expr, line=tok.line)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_binary(1)
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            if not isinstance(left, (ast.Var, ast.Index)):
+                raise CcError("assignment target must be a variable", tok.line)
+            self.next()
+            value = self._parse_assignment()
+            return ast.Assign(target=left, value=value, op=tok.text, line=tok.line)
+        return left
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _PRECEDENCE.get(tok.text) if tok.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self.next()
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(op=tok.text, left=left, right=right, line=tok.line)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "+"):
+            self.next()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.Unary(op=tok.text, operand=operand, line=tok.line)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.next()
+            target = self._parse_unary()
+            if not isinstance(target, (ast.Var, ast.Index)):
+                raise CcError("++/-- needs a variable", tok.line)
+            return ast.Assign(
+                target=target,
+                value=ast.Num(value=1, line=tok.line),
+                op="+=" if tok.text == "++" else "-=",
+                line=tok.line,
+            )
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        tok = self.next()
+        if tok.kind == "num":
+            return ast.Num(value=tok.value & 0xFFFF, line=tok.line)
+        if tok.kind == "op" and tok.text == "(":
+            inner = self._parse_expression()
+            self.expect("op", ")")
+            return inner
+        if tok.kind == "ident":
+            if self.accept("op", "("):
+                args: List[ast.Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if self.accept("op", ")"):
+                            break
+                        self.expect("op", ",")
+                return ast.Call(name=tok.text, args=args, line=tok.line)
+            if self.accept("op", "["):
+                index = self._parse_expression()
+                self.expect("op", "]")
+                return ast.Index(name=tok.text, index=index, line=tok.line)
+            return ast.Var(name=tok.text, line=tok.line)
+        raise CcError(f"unexpected {tok.text!r} in expression", tok.line)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse R8C source into its AST."""
+    return Parser(source).parse()

@@ -1,0 +1,166 @@
+"""Peephole optimisation on generated R8 assembly.
+
+The code generator is a straightforward stack machine; these local
+rewrites remove its most common waste without any global analysis:
+
+* **push/pop forwarding** — ``PUSH R1 ... POP R2`` with a short, safe
+  window in between becomes ``MOV R2, R1 ...``, trading two memory
+  operations (7 cycles) for a register move (2 cycles).
+* **jump-to-next elimination** — an unconditional jump whose target is
+  the immediately following label disappears (common at if/else ends).
+
+Every rewrite is flag-safe: MOV/LDI/LDH/LDL do not touch the status
+flags, so the condition codes observed by later branches are unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+_INSTR_RE = re.compile(r"^\s+([A-Z0-9]+)\s*(.*?)\s*(;.*)?$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*$")
+
+#: Instructions allowed inside a push/pop forwarding window, provided
+#: their destination register is not the POP target.  Stack and control
+#: flow operations are excluded by omission.
+_SAFE_WINDOW_OPS = {
+    "LDI", "LDH", "LDL", "MOV", "LD",
+    "ADD", "ADDC", "SUB", "SUBC", "AND", "OR", "XOR", "NOT",
+    "SL0", "SL1", "SR0", "SR1",
+}
+
+#: Longest window (in instructions) bridged by push/pop forwarding.
+MAX_WINDOW = 8
+
+
+def _parse(line: str) -> Tuple[Optional[str], Optional[str], List[str]]:
+    """(label, mnemonic, operands) of one line (either may be None)."""
+    m = _LABEL_RE.match(line)
+    if m:
+        return m.group(1), None, []
+    m = _INSTR_RE.match(line)
+    if m:
+        ops = [o.strip() for o in m.group(2).split(",")] if m.group(2) else []
+        return None, m.group(1), ops
+    return None, None, []
+
+
+def _dest_register(mnemonic: str, operands: List[str]) -> Optional[str]:
+    """The register an instruction writes, if any (window ops only)."""
+    if mnemonic in ("ST",):
+        return None
+    if operands and operands[0].startswith("R"):
+        return operands[0]
+    return None
+
+
+@dataclass
+class PeepholeStats:
+    """What the optimiser did."""
+
+    push_pop_forwarded: int = 0
+    jumps_removed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.push_pop_forwarded + self.jumps_removed
+
+
+def optimize(lines: List[str]) -> Tuple[List[str], PeepholeStats]:
+    """Apply all peephole rewrites until a fixed point."""
+    stats = PeepholeStats()
+    changed = True
+    while changed:
+        lines, a = _forward_push_pop(lines)
+        lines, b = _drop_jump_to_next(lines)
+        stats.push_pop_forwarded += a
+        stats.jumps_removed += b
+        changed = bool(a or b)
+    return lines, stats
+
+
+def _forward_push_pop(lines: List[str]) -> Tuple[List[str], int]:
+    out: List[str] = []
+    hits = 0
+    i = 0
+    while i < len(lines):
+        label, mnemonic, operands = _parse(lines[i])
+        if mnemonic == "PUSH" and operands:
+            source = operands[0]
+            window: List[str] = []
+            j = i + 1
+            matched = False
+            while j < len(lines) and len(window) <= MAX_WINDOW:
+                w_label, w_mn, w_ops = _parse(lines[j])
+                if w_label is not None or w_mn is None:
+                    break  # labels / unparsable lines end the window
+                if w_mn == "POP" and w_ops:
+                    target = w_ops[0]
+                    # the window may clobber the *source* freely (the MOV
+                    # captures it first) but must not touch the target at
+                    # all — neither write nor read its pre-POP value.
+                    safe = all(
+                        _parse(w)[1] in _SAFE_WINDOW_OPS
+                        and target not in _parse(w)[2]
+                        for w in window
+                    )
+                    if safe and target != source:
+                        out.append(f"        MOV  {target}, {source}")
+                        out.extend(window)
+                        hits += 1
+                        matched = True
+                        i = j + 1
+                    break
+                if w_mn not in _SAFE_WINDOW_OPS:
+                    break
+                window.append(lines[j])
+                j += 1
+            if matched:
+                continue
+        out.append(lines[i])
+        i += 1
+    return out, hits
+
+
+def _drop_jump_to_next(lines: List[str]) -> Tuple[List[str], int]:
+    out: List[str] = []
+    hits = 0
+    i = 0
+    while i < len(lines):
+        # pattern: LDI R15, <label> / JMPR R15 / <label>:
+        if i + 2 < len(lines):
+            _, mn0, ops0 = _parse(lines[i])
+            _, mn1, ops1 = _parse(lines[i + 1])
+            label2, _, _ = _parse(lines[i + 2])
+            if (
+                mn0 == "LDI"
+                and len(ops0) == 2
+                and ops0[0] == "R15"
+                and mn1 == "JMPR"
+                and ops1 == ["R15"]
+                and label2 is not None
+                and ops0[1] == label2
+            ):
+                out.append(lines[i + 2])
+                hits += 1
+                i += 3
+                continue
+        # pattern: JMPD <label> / <label>:
+        if i + 1 < len(lines):
+            _, mn0, ops0 = _parse(lines[i])
+            label1, _, _ = _parse(lines[i + 1])
+            if (
+                mn0 == "JMPD"
+                and len(ops0) == 1
+                and label1 is not None
+                and ops0[0] == label1
+            ):
+                out.append(lines[i + 1])
+                hits += 1
+                i += 2
+                continue
+        out.append(lines[i])
+        i += 1
+    return out, hits

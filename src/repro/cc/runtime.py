@@ -1,0 +1,115 @@
+"""Runtime support routines emitted on demand by the code generator.
+
+All routines take their left operand in R2 and right operand in R1,
+return in R1 (remainder in R2 for ``__divmod``), and may clobber R3-R6.
+They never touch R0 (zero) or R14 (frame pointer).
+"""
+
+from __future__ import annotations
+
+STARTUP_TEMPLATE = """
+; startup stub: zero register, stack, call main, halt
+        CLR  R0
+        LDI  R15, {stack_top}
+        LDSP R15
+        LDI  R15, main
+        JSRR R15
+        HALT
+"""
+
+RUNTIME_ROUTINES = {
+    "__mul": """
+__mul:  ; R1 = R2 * R1 (mod 2^16), shift-and-add
+        CLR  R3
+__mul_loop:
+        OR   R4, R1, R1
+        JMPZD __mul_done
+        LDI  R4, 1
+        AND  R4, R1, R4
+        JMPZD __mul_skip
+        ADD  R3, R3, R2
+__mul_skip:
+        SL0  R2, R2
+        SR0  R1, R1
+        JMP  __mul_loop
+__mul_done:
+        MOV  R1, R3
+        RTS
+""",
+    "__divmod": """
+__divmod: ; R1 = R2 / R1, R2 = R2 % R1 (unsigned restoring division)
+        OR   R3, R1, R1
+        JMPZD __div_zero
+        CLR  R3            ; remainder
+        CLR  R4            ; quotient
+        LDI  R5, 16
+__div_loop:
+        SL0  R3, R3        ; rem <<= 1
+        SL0  R2, R2        ; a <<= 1, C = old msb(a)
+        JMPCD __div_c1
+        JMPD  __div_nc
+__div_c1:
+        LDI  R6, 1
+        OR   R3, R3, R6    ; rem |= msb
+__div_nc:
+        SL0  R4, R4        ; quot <<= 1
+        SUB  R6, R3, R1
+        JMPCD __div_skip   ; rem < divisor
+        MOV  R3, R6
+        LDI  R6, 1
+        OR   R4, R4, R6
+__div_skip:
+        LDI  R6, 1
+        SUB  R5, R5, R6
+        JMPZD __div_done
+        JMP  __div_loop
+__div_done:
+        MOV  R1, R4
+        MOV  R2, R3
+        RTS
+__div_zero:               ; divide by zero: quotient FFFF, remainder a
+        LDI  R1, 0xFFFF
+        RTS
+""",
+    "__div": """
+__div:  ; quotient only
+        LDI  R3, __divmod
+        JSRR R3
+        RTS
+""",
+    "__mod": """
+__mod:  ; remainder only
+        LDI  R3, __divmod
+        JSRR R3
+        MOV  R1, R2
+        RTS
+""",
+    "__shl": """
+__shl:  ; R1 = R2 << R1
+        OR   R3, R1, R1
+        JMPZD __shl_done
+__shl_loop:
+        SL0  R2, R2
+        LDI  R3, 1
+        SUB  R1, R1, R3
+        JMPZD __shl_done
+        JMP  __shl_loop
+__shl_done:
+        MOV  R1, R2
+        RTS
+""",
+    "__shr": """
+__shr:  ; R1 = R2 >> R1 (logical)
+        OR   R3, R1, R1
+        JMPZD __shr_done
+__shr_loop:
+        SR0  R2, R2
+        LDI  R3, 1
+        SUB  R1, R1, R3
+        JMPZD __shr_done
+        JMP  __shr_loop
+__shr_done:
+        MOV  R1, R2
+        RTS
+""",
+}

@@ -1,0 +1,197 @@
+"""Command-line toolchain: assembler, disassembler, simulators, compiler.
+
+Run as ``python -m repro.cli <command>``::
+
+    asm FILE            assemble R8 source to an object file
+    dis FILE            disassemble an object file
+    run FILE            execute on the stand-alone R8 Simulator
+    debug FILE          run a debugger script against a program
+    cc FILE             compile R8C to assembly or object code
+    system FILE         load and run on the full MultiNoC platform
+    prototype           print the virtual FPGA implementation report
+
+Every command reads/writes the same text object format the Serial
+software uses, so the pieces compose like the paper's Figure 8 flow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .r8.assembler import ObjectCode, assemble
+from .r8.debugger import Debugger
+from .r8.disassembler import disassemble
+from .r8.simulator import R8Simulator
+
+
+def _load_program(path: str) -> ObjectCode:
+    """Object file or assembly source, by extension."""
+    text = Path(path).read_text()
+    if path.endswith((".obj", ".hex")):
+        return ObjectCode.from_text(text)
+    return assemble(text, filename=path)
+
+
+def cmd_asm(args) -> int:
+    obj = assemble(Path(args.file).read_text(), filename=args.file)
+    if args.listing:
+        for line in obj.listing:
+            print(line)
+    out = args.output or str(Path(args.file).with_suffix(".obj"))
+    Path(out).write_text(obj.to_text())
+    print(f"{obj.size_words} words -> {out}")
+    return 0
+
+
+def cmd_dis(args) -> int:
+    obj = _load_program(args.file)
+    for origin, words in obj.segments:
+        for line in disassemble(words, base=origin):
+            print(line)
+    return 0
+
+
+def cmd_run(args) -> int:
+    scanf_values = [int(v, 0) for v in args.scanf.split(",")] if args.scanf else []
+    values = list(scanf_values)
+    sim = R8Simulator(on_scanf=(lambda: values.pop(0)) if values else None)
+    sim.load(_load_program(args.file))
+    sim.activate()
+    sim.run(max_instructions=args.max_instructions)
+    for value in sim.printed:
+        print(f"printf: {value} ({value:#06x})")
+    print(
+        f"halted after {sim.instructions} instructions, "
+        f"{sim.cycles} cycles, CPI {sim.cpi():.2f}"
+    )
+    return 0
+
+
+def cmd_debug(args) -> int:
+    dbg = Debugger()
+    dbg.load_object(_load_program(args.file))
+    script = (
+        sys.stdin.read() if args.script == "-" else Path(args.script).read_text()
+    )
+    for line in script.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        print(f"(r8db) {line}")
+        print(dbg.execute(line))
+    return 0
+
+
+def cmd_cc(args) -> int:
+    from .cc import compile_source, compile_to_asm
+
+    source = Path(args.file).read_text()
+    if args.emit_asm:
+        print(compile_to_asm(source))
+        return 0
+    obj = compile_source(source)
+    out = args.output or str(Path(args.file).with_suffix(".obj"))
+    Path(out).write_text(obj.to_text())
+    print(f"{obj.size_words} words -> {out}")
+    return 0
+
+
+def cmd_system(args) -> int:
+    from .core import MultiNoCPlatform
+
+    session = MultiNoCPlatform.standard().launch()
+    vcd = None
+    if args.vcd:
+        from .sim import VcdWriter
+
+        vcd = VcdWriter([session.system.rxd, session.system.txd])
+        session.sim.add_watcher(vcd.sample)
+    session.host.sync()
+    obj = _load_program(args.file)
+    addr = session.processor_address(args.proc)
+    if args.scanf:
+        values = [int(v, 0) for v in args.scanf.split(",")]
+        it = iter(values)
+        session.host.set_scanf_handler(args.proc, lambda: next(it))
+    session.host.load_program(addr, obj)
+    session.host.activate(addr)
+    session.sim.run_until(
+        lambda: session.system.processors[args.proc].cpu.halted,
+        max_cycles=args.max_cycles,
+    )
+    session.sim.step(6000)
+    monitor = session.host.monitor(args.proc)
+    print(monitor.transcript() or "(no I/O)")
+    print(
+        f"halted at cycle {session.sim.cycle} "
+        f"({session.sim.elapsed_seconds() * 1e3:.2f} ms at 25 MHz)"
+    )
+    if vcd is not None:
+        print(f"serial-line waveform -> {vcd.write(args.vcd)}")
+    return 0
+
+
+def cmd_prototype(args) -> int:
+    from .fpga import prototype
+
+    print(prototype(anneal_iterations=args.iterations).summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MultiNoC toolchain"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("asm", help="assemble R8 source")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.add_argument("--listing", action="store_true")
+    p.set_defaults(fn=cmd_asm)
+
+    p = sub.add_parser("dis", help="disassemble object code")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_dis)
+
+    p = sub.add_parser("run", help="run on the R8 Simulator")
+    p.add_argument("file")
+    p.add_argument("--scanf", help="comma-separated scanf answers")
+    p.add_argument("--max-instructions", type=int, default=1_000_000)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("debug", help="run a debugger script")
+    p.add_argument("file")
+    p.add_argument("--script", required=True, help="script file or - for stdin")
+    p.set_defaults(fn=cmd_debug)
+
+    p = sub.add_parser("cc", help="compile R8C")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.add_argument("-S", "--emit-asm", action="store_true")
+    p.set_defaults(fn=cmd_cc)
+
+    p = sub.add_parser("system", help="run on the full MultiNoC")
+    p.add_argument("file")
+    p.add_argument("--proc", type=int, default=1)
+    p.add_argument("--scanf", help="comma-separated scanf answers")
+    p.add_argument("--max-cycles", type=int, default=5_000_000)
+    p.add_argument("--vcd", help="dump the serial lines to a VCD file")
+    p.set_defaults(fn=cmd_system)
+
+    p = sub.add_parser("prototype", help="Section 3 implementation report")
+    p.add_argument("--iterations", type=int, default=3000)
+    p.set_defaults(fn=cmd_prototype)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

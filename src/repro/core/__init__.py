@@ -1,0 +1,6 @@
+"""Public platform API: build, launch and drive MultiNoC instances."""
+
+from .platform import MultiNoCPlatform, PlatformSession
+from .program import Program
+
+__all__ = ["MultiNoCPlatform", "PlatformSession", "Program"]

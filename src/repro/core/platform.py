@@ -1,0 +1,154 @@
+"""The MultiNoC platform builder — the library's main entry point.
+
+The paper frames MultiNoC as "an exercise of implementing and making
+available a design platform on top of which applications can be
+effectively and rapidly prototyped" (platform-based design, Section 5).
+:class:`MultiNoCPlatform` is that platform: describe the instance you
+want (the paper's 2x2 by default, or any mesh with any number of
+processor and memory IPs), :meth:`launch` it, and drive it through the
+host API.
+
+    >>> from repro import MultiNoCPlatform
+    >>> session = MultiNoCPlatform.standard().launch()
+    >>> session.host.sync()
+    >>> session.run(1, "  LDI R1, 7\\n  LDI R2, 0xFFFF\\n  CLR R0\\n"
+    ...             "  ST R1, R2, R0\\n  HALT")
+    >>> session.host.monitor(1).printf_values
+    [7]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..host.serial_software import SerialSoftware
+from ..sim import Simulator
+from ..system.config import SystemConfig
+from ..system.multinoc import MultiNoC
+from .program import Program
+
+Address = Tuple[int, int]
+
+
+class MultiNoCPlatform:
+    """Describes a MultiNoC instance before it is built."""
+
+    def __init__(
+        self,
+        mesh: Tuple[int, int] = (2, 2),
+        n_processors: int = 2,
+        n_memories: int = 1,
+        serial_at: Address = (0, 0),
+        processors_at: Optional[Dict[int, Address]] = None,
+        memories_at: Optional[List[Address]] = None,
+        **config_overrides,
+    ):
+        width, height = mesh
+        if processors_at is None or memories_at is None:
+            free = [
+                (x, y)
+                for y in range(height)
+                for x in range(width)
+                if (x, y) != serial_at
+            ]
+            needed = n_processors + n_memories
+            if needed > len(free):
+                raise ValueError(
+                    f"{needed} IPs do not fit a {width}x{height} mesh "
+                    f"(only {len(free)} nodes free)"
+                )
+            processors_at = {
+                pid: free[pid - 1] for pid in range(1, n_processors + 1)
+            }
+            memories_at = free[n_processors : n_processors + n_memories]
+        self.config = SystemConfig(
+            mesh=mesh,
+            serial=serial_at,
+            processors=processors_at,
+            memories=memories_at,
+            **config_overrides,
+        )
+        self.config.validate()
+
+    @classmethod
+    def standard(cls, **config_overrides) -> "MultiNoCPlatform":
+        """The paper's prototype: 2x2 mesh, 2 processors, 1 memory."""
+        platform = cls.__new__(cls)
+        platform.config = SystemConfig(**config_overrides)
+        platform.config.validate()
+        return platform
+
+    def build(self) -> MultiNoC:
+        """Instantiate the hardware model only."""
+        return MultiNoC(self.config)
+
+    def launch(self, baud_divisor: int = 4) -> "PlatformSession":
+        """Build the system, a simulator and a connected host."""
+        system = self.build()
+        sim = system.make_simulator()
+        host = SerialSoftware(system, baud_divisor=baud_divisor).connect(sim)
+        return PlatformSession(self, system, sim, host)
+
+
+@dataclass
+class PlatformSession:
+    """A live MultiNoC: system model + simulator + host software."""
+
+    platform: MultiNoCPlatform
+    system: MultiNoC
+    sim: Simulator
+    host: SerialSoftware
+
+    def processor_address(self, pid: int) -> Address:
+        return self.system.config.processors[pid]
+
+    def memory_address(self, index: int = 0) -> Address:
+        return self.system.config.memories[index]
+
+    def run(
+        self,
+        pid: int,
+        program: Union[str, Program],
+        max_cycles: int = 5_000_000,
+    ) -> Program:
+        """Assemble (if needed), load, activate and run to HALT on *pid*."""
+        if isinstance(program, str):
+            program = Program.from_source(program, name=f"proc{pid}")
+        self.host.run_program(
+            self.processor_address(pid), pid, program.obj, max_cycles=max_cycles
+        )
+        return program
+
+    def start(self, pid: int, program: Union[str, Program]) -> Program:
+        """Load and activate without waiting for HALT (for parallel runs)."""
+        if isinstance(program, str):
+            program = Program.from_source(program, name=f"proc{pid}")
+        if not self.host.synced:
+            self.host.sync()
+        addr = self.processor_address(pid)
+        self.host.load_program(addr, program.obj)
+        self.host.activate(addr)
+        return program
+
+    def wait_all_halted(self, max_cycles: int = 10_000_000) -> int:
+        """Run until every processor halts; returns cycles consumed."""
+        return self.sim.run_until(
+            lambda: self.system.all_halted, max_cycles=max_cycles,
+            label="all processors halted",
+        )
+
+    def read(self, pid_or_mem, address: int, count: int) -> List[int]:
+        """Read words from a processor's (int pid) or memory's ("memN")
+        storage through the host, like Figure 9's debug reads."""
+        return self.host.read_memory(self._addr(pid_or_mem), address, count)
+
+    def write(self, pid_or_mem, address: int, words) -> None:
+        self.host.write_memory(self._addr(pid_or_mem), address, list(words))
+
+    def _addr(self, pid_or_mem) -> Address:
+        if isinstance(pid_or_mem, int):
+            return self.processor_address(pid_or_mem)
+        if isinstance(pid_or_mem, str) and pid_or_mem.startswith("mem"):
+            return self.memory_address(int(pid_or_mem[3:] or "0"))
+        return pid_or_mem  # assume an explicit (x, y)

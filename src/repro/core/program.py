@@ -1,0 +1,55 @@
+"""User-facing program objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..r8.assembler import ObjectCode, assemble
+from ..r8.simulator import R8Simulator
+
+
+@dataclass
+class Program:
+    """An assembled R8 program with its source and symbol table."""
+
+    source: str
+    obj: ObjectCode
+    name: str = "<program>"
+
+    @classmethod
+    def from_source(cls, source: str, name: str = "<program>") -> "Program":
+        return cls(source=source, obj=assemble(source, filename=name), name=name)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "Program":
+        path = Path(path)
+        return cls.from_source(path.read_text(), name=str(path))
+
+    def symbol(self, name: str) -> int:
+        """Address of a label/equ, for reading results back."""
+        try:
+            return self.obj.symbols[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"{self.name}: no symbol {name!r}; "
+                f"known: {sorted(self.obj.symbols)}"
+            ) from exc
+
+    def simulate(
+        self,
+        max_instructions: int = 1_000_000,
+        scanf_values: Optional[list] = None,
+    ) -> R8Simulator:
+        """Run on the stand-alone R8 Simulator (flow step 1, Figure 8)."""
+        values = list(scanf_values or [])
+        sim = R8Simulator(on_scanf=(lambda: values.pop(0)) if values else None)
+        sim.load(self.obj)
+        sim.activate()
+        sim.run(max_instructions=max_instructions)
+        return sim
+
+    @property
+    def size_words(self) -> int:
+        return self.obj.size_words

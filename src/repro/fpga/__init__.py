@@ -1,0 +1,41 @@
+"""FPGA prototyping models: device library, area, floorplan, timing, clocking.
+
+The paper's Section 3 numbers come from EDA tool reports; this package
+reproduces them with calibrated analytical models (see the substitution
+log in DESIGN.md).
+"""
+
+from .area import AreaModel, AreaReport, mesh_port_counts
+from .constraints import to_ucf, write_ucf
+from .clkdll import ClkDll, ClockPlan, SUPPORTED_DIVISIONS
+from .device import DEVICES, FpgaDevice, XC2S200E, device
+from .floorplan import Block, Floorplanner, Net, Placement, system_blocks, system_netlist
+from .report import PrototypeReport, prototype
+from .resources import ResourceUse
+from .timing import TimingReport, analyze
+
+__all__ = [
+    "AreaModel",
+    "AreaReport",
+    "Block",
+    "ClkDll",
+    "ClockPlan",
+    "DEVICES",
+    "Floorplanner",
+    "FpgaDevice",
+    "Net",
+    "Placement",
+    "PrototypeReport",
+    "ResourceUse",
+    "SUPPORTED_DIVISIONS",
+    "TimingReport",
+    "XC2S200E",
+    "analyze",
+    "to_ucf",
+    "write_ucf",
+    "device",
+    "mesh_port_counts",
+    "prototype",
+    "system_blocks",
+    "system_netlist",
+]

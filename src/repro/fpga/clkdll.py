@@ -1,0 +1,77 @@
+"""Clock DLL model (paper Section 3).
+
+"The original clock of the prototyping board, 50MHz, was divided by
+two, using a clkdll component."  The Spartan-II CLKDLL offers fixed
+division/multiplication ratios; this model picks the division needed to
+run at or just above a timing estimate, reproducing the paper's choice
+of 25 MHz against a 21.23 MHz estimate (with the noted margin gamble).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Division ratios the Spartan-II CLKDLL supports (CLKDV_DIVIDE).
+SUPPORTED_DIVISIONS = (1.5, 2, 2.5, 3, 4, 5, 8, 16)
+
+
+@dataclass(frozen=True)
+class ClockPlan:
+    """A chosen board-clock division."""
+
+    input_hz: float
+    division: float
+    meets_timing: bool
+
+    @property
+    def output_hz(self) -> float:
+        return self.input_hz / self.division
+
+    @property
+    def output_mhz(self) -> float:
+        return self.output_hz / 1e6
+
+
+class ClkDll:
+    """The board clock manager."""
+
+    def __init__(self, input_hz: float = 50_000_000.0):
+        self.input_hz = input_hz
+
+    def divide(self, division: float) -> ClockPlan:
+        if division != 1 and division not in SUPPORTED_DIVISIONS:
+            raise ValueError(
+                f"CLKDV_DIVIDE={division} unsupported; "
+                f"choose from {SUPPORTED_DIVISIONS}"
+            )
+        return ClockPlan(self.input_hz, division, meets_timing=True)
+
+    def plan_for(self, fmax_hz: float, allow_margin: float = 0.2) -> ClockPlan:
+        """Choose the fastest usable clock, tool-estimate margin included.
+
+        ``allow_margin`` reproduces the paper's pragmatism: the design was
+        run at 25 MHz against a 21.23 MHz estimate (about 18% above), and
+        "the circuit worked correctly" — static estimates are pessimistic.
+        The fastest output within ``fmax * (1 + margin)`` wins; when it
+        exceeds the raw estimate it is flagged ``meets_timing=False`` so
+        callers can see the gamble.
+        """
+        candidates: List[Tuple[float, ClockPlan]] = []
+        for division in (1,) + SUPPORTED_DIVISIONS:
+            out = self.input_hz / division
+            if out <= fmax_hz * (1.0 + allow_margin):
+                candidates.append(
+                    (
+                        out,
+                        ClockPlan(
+                            self.input_hz, division, meets_timing=out <= fmax_hz
+                        ),
+                    )
+                )
+        if candidates:
+            return max(candidates, key=lambda pair: pair[0])[1]
+        raise ValueError(
+            f"no supported division brings {self.input_hz / 1e6:.0f} MHz "
+            f"within {(1 + allow_margin):.0%} of {fmax_hz / 1e6:.2f} MHz"
+        )

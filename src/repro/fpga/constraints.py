@@ -1,0 +1,84 @@
+"""User-constraints (UCF) export for the floorplan.
+
+The paper's Figure 7 floorplan was drawn in the Xilinx floorplanner and
+fed to physical synthesis as area constraints.  This module produces
+that artifact: a UCF file with one ``AREA_GROUP`` per IP block (slice
+ranges derived from the placement), the period constraint from the
+timing estimate, and the serial pad LOCs — i.e. everything the paper's
+flow needed "to make the design fit in the restricted area".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .device import FpgaDevice
+from .floorplan import Placement
+from .timing import TimingReport
+
+
+def _slice_range(
+    device: FpgaDevice, x: int, y: int, w: int, h: int
+) -> str:
+    """CLB-rectangle to Spartan-II slice coordinates.
+
+    Each CLB column holds two slice columns; rows map one to one.  The
+    Spartan-II naming is ``SLICE_XnYm``.
+    """
+    x0 = x * device.SLICES_PER_CLB
+    x1 = (x + w) * device.SLICES_PER_CLB - 1
+    y0 = y
+    y1 = y + h - 1
+    return f"SLICE_X{x0}Y{y0}:SLICE_X{x1}Y{y1}"
+
+
+def to_ucf(
+    placement: Placement,
+    timing: Optional[TimingReport] = None,
+    clock_net: str = "clk",
+    rxd_loc: str = "P88",
+    txd_loc: str = "P87",
+) -> str:
+    """Render *placement* (and optionally *timing*) as UCF text."""
+    device = placement.device
+    lines: List[str] = [
+        "# MultiNoC area constraints (generated; paper Figure 7 style)",
+        f"# target device: {device.name}",
+        "",
+    ]
+    if timing is not None:
+        period = timing.critical_path_ns
+        lines.append(f'NET "{clock_net}" TNM_NET = "{clock_net}";')
+        lines.append(
+            f'TIMESPEC "TS_{clock_net}" = PERIOD "{clock_net}" '
+            f"{period:.2f} ns HIGH 50%;"
+        )
+        lines.append("")
+    # serial pads sit at the die edge next to the serial IP's stripe
+    lines.append(f'NET "rxd" LOC = "{rxd_loc}";')
+    lines.append(f'NET "txd" LOC = "{txd_loc}";')
+    lines.append("")
+    for name in sorted(placement.regions):
+        x, y, w, h = placement.regions[name]
+        group = f"AG_{name}"
+        lines.append(f'INST "{name}/*" AREA_GROUP = "{group}";')
+        lines.append(
+            f'AREA_GROUP "{group}" RANGE = '
+            f"{_slice_range(device, x, y, w, h)};"
+        )
+        lines.append(f'AREA_GROUP "{group}" COMPRESSION = 0;')
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_ucf(
+    placement: Placement,
+    path: Union[str, Path],
+    timing: Optional[TimingReport] = None,
+    **kwargs,
+) -> Path:
+    """Write the UCF next to the rest of the implementation artifacts."""
+    path = Path(path)
+    path.write_text(to_ucf(placement, timing, **kwargs))
+    return path

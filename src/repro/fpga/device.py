@@ -1,0 +1,80 @@
+"""Spartan-IIe device library (paper Section 3, reference [11]).
+
+Nominal resource counts for the XC2S..E family.  The CLB array is
+``clb_rows x clb_cols`` with two slices (four LUT/FF pairs) per CLB;
+BlockRAMs sit in dedicated columns at the left and right die edges, as
+on the real Spartan-II floorplan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Static description of one FPGA part."""
+
+    name: str
+    clb_rows: int
+    clb_cols: int
+    brams: int
+
+    SLICES_PER_CLB = 2
+    LUTS_PER_SLICE = 2
+    FFS_PER_SLICE = 2
+
+    @property
+    def clbs(self) -> int:
+        return self.clb_rows * self.clb_cols
+
+    @property
+    def slices(self) -> int:
+        return self.clbs * self.SLICES_PER_CLB
+
+    @property
+    def luts(self) -> int:
+        return self.slices * self.LUTS_PER_SLICE
+
+    @property
+    def ffs(self) -> int:
+        return self.slices * self.FFS_PER_SLICE
+
+    @property
+    def bram_bits(self) -> int:
+        return self.brams * 4096  # 4 Kbit per Spartan-II BlockRAM
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{self.name}: {self.slices} slices, {self.luts} LUTs, "
+            f"{self.brams} BlockRAMs ({self.clb_rows}x{self.clb_cols} CLBs)"
+        )
+
+
+#: The Spartan-IIE family, smallest to largest.
+DEVICES: Dict[str, FpgaDevice] = {
+    d.name: d
+    for d in [
+        FpgaDevice("XC2S50E", 16, 24, 8),
+        FpgaDevice("XC2S100E", 20, 30, 10),
+        FpgaDevice("XC2S150E", 24, 36, 12),
+        FpgaDevice("XC2S200E", 28, 42, 14),
+        FpgaDevice("XC2S300E", 32, 48, 16),
+        FpgaDevice("XC2S400E", 40, 60, 40),
+        FpgaDevice("XC2S600E", 48, 72, 72),
+    ]
+}
+
+#: The paper's target part.
+XC2S200E = DEVICES["XC2S200E"]
+
+
+def device(name: str) -> FpgaDevice:
+    """Look up a device by part name."""
+    try:
+        return DEVICES[name.upper()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown device {name!r}; known: {sorted(DEVICES)}"
+        ) from exc

@@ -1,0 +1,265 @@
+"""Floorplanning for near-full devices (paper Section 3, Figure 7).
+
+"It is important to stress the value of floorplanning in designs using
+most of the FPGA surface. ... The use of synthesis and implementation
+options alone was not sufficient to make the design fit."
+
+The model follows Figure 7's layout style: IP blocks occupy full-height
+vertical stripes of the CLB array (with small blocks optionally sharing
+a stripe), BlockRAM columns sit at the left/right die edges, and the
+serial I/O pins sit at a fixed position on the die edge.  The
+floorplanner is a simulated annealing search over stripe *orderings*,
+minimising total half-perimeter wirelength of the system netlist plus
+penalties for BRAM-hungry blocks far from the edges and pin-bound
+blocks far from their pads.
+
+This reproduces the paper's placement rationale:
+
+* the NoC ends up in the middle (it talks to everybody),
+* the serial IP lands next to its I/O pins,
+* processors land at the die edges near the BlockRAM columns.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..system.config import SystemConfig
+from .area import AreaModel
+from .device import FpgaDevice, XC2S200E
+from .resources import ResourceUse
+
+
+@dataclass
+class Block:
+    """A placeable IP block."""
+
+    name: str
+    use: ResourceUse
+
+    @property
+    def clbs(self) -> int:
+        return math.ceil(self.use.slices / 2)
+
+    @property
+    def needs_bram(self) -> bool:
+        return self.use.brams > 0
+
+
+@dataclass
+class Net:
+    """A two-terminal connection between blocks (or a block and a pad)."""
+
+    a: str
+    b: str  # block name or "pin:<x>" for a pad at CLB column x
+    weight: float = 1.0
+
+
+@dataclass
+class Placement:
+    """Result: per-block stripe geometry on the CLB grid."""
+
+    device: FpgaDevice
+    regions: Dict[str, Tuple[int, int, int, int]]  # name -> (x, y, w, h)
+    fits: bool
+    wirelength: float
+    cost: float
+
+    def centroid(self, name: str) -> Tuple[float, float]:
+        x, y, w, h = self.regions[name]
+        return (x + w / 2, y + h / 2)
+
+    def render(self) -> str:
+        """ASCII floorplan in the style of Figure 7."""
+        cols = self.device.clb_cols
+        rows = 12  # compressed vertical view
+        grid = [["." for _ in range(cols)] for _ in range(rows)]
+        for name, (x, y, w, h) in self.regions.items():
+            tag = name[:1].upper() if not name.startswith("router") else "N"
+            y0 = round(y * rows / self.device.clb_rows)
+            y1 = max(y0 + 1, round((y + h) * rows / self.device.clb_rows))
+            for gy in range(y0, min(rows, y1)):
+                for gx in range(x, min(cols, x + w)):
+                    grid[gy][gx] = tag
+        return "\n".join("".join(row) for row in grid)
+
+
+def system_netlist(config: SystemConfig, pin_column: int = 0) -> List[Net]:
+    """Connectivity of a MultiNoC instance for wirelength evaluation."""
+    nets: List[Net] = []
+    width, height = config.mesh
+
+    def router_name(addr) -> str:
+        return f"router{addr[0]}{addr[1]}"
+
+    # mesh links
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                nets.append(Net(f"router{x}{y}", f"router{x + 1}{y}", 2.0))
+            if y + 1 < height:
+                nets.append(Net(f"router{x}{y}", f"router{x}{y + 1}", 2.0))
+    # local ports
+    nets.append(Net("serial", router_name(config.serial), 2.0))
+    for pid, addr in config.processors.items():
+        nets.append(Net(f"proc{pid}", router_name(addr), 2.0))
+    for i, addr in enumerate(config.memories):
+        nets.append(Net(f"mem{i}", router_name(addr), 2.0))
+    # serial pads
+    nets.append(Net("serial", f"pin:{pin_column}", 4.0))
+    return nets
+
+
+def system_blocks(
+    config: SystemConfig, model: Optional[AreaModel] = None
+) -> List[Block]:
+    """One block per IP, with the NoC routers merged into a single block
+    (the paper floorplans "the NoC IP" as one region)."""
+    model = model if model is not None else AreaModel()
+    report = model.system(config)
+    blocks = []
+    noc_use = ResourceUse()
+    for name, use in report.items.items():
+        if name.startswith("router"):
+            noc_use = noc_use + use
+        elif name == "glue":
+            continue  # distributed, not placed
+        else:
+            blocks.append(Block(name, use))
+    blocks.append(Block("noc", noc_use))
+    return blocks
+
+
+def _netlist_for_blocks(nets: Sequence[Net]) -> List[Net]:
+    """Collapse per-router nets onto the merged 'noc' block."""
+    merged: List[Net] = []
+    for net in nets:
+        a = "noc" if net.a.startswith("router") else net.a
+        b = "noc" if net.b.startswith("router") else net.b
+        if a == b:
+            continue
+        merged.append(Net(a, b, net.weight))
+    return merged
+
+
+class Floorplanner:
+    """Simulated-annealing stripe floorplanner."""
+
+    def __init__(
+        self,
+        device: FpgaDevice = XC2S200E,
+        model: Optional[AreaModel] = None,
+        pin_column: int = 0,
+        bram_penalty: float = 8.0,
+    ):
+        self.device = device
+        self.model = model if model is not None else AreaModel()
+        self.pin_column = pin_column
+        self.bram_penalty = bram_penalty
+
+    # -- layout evaluation ----------------------------------------------------
+
+    def layout(self, blocks: Sequence[Block], order: Sequence[int]) -> Dict[
+        str, Tuple[int, int, int, int]
+    ]:
+        """Continuous stripe layout.
+
+        Blocks fill the CLB array column-major in *order*, each taking a
+        contiguous run of CLBs; neighbouring blocks may share a boundary
+        column (as real placements do), so no area is lost to stripe
+        rounding and a 98%-full device still packs.
+        """
+        rows = self.device.clb_rows
+        regions: Dict[str, Tuple[int, int, int, int]] = {}
+        cell = 0
+        for idx in order:
+            block = blocks[idx]
+            first, last = cell, cell + block.clbs - 1
+            x0 = first // rows
+            x1 = last // rows
+            regions[block.name] = (x0, 0, x1 - x0 + 1, rows)
+            cell = last + 1
+        return regions
+
+    def evaluate(
+        self,
+        blocks: Sequence[Block],
+        order: Sequence[int],
+        nets: Sequence[Net],
+    ) -> Placement:
+        regions = self.layout(blocks, order)
+        cols_used = max(x + w for x, _, w, _ in regions.values())
+        fits = sum(b.clbs for b in blocks) <= self.device.clbs
+
+        def centroid_x(name: str) -> float:
+            if name.startswith("pin:"):
+                return float(name.split(":", 1)[1])
+            x, _, w, _ = regions[name]
+            return x + w / 2
+
+        wirelength = sum(
+            net.weight * abs(centroid_x(net.a) - centroid_x(net.b))
+            for net in nets
+        )
+        # BlockRAM columns live at the die edges: BRAM users pay for
+        # distance from the nearest edge.
+        bram_cost = 0.0
+        for block in blocks:
+            if block.needs_bram:
+                x, _, w, _ = regions[block.name]
+                centre = x + w / 2
+                bram_cost += min(centre, self.device.clb_cols - centre)
+        overflow = max(0, cols_used - self.device.clb_cols)
+        cost = wirelength + self.bram_penalty * bram_cost + 1000.0 * overflow
+        return Placement(self.device, regions, fits, wirelength, cost)
+
+    # -- search ------------------------------------------------------------------
+
+    def random_placement(
+        self, config: Optional[SystemConfig] = None, seed: int = 0
+    ) -> Placement:
+        """Baseline: a random stripe order (what "no floorplanning" does
+        to wirelength, with tool luck standing in for the RNG)."""
+        config = config if config is not None else SystemConfig.paper()
+        blocks = system_blocks(config, self.model)
+        nets = _netlist_for_blocks(system_netlist(config, self.pin_column))
+        rng = random.Random(seed)
+        order = list(range(len(blocks)))
+        rng.shuffle(order)
+        return self.evaluate(blocks, order, nets)
+
+    def anneal(
+        self,
+        config: Optional[SystemConfig] = None,
+        seed: int = 1,
+        iterations: int = 4000,
+        t0: float = 50.0,
+        cooling: float = 0.998,
+    ) -> Placement:
+        """Simulated annealing over stripe orderings."""
+        config = config if config is not None else SystemConfig.paper()
+        blocks = system_blocks(config, self.model)
+        nets = _netlist_for_blocks(system_netlist(config, self.pin_column))
+        rng = random.Random(seed)
+        order = list(range(len(blocks)))
+        current = self.evaluate(blocks, order, nets)
+        best = current
+        best_order = list(order)
+        temperature = t0
+        for _ in range(iterations):
+            i, j = rng.sample(range(len(order)), 2)
+            order[i], order[j] = order[j], order[i]
+            candidate = self.evaluate(blocks, order, nets)
+            delta = candidate.cost - current.cost
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+                current = candidate
+                if current.cost < best.cost:
+                    best = current
+                    best_order = list(order)
+            else:
+                order[i], order[j] = order[j], order[i]  # revert
+            temperature *= cooling
+        return self.evaluate(blocks, best_order, nets)

@@ -1,0 +1,69 @@
+"""Synthesis-flow reporting: one call that mimics the paper's Section 3.
+
+:func:`prototype` runs the whole virtual implementation flow — area
+estimation, floorplanning, timing analysis, clocking — for a MultiNoC
+configuration and returns a structured report plus a printable summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..system.config import SystemConfig
+from .area import AreaModel, AreaReport
+from .clkdll import ClkDll, ClockPlan
+from .device import FpgaDevice, XC2S200E
+from .floorplan import Floorplanner, Placement, _netlist_for_blocks, system_netlist
+from .timing import TimingReport, analyze
+
+
+@dataclass
+class PrototypeReport:
+    """Everything the paper's Section 3 reports about the implementation."""
+
+    device: FpgaDevice
+    area: AreaReport
+    placement: Placement
+    timing: TimingReport
+    clock: ClockPlan
+
+    def summary(self) -> str:
+        util = self.area.utilization(self.device)
+        lines = [
+            f"target device : {self.device}",
+            f"utilisation   : {util['slices']:.0%} slices, "
+            f"{util['luts']:.0%} LUTs, {util['brams']:.0%} BlockRAMs",
+            f"floorplan     : {'fits' if self.placement.fits else 'DOES NOT FIT'}, "
+            f"wirelength {self.placement.wirelength:.1f} CLB",
+            f"timing        : {self.timing.fmax_mhz:.2f} MHz estimated "
+            f"({self.timing.critical_path_ns:.2f} ns critical path)",
+            f"clocking      : {self.clock.input_hz / 1e6:.0f} MHz / "
+            f"{self.clock.division} = {self.clock.output_mhz:.0f} MHz"
+            + ("" if self.clock.meets_timing else "  (above the estimate, as in the paper)"),
+            "",
+            "floorplan sketch (columns = CLB stripes):",
+            self.placement.render(),
+        ]
+        return "\n".join(lines)
+
+
+def prototype(
+    config: Optional[SystemConfig] = None,
+    device: FpgaDevice = XC2S200E,
+    seed: int = 1,
+    anneal_iterations: int = 4000,
+) -> PrototypeReport:
+    """Run the virtual implementation flow for *config* on *device*."""
+    config = config if config is not None else SystemConfig.paper()
+    model = AreaModel()
+    area = model.system(config)
+    planner = Floorplanner(device, model)
+    placement = planner.anneal(config, seed=seed, iterations=anneal_iterations)
+    from .floorplan import system_blocks  # local import to avoid cycle noise
+
+    nets = _netlist_for_blocks(system_netlist(config, planner.pin_column))
+    util = area.utilization(device)["slices"]
+    timing = analyze(placement, nets, device, utilization=min(1.0, util))
+    clock = ClkDll(50_000_000.0).plan_for(timing.fmax_hz)
+    return PrototypeReport(device, area, placement, timing, clock)

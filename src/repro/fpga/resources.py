@@ -1,0 +1,57 @@
+"""FPGA resource-use accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import FpgaDevice
+
+
+@dataclass(frozen=True)
+class ResourceUse:
+    """Slices / LUTs / flip-flops / BlockRAMs consumed by a block."""
+
+    slices: int = 0
+    luts: int = 0
+    ffs: int = 0
+    brams: int = 0
+
+    def __add__(self, other: "ResourceUse") -> "ResourceUse":
+        return ResourceUse(
+            self.slices + other.slices,
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.brams + other.brams,
+        )
+
+    def scaled(self, factor: float) -> "ResourceUse":
+        """Uniformly scale logic resources (BlockRAMs scale too)."""
+        return ResourceUse(
+            round(self.slices * factor),
+            round(self.luts * factor),
+            round(self.ffs * factor),
+            round(self.brams * factor),
+        )
+
+    def utilization(self, dev: FpgaDevice) -> dict:
+        """Fractions of *dev* consumed, keyed by resource name."""
+        return {
+            "slices": self.slices / dev.slices,
+            "luts": self.luts / dev.luts,
+            "ffs": self.ffs / dev.ffs,
+            "brams": self.brams / dev.brams if dev.brams else 0.0,
+        }
+
+    def fits(self, dev: FpgaDevice) -> bool:
+        return (
+            self.slices <= dev.slices
+            and self.luts <= dev.luts
+            and self.ffs <= dev.ffs
+            and self.brams <= dev.brams
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{self.slices} slices, {self.luts} LUTs, "
+            f"{self.ffs} FFs, {self.brams} BRAMs"
+        )

@@ -1,0 +1,113 @@
+"""Static timing estimation (paper Section 3).
+
+"The frequency was reduced, due to the delay estimated by the timing
+analysis tool, 21.23 MHz.  Despite the fact that the employed frequency
+is higher (25 MHz), the circuit worked correctly."
+
+The model is the classic logic-plus-interconnect decomposition: the
+critical path runs through the slowest block's logic and the longest
+inter-block route of the placement, and interconnect delay grows with
+both distance and device congestion.  Constants are calibrated so the
+annealed floorplan of the standard configuration reports ~21.2 MHz;
+worse placements then credibly report lower frequencies, which is the
+paper's argument for floorplanning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from .device import FpgaDevice, XC2S200E
+from .floorplan import Net, Placement
+
+#: Internal logic delay of each block type, in nanoseconds (Spartan-IIE
+#: -6 speed grade, multicycle paths already accounted for).
+BLOCK_LOGIC_DELAY_NS: Dict[str, float] = {
+    "proc": 27.0,  # R8 ALU + flags + register file write
+    "noc": 16.0,  # arbitration + XY decode + buffer mux
+    "mem": 9.0,  # BlockRAM access + bank mux
+    "serial": 8.0,
+}
+
+#: Interconnect delay per CLB of Manhattan distance, ns.
+WIRE_DELAY_NS_PER_CLB = 1.0
+
+#: Congestion multiplier: routes through a nearly full device detour.
+CONGESTION_FACTOR = 1.4
+
+#: Fixed clock distribution + setup overhead, ns.
+CLOCK_OVERHEAD_NS = 3.4
+
+
+def _block_delay(name: str) -> float:
+    for prefix, delay in BLOCK_LOGIC_DELAY_NS.items():
+        if name.startswith(prefix):
+            return delay
+    return 6.0
+
+
+@dataclass
+class TimingReport:
+    """Result of the static timing estimate."""
+
+    critical_path_ns: float
+    fmax_hz: float
+    logic_ns: float
+    route_ns: float
+    critical_net: Tuple[str, str]
+
+    @property
+    def fmax_mhz(self) -> float:
+        return self.fmax_hz / 1e6
+
+    def meets(self, clock_hz: float) -> bool:
+        return self.fmax_hz >= clock_hz
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"critical path {self.critical_path_ns:.2f} ns "
+            f"({self.fmax_mhz:.2f} MHz) via {self.critical_net[0]}"
+            f"->{self.critical_net[1]} "
+            f"[logic {self.logic_ns:.1f} + route {self.route_ns:.1f}]"
+        )
+
+
+def analyze(
+    placement: Placement,
+    nets: Sequence[Net],
+    device: Optional[FpgaDevice] = None,
+    utilization: float = 0.98,
+) -> TimingReport:
+    """Estimate the critical path of a placed design.
+
+    The path for each net is source logic delay + congestion-scaled wire
+    delay; the slowest net sets Fmax.
+    """
+    device = device if device is not None else placement.device
+    congestion = 1.0 + (CONGESTION_FACTOR - 1.0) * min(1.0, utilization)
+    worst = None
+    for net in nets:
+        if net.b.startswith("pin:"):
+            bx = float(net.b.split(":", 1)[1])
+            by = device.clb_rows / 2
+            b_delay = 0.0
+        else:
+            bx, by = placement.centroid(net.b)
+            b_delay = 0.0
+        ax, ay = placement.centroid(net.a)
+        distance = abs(ax - bx) + abs(ay - by)
+        logic = max(_block_delay(net.a), _block_delay(net.b) if not net.b.startswith("pin:") else 0.0)
+        route = distance * WIRE_DELAY_NS_PER_CLB * congestion + b_delay
+        total = logic + route + CLOCK_OVERHEAD_NS
+        if worst is None or total > worst[0]:
+            worst = (total, logic, route, (net.a, net.b))
+    assert worst is not None, "empty netlist"
+    total, logic, route, critical = worst
+    return TimingReport(
+        critical_path_ns=total,
+        fmax_hz=1e9 / total,
+        logic_ns=logic,
+        route_ns=route,
+        critical_net=critical,
+    )

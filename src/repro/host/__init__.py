@@ -1,0 +1,14 @@
+"""Host computer model: the Serial software and its helpers."""
+
+from .loader import assemble_file, load_object_file, save_object_file
+from .monitor import InteractionMonitor
+from .serial_software import HostTimeout, SerialSoftware
+
+__all__ = [
+    "HostTimeout",
+    "InteractionMonitor",
+    "SerialSoftware",
+    "assemble_file",
+    "load_object_file",
+    "save_object_file",
+]

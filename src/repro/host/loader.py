@@ -1,0 +1,24 @@
+"""Object-code file loading (the "Send Generated Object Code" flow step)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..r8.assembler import ObjectCode, assemble
+
+
+def load_object_file(path: Union[str, Path]) -> ObjectCode:
+    """Read an R8 object text file produced by the assembler/simulator."""
+    return ObjectCode.from_text(Path(path).read_text())
+
+
+def save_object_file(obj: ObjectCode, path: Union[str, Path]) -> None:
+    """Write object code in the serial-software text format."""
+    Path(path).write_text(obj.to_text())
+
+
+def assemble_file(path: Union[str, Path]) -> ObjectCode:
+    """Assemble an ``.asm`` source file."""
+    source_path = Path(path)
+    return assemble(source_path.read_text(), filename=str(source_path))

@@ -1,0 +1,50 @@
+"""Per-processor interaction monitors.
+
+"the Serial software has interaction monitors for each processor"
+(paper Section 4, Figure 9): every printf/scanf exchanged with a
+processor is logged here, timestamped with the simulation cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class InteractionMonitor:
+    """I/O log of one processor, as shown in the Serial software GUI."""
+
+    proc: int
+    printfs: List[Tuple[int, int]] = field(default_factory=list)  # (cycle, value)
+    scanfs: List[Tuple[int, Optional[int]]] = field(default_factory=list)
+
+    def log_printf(self, cycle: int, value: int) -> None:
+        self.printfs.append((cycle, value))
+
+    def log_scanf_request(self, cycle: int) -> None:
+        self.scanfs.append((cycle, None))
+
+    def log_scanf_answer(self, value: int) -> None:
+        for i in range(len(self.scanfs) - 1, -1, -1):
+            if self.scanfs[i][1] is None:
+                self.scanfs[i] = (self.scanfs[i][0], value)
+                return
+
+    @property
+    def printf_values(self) -> List[int]:
+        return [value for _, value in self.printfs]
+
+    def transcript(self) -> str:
+        """Human-readable session log, one line per interaction."""
+        events = [(c, f"P{self.proc} printf -> {v:#06x} ({v})") for c, v in self.printfs]
+        events += [
+            (
+                c,
+                f"P{self.proc} scanf <- "
+                + (f"{v:#06x} ({v})" if v is not None else "<pending>"),
+            )
+            for c, v in self.scanfs
+        ]
+        events.sort()
+        return "\n".join(f"[{c:>8}] {text}" for c, text in events)

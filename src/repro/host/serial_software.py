@@ -1,0 +1,248 @@
+"""The host-side "Serial software" (paper Section 4, references [4]).
+
+:class:`SerialSoftware` is the program running on the host computer: it
+owns the host end of the RS-232 link (a bit-level UART at its own baud
+rate), performs the 0x55 synchronisation, sends read / write / activate
+/ scanf-return commands and reacts to printf / scanf / read-return
+replies, logging everything in per-processor interaction monitors.
+
+Because host and board are co-simulated, the blocking convenience
+methods (:meth:`read_memory`, :meth:`load_program`, ...) internally step
+the shared :class:`~repro.sim.kernel.Simulator` until the reply arrives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..noc.flit import encode_address
+from ..r8.assembler import ObjectCode
+from ..serial import protocol
+from ..serial.uart import UartRx, UartTx
+from ..sim import Component, Simulator
+from ..system.multinoc import MultiNoC
+from .monitor import InteractionMonitor
+
+Target = Union[int, Tuple[int, int]]
+
+#: Serial write frames carry at most 255 words; NoC write packets carry
+#: at most (255 - 4) // 2 payload words.  Stay under both.
+MAX_WORDS_PER_WRITE = 64
+MAX_WORDS_PER_READ = 64
+
+
+def _flit(target: Target) -> int:
+    if isinstance(target, tuple):
+        return encode_address(*target)
+    return target
+
+
+class HostTimeout(Exception):
+    """The board did not answer within the cycle budget."""
+
+
+class SerialSoftware(Component):
+    """Host computer model attached to MultiNoC's serial lines."""
+
+    def __init__(
+        self,
+        system: MultiNoC,
+        name: str = "host",
+        baud_divisor: int = 4,
+    ):
+        super().__init__(name)
+        self.system = system
+        # Host drives the board's rxd and listens on the board's txd.
+        self.uart_tx = UartTx(f"{name}.tx", system.rxd, divisor=baud_divisor)
+        self.uart_rx = UartRx(f"{name}.rx", system.txd, divisor=baud_divisor)
+        self.add_child(self.uart_tx)
+        self.add_child(self.uart_rx)
+
+        self._frame: List[int] = []
+        self.read_returns: Deque[protocol.ReadReturnFrame] = deque()
+        self.scanf_requests: Deque[protocol.ScanfFrame] = deque()
+        self.monitors: Dict[int, InteractionMonitor] = {}
+        self.scanf_handlers: Dict[int, Callable[[], int]] = {}
+        self._sim: Optional[Simulator] = None
+        self._cycle = 0
+        self.synced = False
+
+    # -- wiring ---------------------------------------------------------------
+
+    def connect(self, sim: Simulator) -> "SerialSoftware":
+        """Register with *sim* (adds both this host and the system)."""
+        sim.add(self.system)
+        sim.add(self)
+        self._sim = sim
+        return self
+
+    def monitor(self, proc: int) -> InteractionMonitor:
+        if proc not in self.monitors:
+            self.monitors[proc] = InteractionMonitor(proc)
+        return self.monitors[proc]
+
+    def set_scanf_handler(self, proc: int, handler: Callable[[], int]) -> None:
+        """Auto-answer scanf requests from processor *proc*."""
+        self.scanf_handlers[proc] = handler
+
+    # -- simulation --------------------------------------------------------------
+
+    def eval(self, cycle: int) -> None:
+        super().eval(cycle)
+        self._cycle = cycle
+        while self.uart_rx.received:
+            self._frame.append(self.uart_rx.received.popleft())
+            length = protocol.board_frame_length(self._frame)
+            if length is not None and len(self._frame) >= length:
+                frame, self._frame = self._frame[:length], self._frame[length:]
+                self._dispatch(protocol.parse_board_frame(frame))
+
+    def _dispatch(self, message) -> None:
+        if isinstance(message, protocol.ReadReturnFrame):
+            self.read_returns.append(message)
+        elif isinstance(message, protocol.PrintfFrame):
+            mon = self.monitor(message.proc)
+            for word in message.words:
+                mon.log_printf(self._cycle, word)
+        elif isinstance(message, protocol.ScanfFrame):
+            self.monitor(message.proc).log_scanf_request(self._cycle)
+            handler = self.scanf_handlers.get(message.proc)
+            if handler is not None:
+                value = handler() & 0xFFFF
+                self._answer_scanf(message.proc, value)
+            else:
+                self.scanf_requests.append(message)
+
+    def _answer_scanf(self, proc: int, value: int) -> None:
+        flit = self.system.config.id_to_flit()[proc]
+        self.uart_tx.send_bytes(protocol.frame_scanf_return(flit, value))
+        self.monitor(proc).log_scanf_answer(value)
+
+    # -- low-level sending -----------------------------------------------------------
+
+    def _require_sim(self) -> Simulator:
+        if self._sim is None:
+            raise RuntimeError("call host.connect(sim) first")
+        return self._sim
+
+    def _run_until(self, predicate, max_cycles: int, label: str) -> None:
+        sim = self._require_sim()
+        try:
+            sim.run_until(predicate, max_cycles=max_cycles, label=label)
+        except Exception as exc:  # re-raise with a host-level type
+            raise HostTimeout(str(exc)) from exc
+
+    # -- the four host commands ---------------------------------------------------
+
+    def sync(self, max_cycles: int = 10_000) -> None:
+        """Send the 0x55 baud-rate byte and wait for the board to lock."""
+        self.uart_tx.send_byte(protocol.SYNC_BYTE)
+        self._run_until(
+            lambda: self.system.serial.synced, max_cycles, "baud sync"
+        )
+        self.synced = True
+
+    def write_memory(
+        self,
+        target: Target,
+        address: int,
+        words: Sequence[int],
+        max_cycles: int = 2_000_000,
+    ) -> None:
+        """Write *words* into the target IP's memory, chunked as needed."""
+        flit = _flit(target)
+        offset = 0
+        while offset < len(words):
+            chunk = list(words[offset : offset + MAX_WORDS_PER_WRITE])
+            self.uart_tx.send_bytes(
+                protocol.frame_write(flit, address + offset, chunk)
+            )
+            offset += len(chunk)
+        self._run_until(
+            lambda: not self.uart_tx.busy and self.system.idle,
+            max_cycles,
+            "memory write drain",
+        )
+
+    def read_memory(
+        self,
+        target: Target,
+        address: int,
+        count: int,
+        max_cycles: int = 2_000_000,
+    ) -> List[int]:
+        """Read *count* words from the target IP's memory."""
+        flit = _flit(target)
+        words: List[int] = []
+        offset = 0
+        while offset < count:
+            chunk = min(MAX_WORDS_PER_READ, count - offset)
+            expected = len(self.read_returns) + 1
+            self.uart_tx.send_bytes(
+                protocol.frame_read(flit, address + offset, chunk)
+            )
+            self._run_until(
+                lambda: len(self.read_returns) >= expected,
+                max_cycles,
+                "read return",
+            )
+            reply = self.read_returns.popleft()
+            if reply.address != address + offset or len(reply.words) != chunk:
+                raise HostTimeout(
+                    f"mismatched read return: asked {chunk}@{address + offset:#06x}, "
+                    f"got {len(reply.words)}@{reply.address:#06x}"
+                )
+            words.extend(reply.words)
+            offset += chunk
+        return words
+
+    def activate(self, target: Target, max_cycles: int = 100_000) -> None:
+        """Send the activate-processor command and let it land."""
+        self.uart_tx.send_bytes(protocol.frame_activate(_flit(target)))
+        self._run_until(
+            lambda: not self.uart_tx.busy and self.system.idle,
+            max_cycles,
+            "activate",
+        )
+
+    def answer_scanf(self, value: int) -> None:
+        """Answer the oldest pending scanf request manually."""
+        if not self.scanf_requests:
+            raise RuntimeError("no pending scanf request")
+        request = self.scanf_requests.popleft()
+        self._answer_scanf(request.proc, value)
+
+    # -- composite flows (paper Figure 8) ----------------------------------------------
+
+    def load_program(
+        self, target: Target, obj: ObjectCode, max_cycles: int = 5_000_000
+    ) -> None:
+        """Send assembled object code into a processor's local memory."""
+        for origin, segment in obj.segments:
+            self.write_memory(target, origin, segment, max_cycles=max_cycles)
+
+    def run_program(
+        self,
+        target: Target,
+        proc_id: int,
+        obj: ObjectCode,
+        max_cycles: int = 5_000_000,
+    ) -> None:
+        """Full Figure 8 flow: load, activate, wait for HALT."""
+        if not self.synced:
+            self.sync()
+        self.load_program(target, obj)
+        self.activate(target)
+        proc = self.system.processors[proc_id]
+        self._run_until(
+            lambda: proc.cpu.halted, max_cycles, f"processor {proc_id} halt"
+        )
+        # Let trailing printf traffic reach the host monitors.
+        self._run_until(
+            lambda: self.system.idle and not self.system.serial.uart_tx.busy,
+            max_cycles,
+            "I/O drain",
+        )
+        # ...plus the final frame still deserialising at the host UART.
+        self._require_sim().step(12 * self.uart_rx.divisor)

@@ -1,0 +1,74 @@
+"""BlockRAM primitives.
+
+"Each Memory IP contains 4 BlockRAM modules, each organized as 1024
+4-bit words" (paper Section 2.3, Figure 4).  The four nibble banks are
+accessed in parallel to read and write 16-bit words.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BlockRam:
+    """One FPGA BlockRAM, organised as ``depth`` x ``width`` bits."""
+
+    def __init__(self, depth: int = 1024, width: int = 4):
+        self.depth = depth
+        self.width = width
+        self._mask = (1 << width) - 1
+        self.data: List[int] = [0] * depth
+
+    def read(self, addr: int) -> int:
+        self._check(addr)
+        return self.data[addr]
+
+    def write(self, addr: int, value: int) -> None:
+        self._check(addr)
+        if value & ~self._mask:
+            raise ValueError(
+                f"value {value:#x} does not fit in {self.width}-bit BlockRAM"
+            )
+        self.data[addr] = value
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < self.depth:
+            raise IndexError(
+                f"BlockRAM address {addr:#06x} out of range 0..{self.depth - 1}"
+            )
+
+
+class MemoryBanks:
+    """Four nibble-wide BlockRAMs accessed in parallel as 16-bit words.
+
+    RAM3 holds bits 15:12 down to RAM0 holding bits 3:0, matching
+    Figure 4's din/dout slicing.
+    """
+
+    N_BANKS = 4
+    NIBBLE = 4
+
+    def __init__(self, depth: int = 1024):
+        self.depth = depth
+        self.banks = [BlockRam(depth, self.NIBBLE) for _ in range(self.N_BANKS)]
+
+    def read_word(self, addr: int) -> int:
+        word = 0
+        for i, bank in enumerate(self.banks):
+            word |= bank.read(addr) << (i * self.NIBBLE)
+        return word
+
+    def write_word(self, addr: int, value: int) -> None:
+        if not 0 <= value <= 0xFFFF:
+            raise ValueError(f"word {value!r} out of 16-bit range")
+        for i, bank in enumerate(self.banks):
+            bank.write(addr, (value >> (i * self.NIBBLE)) & 0xF)
+
+    def load(self, words, base: int = 0) -> None:
+        for i, word in enumerate(words):
+            self.write_word(base + i, word & 0xFFFF)
+
+    def dump(self, start: int = 0, count: int = None) -> List[int]:
+        if count is None:
+            count = self.depth - start
+        return [self.read_word(start + i) for i in range(count)]

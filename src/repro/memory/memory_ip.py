@@ -1,0 +1,155 @@
+"""The Memory IP core (paper Section 2.3).
+
+Storage (four BlockRAM nibble banks, 1K x 16 bit) with two interfaces:
+
+* the **processor interface** — direct, single-cycle word access used by
+  the local R8 core (absent on the stand-alone remote memory), and
+* the **NoC interface** — a network interface plus a small FSM that
+  serves ``write in memory`` and ``read from memory`` service packets,
+  answering reads with ``read return``.
+
+"The highest priority to access the memory banks is given to the
+processor": when the processor touched the banks in a cycle, the NoC-side
+FSM skips that cycle.  The ``busyNoCMem``/``busyNoCR8`` interlocks of
+Figure 4 map onto :attr:`noc_busy` and the per-cycle arbitration flag.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..noc import services
+from ..noc.flit import decode_address
+from ..noc.ni import NetworkInterface
+from ..noc.packet import Packet
+from ..sim import Component
+from .blockram import MemoryBanks
+
+_IDLE = 0
+_WRITING = 1
+_READING = 2
+
+
+class MemoryIp(Component):
+    """1K-word memory with processor-priority NoC access."""
+
+    def __init__(
+        self,
+        name: str,
+        address: Tuple[int, int],
+        depth: int = 1024,
+        stats=None,
+    ):
+        super().__init__(name)
+        self.noc_address = address
+        self.banks = MemoryBanks(depth)
+        self.ni = NetworkInterface(f"{name}.ni", address, stats=stats)
+        self.add_child(self.ni)
+
+        self._proc_used = False  # processor touched the banks this cycle
+        self._state = _IDLE
+        self._op_addr = 0
+        self._op_words: List[int] = []
+        self._op_remaining = 0
+        self._op_reply_to: Optional[int] = None
+        self.dropped_packets: List[Packet] = []
+
+    # -- processor interface (direct port, highest priority) ------------------
+
+    def proc_read(self, addr: int) -> int:
+        """Single-cycle word read from the processor side."""
+        self._proc_used = True
+        return self.banks.read_word(addr)
+
+    def proc_write(self, addr: int, value: int) -> None:
+        """Single-cycle word write from the processor side."""
+        self._proc_used = True
+        self.banks.write_word(addr, value)
+
+    @property
+    def noc_busy(self) -> bool:
+        """The busyNoCMem signal: a NoC-side operation is under way."""
+        return self._state != _IDLE or self.ni.tx_busy
+
+    # -- direct loading (testbench convenience) --------------------------------
+
+    def load(self, words, base: int = 0) -> None:
+        self.banks.load(words, base)
+
+    def dump(self, start: int = 0, count: Optional[int] = None) -> List[int]:
+        return self.banks.dump(start, count)
+
+    # -- simulation ---------------------------------------------------------------
+
+    def eval(self, cycle: int) -> None:
+        super().eval(cycle)  # evaluates the NI
+        # Processor priority: if the core used the banks this cycle, the
+        # NoC-side FSM pauses.
+        if self._proc_used:
+            self._proc_used = False
+            return
+        if self._state == _IDLE:
+            self._start_next_operation()
+        elif self._state == _WRITING:
+            self._step_write()
+        elif self._state == _READING:
+            self._step_read()
+
+    def reset(self) -> None:
+        super().reset()
+        self._proc_used = False
+        self._state = _IDLE
+        self._op_words = []
+        self._op_remaining = 0
+        self.dropped_packets = []
+
+    # -- NoC-side FSM ----------------------------------------------------------------
+
+    def _start_next_operation(self) -> None:
+        if not self.ni.has_received():
+            return
+        packet = self.ni.pop_received()
+        try:
+            message = services.decode(packet)
+        except services.ServiceError:
+            self.dropped_packets.append(packet)
+            return
+        if isinstance(message, services.WriteRequest):
+            self._state = _WRITING
+            self._op_addr = message.address
+            self._op_words = list(message.words)
+        elif isinstance(message, services.ReadRequest):
+            self._state = _READING
+            self._op_addr = message.address
+            self._op_remaining = message.count
+            self._op_words = []
+            self._op_reply_to = message.reply_to
+        else:
+            # A plain memory has no processor to activate or notify.
+            self.dropped_packets.append(packet)
+
+    def _step_write(self) -> None:
+        """Store one word per (non-preempted) cycle."""
+        if not self._op_words:
+            self._state = _IDLE
+            return
+        self.banks.write_word(self._op_addr, self._op_words.pop(0))
+        self._op_addr += 1
+        if not self._op_words:
+            self._state = _IDLE
+
+    def _step_read(self) -> None:
+        """Fetch one word per cycle, then answer with a read-return packet."""
+        if self._op_remaining > 0:
+            self._op_words.append(
+                self.banks.read_word(self._op_addr + len(self._op_words))
+            )
+            self._op_remaining -= 1
+            return
+        assert self._op_reply_to is not None
+        reply = services.encode_read_return(
+            decode_address(self._op_reply_to), self._op_addr, self._op_words
+        )
+        self.ni.send_packet(reply)
+        self._state = _IDLE
+        self._op_words = []

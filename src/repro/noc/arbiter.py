@@ -1,0 +1,42 @@
+"""Round-robin arbitration, as used by the Hermes router control logic.
+
+"A round-robin arbitration scheme is used to avoid starvation"
+(paper Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class RoundRobinArbiter:
+    """Grants one requester per invocation, rotating priority.
+
+    The arbiter remembers the last granted index and starts the next scan
+    just after it, so persistent requesters cannot starve the others.
+    """
+
+    def __init__(self, n_requesters: int):
+        if n_requesters < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.n = n_requesters
+        self._last_grant = n_requesters - 1
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        """Return the granted requester index, or None if nothing requests.
+
+        *requests* must have one boolean per requester.
+        """
+        if len(requests) != self.n:
+            raise ValueError(
+                f"expected {self.n} request lines, got {len(requests)}"
+            )
+        for offset in range(1, self.n + 1):
+            idx = (self._last_grant + offset) % self.n
+            if requests[idx]:
+                self._last_grant = idx
+                return idx
+        return None
+
+    def reset(self) -> None:
+        self._last_grant = self.n - 1

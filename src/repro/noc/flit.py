@@ -1,0 +1,66 @@
+"""Flit-level constants and helpers for the Hermes NoC.
+
+MultiNoC uses 8-bit flits (paper Section 2.1).  The first flit of every
+packet is the *header flit* carrying the target router address encoded as
+``x`` in the high nibble and ``y`` in the low nibble; the second flit is
+the payload flit count.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Flit width in bits for the MultiNoC configuration.
+FLIT_BITS = 8
+
+#: Largest value a flit can carry.
+FLIT_MAX = (1 << FLIT_BITS) - 1
+
+#: Maximum payload flits in one packet: the paper fixes the packet length
+#: bound at 2**(flit size in bits); the size flit itself caps the payload.
+MAX_PAYLOAD_FLITS = FLIT_MAX
+
+
+def encode_address(x: int, y: int) -> int:
+    """Pack mesh coordinates into a header flit (x high nibble, y low)."""
+    if not 0 <= x <= 0xF or not 0 <= y <= 0xF:
+        raise ValueError(f"router coordinates ({x}, {y}) out of 4-bit range")
+    return (x << 4) | y
+
+
+def decode_address(flit: int) -> Tuple[int, int]:
+    """Unpack a header flit into ``(x, y)`` mesh coordinates."""
+    if not 0 <= flit <= FLIT_MAX:
+        raise ValueError(f"flit value {flit} out of {FLIT_BITS}-bit range")
+    return (flit >> 4) & 0xF, flit & 0xF
+
+
+def split_word(word: int) -> Tuple[int, int]:
+    """Split a 16-bit word into (high, low) flits."""
+    if not 0 <= word <= 0xFFFF:
+        raise ValueError(f"word {word} out of 16-bit range")
+    return (word >> 8) & 0xFF, word & 0xFF
+
+
+def join_word(hi: int, lo: int) -> int:
+    """Join (high, low) flits back into a 16-bit word."""
+    if not 0 <= hi <= 0xFF or not 0 <= lo <= 0xFF:
+        raise ValueError(f"flits ({hi}, {lo}) out of 8-bit range")
+    return (hi << 8) | lo
+
+
+def words_to_flits(words) -> list:
+    """Serialise a sequence of 16-bit words into big-endian flit pairs."""
+    flits = []
+    for w in words:
+        hi, lo = split_word(w)
+        flits.append(hi)
+        flits.append(lo)
+    return flits
+
+
+def flits_to_words(flits) -> list:
+    """Reassemble big-endian flit pairs into 16-bit words."""
+    if len(flits) % 2:
+        raise ValueError(f"odd flit count {len(flits)} cannot form 16-bit words")
+    return [join_word(flits[i], flits[i + 1]) for i in range(0, len(flits), 2)]

@@ -1,0 +1,105 @@
+"""Mesh topology builder for the Hermes NoC.
+
+"The Hermes NoC follows a mesh topology, justified to facilitate routing,
+IP cores placement and chip layout generation" (paper Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..sim import Component, HandshakeTx
+from .flit import FLIT_BITS
+from .routing import OPPOSITE, PORT_DELTA, Port
+from .router import HermesRouter
+
+Address = Tuple[int, int]
+
+
+class Mesh(Component):
+    """A ``width`` x ``height`` grid of Hermes routers, fully wired.
+
+    Neighbouring routers are connected by one handshake channel per
+    direction.  Each router's Local port is exposed as a channel pair so
+    a :class:`~repro.noc.ni.NetworkInterface` (or an IP core) can attach.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        buffer_depth: int = 2,
+        routing_cycles: int = 7,
+        flit_bits: int = FLIT_BITS,
+        stats=None,
+    ):
+        super().__init__(f"mesh{width}x{height}")
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        if width > 16 or height > 16:
+            raise ValueError(
+                "mesh dimensions above 16 do not fit the 4-bit header nibbles"
+            )
+        self.width = width
+        self.height = height
+        self.routers: Dict[Address, HermesRouter] = {}
+        #: channel pairs for the Local port of each router:
+        #: (into-router channel, out-of-router channel)
+        self.local_ports: Dict[Address, Tuple[HandshakeTx, HandshakeTx]] = {}
+
+        for y in range(height):
+            for x in range(width):
+                router = HermesRouter(
+                    f"router{x}{y}",
+                    (x, y),
+                    buffer_depth=buffer_depth,
+                    routing_cycles=routing_cycles,
+                    stats=stats,
+                )
+                self.routers[(x, y)] = router
+                self.add_child(router)
+
+        # Inter-router links: create one channel per direction per edge.
+        for (x, y), router in self.routers.items():
+            for port in (Port.EAST, Port.NORTH):
+                dx, dy = PORT_DELTA[port]
+                nb = (x + dx, y + dy)
+                if nb not in self.routers:
+                    continue
+                neighbour = self.routers[nb]
+                fwd = HandshakeTx(
+                    f"link{x}{y}>{nb[0]}{nb[1]}", data_width=flit_bits
+                )
+                rev = HandshakeTx(
+                    f"link{nb[0]}{nb[1]}>{x}{y}", data_width=flit_bits
+                )
+                router.attach_output(port, fwd)
+                neighbour.attach_input(OPPOSITE[port], fwd)
+                neighbour.attach_output(OPPOSITE[port], rev)
+                router.attach_input(port, rev)
+
+        # Local port channels (IP side attaches later).
+        for (x, y), router in self.routers.items():
+            into = HandshakeTx(f"local{x}{y}.in", data_width=flit_bits)
+            out = HandshakeTx(f"local{x}{y}.out", data_width=flit_bits)
+            router.attach_input(Port.LOCAL, into)
+            router.attach_output(Port.LOCAL, out)
+            self.local_ports[(x, y)] = (into, out)
+
+    # -- queries ------------------------------------------------------------
+
+    def router(self, address: Address) -> HermesRouter:
+        return self.routers[address]
+
+    def local_channels(self, address: Address) -> Tuple[HandshakeTx, HandshakeTx]:
+        """(into-router, out-of-router) channels of the Local port."""
+        return self.local_ports[address]
+
+    @property
+    def idle(self) -> bool:
+        """True when no router holds flits or open connections."""
+        return not any(r.busy for r in self.routers.values())
+
+    def addresses(self):
+        """All router addresses in (y, x) raster order."""
+        return [(x, y) for y in range(self.height) for x in range(self.width)]

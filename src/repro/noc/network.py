@@ -1,0 +1,87 @@
+"""High-level facade over the Hermes mesh for NoC-only experiments.
+
+:class:`HermesNetwork` bundles a mesh, one network interface per router
+and a shared statistics object into a single component, with convenience
+helpers for the benchmark harnesses ("send these packets, run until
+drained, give me latencies").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..sim import Component, Simulator
+from .mesh import Mesh
+from .ni import NetworkInterface
+from .packet import Packet
+from .stats import NetworkStats
+
+Address = Tuple[int, int]
+
+
+class HermesNetwork(Component):
+    """Mesh + per-router network interfaces + statistics."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        buffer_depth: int = 2,
+        routing_cycles: int = 7,
+        stats: Optional[NetworkStats] = None,
+    ):
+        super().__init__(f"hermes{width}x{height}")
+        self.stats = stats if stats is not None else NetworkStats()
+        self.mesh = Mesh(
+            width,
+            height,
+            buffer_depth=buffer_depth,
+            routing_cycles=routing_cycles,
+            stats=self.stats,
+        )
+        self.add_child(self.mesh)
+        self.interfaces: Dict[Address, NetworkInterface] = {}
+        for addr in self.mesh.addresses():
+            ni = NetworkInterface(f"ni{addr[0]}{addr[1]}", addr, stats=self.stats)
+            into, out = self.mesh.local_channels(addr)
+            ni.attach(to_router=into, from_router=out)
+            self.interfaces[addr] = ni
+            self.add_child(ni)
+
+    # -- convenience -------------------------------------------------------
+
+    def send(self, source: Address, target: Address, payload: List[int]) -> Packet:
+        """Queue a packet at *source*'s network interface."""
+        packet = Packet(target=target, payload=payload, source=source)
+        return self.interfaces[source].send_packet(packet)
+
+    @property
+    def drained(self) -> bool:
+        """True when every NI queue is empty and the mesh is idle."""
+        return (
+            all(not ni.tx_busy for ni in self.interfaces.values())
+            and self.mesh.idle
+        )
+
+    def collect_received(self) -> List[Packet]:
+        """Drain and return all packets delivered so far, any interface."""
+        out: List[Packet] = []
+        for ni in self.interfaces.values():
+            while ni.has_received():
+                out.append(ni.pop_received())
+        return out
+
+    def make_simulator(self, clock_hz: float = 50_000_000.0) -> Simulator:
+        """A simulator containing just this network (50 MHz: the paper's
+        figure for the 1 Gbit/s router peak throughput)."""
+        sim = Simulator(clock_hz=clock_hz)
+        sim.add(self)
+        return sim
+
+    def run_to_drain(
+        self, sim: Simulator, max_cycles: int = 1_000_000
+    ) -> int:
+        """Step *sim* until the network has no in-flight traffic."""
+        return sim.run_until(
+            lambda: self.drained, max_cycles=max_cycles, label="network drain"
+        )

@@ -1,0 +1,193 @@
+"""Network interface: packet-level adapter over the flit handshake.
+
+Every IP core in MultiNoC talks to its router's Local port through the
+same tx/data/ack handshake the routers use among themselves.  The
+:class:`NetworkInterface` provides the packet-level view — queue a
+:class:`~repro.noc.packet.Packet` for injection, collect fully reassembled
+packets on reception — while still exercising the exact flit-level timing
+(two cycles per flit, blocking on a busy network).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..sim import Component, HandshakeTx
+from .flit import decode_address
+from .packet import Packet
+
+_RX_HEADER = 0
+_RX_SIZE = 1
+_RX_PAYLOAD = 2
+
+
+class NetworkInterface(Component):
+    """Packet send/receive endpoint attached to a router Local port."""
+
+    def __init__(self, name: str, address: Tuple[int, int], stats=None):
+        super().__init__(name)
+        self.address = address
+        self.stats = stats
+        self.to_router: Optional[HandshakeTx] = None
+        self.from_router: Optional[HandshakeTx] = None
+
+        self._tx_queue: Deque[Packet] = deque()
+        self._tx_flits: List[int] = []
+        self._tx_index = 0
+        self._tx_packet: Optional[Packet] = None
+        self._tx_in_flight = False
+
+        self._rx_state = _RX_HEADER
+        self._rx_flits: List[int] = []
+        self._rx_expected = 0
+        self.received: Deque[Packet] = deque()
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, to_router: HandshakeTx, from_router: HandshakeTx) -> None:
+        """Connect both directions of the Local-port channel pair."""
+        self.to_router = to_router
+        self.from_router = from_router
+        self.adopt_wires([to_router.tx, to_router.data, from_router.ack])
+
+    def detach(self) -> None:
+        """Disconnect from the Local port (dynamic reconfiguration).
+
+        The vacated channel wires are parked at their reset values so the
+        router sees a silent neighbour.
+        """
+        if self.to_router is not None:
+            self.to_router.tx.reset()
+            self.to_router.data.reset()
+            self.disown_wires(
+                [self.to_router.tx, self.to_router.data]
+            )
+        if self.from_router is not None:
+            self.from_router.ack.reset()
+            self.disown_wires([self.from_router.ack])
+        self.to_router = None
+        self.from_router = None
+        # any partially received packet is lost with the region
+        self._rx_state = _RX_HEADER
+        self._rx_flits = []
+
+    # -- packet API -----------------------------------------------------------
+
+    def send_packet(self, packet: Packet) -> Packet:
+        """Queue *packet* for injection; returns it for stamp inspection."""
+        if packet.source is None:
+            packet.source = self.address
+        self._tx_queue.append(packet)
+        return packet
+
+    @property
+    def tx_busy(self) -> bool:
+        """True while any packet is queued or partially injected."""
+        return bool(self._tx_queue) or self._tx_packet is not None
+
+    def has_received(self) -> bool:
+        return bool(self.received)
+
+    def pop_received(self) -> Packet:
+        return self.received.popleft()
+
+    # -- simulation -------------------------------------------------------------
+
+    def eval(self, cycle: int) -> None:
+        self._eval_sender(cycle)
+        self._eval_receiver(cycle)
+
+    def reset(self) -> None:
+        super().reset()
+        self._tx_queue.clear()
+        self._tx_flits = []
+        self._tx_index = 0
+        self._tx_packet = None
+        self._tx_in_flight = False
+        self._rx_state = _RX_HEADER
+        self._rx_flits = []
+        self.received.clear()
+
+    def _eval_sender(self, cycle: int) -> None:
+        ch = self.to_router
+        if ch is None:
+            return
+        if self._tx_packet is None and self._tx_queue:
+            self._tx_packet = self._tx_queue.popleft()
+            self._tx_packet.created_cycle = (
+                self._tx_packet.created_cycle
+                if self._tx_packet.created_cycle is not None
+                else cycle
+            )
+            self._tx_flits = self._tx_packet.to_flits()
+            self._tx_index = 0
+            self._tx_in_flight = False
+        if self._tx_packet is None:
+            ch.tx.drive(0)
+            return
+        if self._tx_in_flight:
+            if ch.ack.value:
+                if self._tx_index == 0:
+                    self._tx_packet.injected_cycle = cycle
+                self._tx_index += 1
+                if self._tx_index >= len(self._tx_flits):
+                    if self.stats is not None:
+                        self.stats.packet_injected(self._tx_packet)
+                    self._tx_packet = None
+                    self._tx_in_flight = False
+                    ch.tx.drive(0)
+                    return
+                self._tx_in_flight = True
+            # present current (or next) flit
+            ch.tx.drive(1)
+            ch.data.drive(self._tx_flits[self._tx_index])
+        else:
+            ch.tx.drive(1)
+            ch.data.drive(self._tx_flits[self._tx_index])
+            self._tx_in_flight = True
+
+    def _eval_receiver(self, cycle: int) -> None:
+        ch = self.from_router
+        if ch is None:
+            return
+        if ch.ack.value:
+            ch.ack.drive(0)
+            return
+        if ch.tx.value:
+            self._accept_flit(ch.data.value, cycle)
+            ch.ack.drive(1)
+        else:
+            ch.ack.drive(0)
+
+    def _accept_flit(self, flit: int, cycle: int) -> None:
+        if self._rx_state == _RX_HEADER:
+            self._rx_flits = [flit]
+            self._rx_state = _RX_SIZE
+        elif self._rx_state == _RX_SIZE:
+            self._rx_flits.append(flit)
+            self._rx_expected = flit
+            if flit == 0:
+                self._finish_packet(cycle)
+            else:
+                self._rx_state = _RX_PAYLOAD
+        else:
+            self._rx_flits.append(flit)
+            self._rx_expected -= 1
+            if self._rx_expected == 0:
+                self._finish_packet(cycle)
+
+    def _finish_packet(self, cycle: int) -> None:
+        packet = Packet.from_flits(self._rx_flits)
+        packet.delivered_cycle = cycle
+        header_target = decode_address(self._rx_flits[0])
+        if header_target != self.address:
+            raise RuntimeError(
+                f"NI at {self.address} received packet addressed to "
+                f"{header_target}: routing is broken"
+            )
+        self.received.append(packet)
+        if self.stats is not None:
+            self.stats.packet_delivered(packet, self.address)
+        self._rx_state = _RX_HEADER
+        self._rx_flits = []

@@ -1,0 +1,73 @@
+"""Packet abstraction over raw flit streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .flit import MAX_PAYLOAD_FLITS, decode_address, encode_address
+
+
+@dataclass
+class Packet:
+    """A Hermes packet: target address plus a payload of 8-bit flits.
+
+    On the wire a packet is ``[header, size, payload...]`` where *header*
+    carries the target router address and *size* the payload flit count
+    (paper Section 2.1).  The ``source`` field and the cycle stamps are
+    simulation metadata used by :class:`~repro.noc.stats.NetworkStats`;
+    they do not travel on the wire.
+    """
+
+    target: Tuple[int, int]
+    payload: List[int] = field(default_factory=list)
+    source: Optional[Tuple[int, int]] = None
+    created_cycle: Optional[int] = None
+    injected_cycle: Optional[int] = None
+    delivered_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        x, y = self.target
+        encode_address(x, y)  # validates coordinate range
+        if len(self.payload) > MAX_PAYLOAD_FLITS:
+            raise ValueError(
+                f"payload of {len(self.payload)} flits exceeds the "
+                f"{MAX_PAYLOAD_FLITS}-flit packet bound"
+            )
+        for flit in self.payload:
+            if not 0 <= flit <= 0xFF:
+                raise ValueError(f"payload flit {flit!r} out of 8-bit range")
+
+    # -- wire format -----------------------------------------------------
+
+    def to_flits(self) -> List[int]:
+        """Serialise to the on-wire flit sequence [header, size, payload...]."""
+        x, y = self.target
+        return [encode_address(x, y), len(self.payload), *self.payload]
+
+    @classmethod
+    def from_flits(cls, flits: Sequence[int]) -> "Packet":
+        """Parse an on-wire flit sequence back into a packet."""
+        if len(flits) < 2:
+            raise ValueError("a packet needs at least header and size flits")
+        size = flits[1]
+        if len(flits) != 2 + size:
+            raise ValueError(
+                f"size flit says {size} payload flits but "
+                f"{len(flits) - 2} are present"
+            )
+        return cls(target=decode_address(flits[0]), payload=list(flits[2:]))
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def size_flits(self) -> int:
+        """Total on-wire length, header and size flits included."""
+        return 2 + len(self.payload)
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Cycles from injection to delivery, when both stamps are known."""
+        if self.injected_cycle is None or self.delivered_cycle is None:
+            return None
+        return self.delivered_cycle - self.injected_cycle

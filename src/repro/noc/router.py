@@ -1,0 +1,257 @@
+"""Cycle-accurate model of the Hermes wormhole router (paper Figure 2).
+
+The router has up to five bi-directional ports (East, West, North, South,
+Local), an input buffer per port (2-flit circular FIFO by default), and a
+single centralised control logic implementing round-robin arbitration and
+deterministic XY routing.  Flits move between routers with the
+asynchronous handshake protocol (tx/data/ack), which takes two clock
+cycles per flit in steady state — the factor two of the paper's latency
+formula.
+
+Timing model
+------------
+* A header flit reaching the head of an idle input buffer raises a
+  routing request.
+* The control logic serves one request at a time; each service occupies
+  the control logic for ``routing_cycles`` cycles (the paper's ``Ri``,
+  "at least 7 clock cycles").  If the XY-selected output is busy the
+  request simply persists and is re-arbitrated later, exactly like a
+  blocked wormhole.
+* Once a connection input->output is established, flits stream through at
+  one flit per two cycles until the payload count (snooped from the size
+  flit) is exhausted, then the connection closes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim import Component, HandshakeTx
+from .arbiter import RoundRobinArbiter
+from .fifo import CircularFifo
+from .flit import decode_address
+from .routing import ALL_PORTS, Port, xy_route
+
+
+class RoutingError(Exception):
+    """A packet asked for an output port that does not exist."""
+
+
+# Input-side packet phases (what the *next popped flit* is).
+_PH_HEADER = 0
+_PH_SIZE = 1
+_PH_PAYLOAD = 2
+
+_CTRL_IDLE = 0
+_CTRL_ROUTING = 1
+
+
+class HermesRouter(Component):
+    """One Hermes router.
+
+    Channels are attached by the mesh builder with :meth:`attach_input`
+    and :meth:`attach_output`; ports without a neighbour stay detached
+    (border routers really do instantiate fewer ports in Hermes).
+    """
+
+    N_PORTS = len(ALL_PORTS)
+
+    def __init__(
+        self,
+        name: str,
+        address: Tuple[int, int],
+        buffer_depth: int = 2,
+        routing_cycles: int = 7,
+        stats=None,
+    ):
+        super().__init__(name)
+        if routing_cycles < 1:
+            raise ValueError("routing_cycles must be at least 1")
+        self.address = address
+        self.buffer_depth = buffer_depth
+        self.routing_cycles = routing_cycles
+        self.stats = stats
+
+        self.in_ch: List[Optional[HandshakeTx]] = [None] * self.N_PORTS
+        self.out_ch: List[Optional[HandshakeTx]] = [None] * self.N_PORTS
+
+        self.fifos = [CircularFifo(buffer_depth) for _ in range(self.N_PORTS)]
+        # Input-side connection state.
+        self.in_conn: List[Optional[int]] = [None] * self.N_PORTS
+        self.in_phase = [_PH_HEADER] * self.N_PORTS
+        self.in_remaining = [0] * self.N_PORTS
+        # Output-side connection state.
+        self.out_owner: List[Optional[int]] = [None] * self.N_PORTS
+        self._in_flight = [False] * self.N_PORTS
+
+        self.arbiter = RoundRobinArbiter(self.N_PORTS)
+        self._ctrl_state = _CTRL_IDLE
+        self._ctrl_input = 0
+        self._ctrl_counter = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_input(self, port: Port, channel: HandshakeTx) -> None:
+        """Attach the receive side of *channel* to *port* (we drive ack)."""
+        self.in_ch[port] = channel
+        self.adopt_wires([channel.ack])
+
+    def attach_output(self, port: Port, channel: HandshakeTx) -> None:
+        """Attach the send side of *channel* to *port* (we drive tx/data)."""
+        self.out_ch[port] = channel
+        self.adopt_wires([channel.tx, channel.data])
+
+    # -- simulation ----------------------------------------------------------
+
+    def eval(self, cycle: int) -> None:
+        self._eval_senders()
+        self._eval_control()
+        self._eval_receivers()
+
+    def reset(self) -> None:
+        super().reset()
+        for fifo in self.fifos:
+            fifo.clear()
+        self.in_conn = [None] * self.N_PORTS
+        self.in_phase = [_PH_HEADER] * self.N_PORTS
+        self.in_remaining = [0] * self.N_PORTS
+        self.out_owner = [None] * self.N_PORTS
+        self._in_flight = [False] * self.N_PORTS
+        self.arbiter.reset()
+        self._ctrl_state = _CTRL_IDLE
+        self._ctrl_counter = 0
+
+    # -- output ports (handshake senders) -----------------------------------
+
+    def _eval_senders(self) -> None:
+        for out in range(self.N_PORTS):
+            ch = self.out_ch[out]
+            if ch is None:
+                continue
+            owner = self.out_owner[out]
+            if owner is None:
+                ch.tx.drive(0)
+                self._in_flight[out] = False
+                continue
+            fifo = self.fifos[owner]
+            if self._in_flight[out]:
+                if ch.ack.value:
+                    flit = fifo.pop()
+                    if self.stats is not None:
+                        self.stats.flit_sent(self.address, out)
+                    self._advance_packet(owner, out, flit)
+                    if self.out_owner[out] == owner and not fifo.is_empty:
+                        ch.tx.drive(1)
+                        ch.data.drive(fifo.head)
+                    else:
+                        ch.tx.drive(0)
+                        self._in_flight[out] = False
+                else:
+                    ch.tx.drive(1)
+                    ch.data.drive(fifo.head)
+            elif not fifo.is_empty:
+                ch.tx.drive(1)
+                ch.data.drive(fifo.head)
+                self._in_flight[out] = True
+            else:
+                ch.tx.drive(0)
+
+    def _advance_packet(self, in_port: int, out_port: int, flit: int) -> None:
+        """Track packet framing as a flit leaves, closing on the last one."""
+        phase = self.in_phase[in_port]
+        if phase == _PH_HEADER:
+            self.in_phase[in_port] = _PH_SIZE
+        elif phase == _PH_SIZE:
+            if flit == 0:
+                self._close_connection(in_port, out_port)
+            else:
+                self.in_remaining[in_port] = flit
+                self.in_phase[in_port] = _PH_PAYLOAD
+        else:
+            self.in_remaining[in_port] -= 1
+            if self.in_remaining[in_port] == 0:
+                self._close_connection(in_port, out_port)
+
+    def _close_connection(self, in_port: int, out_port: int) -> None:
+        self.in_conn[in_port] = None
+        self.in_phase[in_port] = _PH_HEADER
+        self.in_remaining[in_port] = 0
+        self.out_owner[out_port] = None
+        self._in_flight[out_port] = False
+        if self.stats is not None:
+            self.stats.connection_closed(self.address)
+
+    # -- control logic (arbitration + XY routing) ---------------------------
+
+    def _eval_control(self) -> None:
+        if self._ctrl_state == _CTRL_IDLE:
+            requests = [
+                self.in_ch[p] is not None
+                and self.in_conn[p] is None
+                and not self.fifos[p].is_empty
+                for p in range(self.N_PORTS)
+            ]
+            grant = self.arbiter.grant(requests)
+            if grant is not None:
+                self._ctrl_state = _CTRL_ROUTING
+                self._ctrl_input = grant
+                self._ctrl_counter = self.routing_cycles - 1
+        else:
+            if self._ctrl_counter > 0:
+                self._ctrl_counter -= 1
+                return
+            self._ctrl_state = _CTRL_IDLE
+            in_port = self._ctrl_input
+            # The request may have vanished (it cannot in normal operation,
+            # but a reset mid-route keeps this safe).
+            if self.in_conn[in_port] is not None or self.fifos[in_port].is_empty:
+                return
+            target = decode_address(self.fifos[in_port].head)
+            out_port = xy_route(self.address, target)
+            if self.out_ch[out_port] is None:
+                raise RoutingError(
+                    f"router {self.address}: packet for {target} needs "
+                    f"missing port {Port(out_port).name}"
+                )
+            if self.out_owner[out_port] is None:
+                self.in_conn[in_port] = out_port
+                self.out_owner[out_port] = in_port
+                if self.stats is not None:
+                    self.stats.connection_opened(self.address)
+            elif self.stats is not None:
+                self.stats.routing_blocked(self.address)
+
+    # -- input ports (handshake receivers) -----------------------------------
+
+    def _eval_receivers(self) -> None:
+        for p in range(self.N_PORTS):
+            ch = self.in_ch[p]
+            if ch is None:
+                continue
+            if ch.ack.value:
+                # ack is a single-cycle pulse.
+                ch.ack.drive(0)
+            elif ch.tx.value and not self.fifos[p].is_full:
+                self.fifos[p].push(ch.data.value)
+                ch.ack.drive(1)
+                if self.stats is not None:
+                    self.stats.flit_received(self.address, p)
+            else:
+                if (
+                    self.stats is not None
+                    and ch.tx.value
+                    and self.fifos[p].is_full
+                ):
+                    self.stats.stall(self.address, p)
+                ch.ack.drive(0)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while any buffer holds flits or any connection is open."""
+        return (
+            any(not f.is_empty for f in self.fifos)
+            or any(c is not None for c in self.in_conn)
+            or self._ctrl_state != _CTRL_IDLE
+        )

@@ -1,0 +1,72 @@
+"""Port naming and the deterministic XY routing algorithm."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Tuple
+
+
+class Port(IntEnum):
+    """Hermes router ports (paper Figure 2)."""
+
+    EAST = 0
+    WEST = 1
+    NORTH = 2
+    SOUTH = 3
+    LOCAL = 4
+
+
+#: All ports, in arbitration scan order.
+ALL_PORTS = tuple(Port)
+
+#: Unit coordinate displacement of each non-local port.
+PORT_DELTA = {
+    Port.EAST: (1, 0),
+    Port.WEST: (-1, 0),
+    Port.NORTH: (0, 1),
+    Port.SOUTH: (0, -1),
+}
+
+#: The reverse direction of each non-local port (EAST output feeds the
+#: neighbour's WEST input, and so on).
+OPPOSITE = {
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+}
+
+
+def xy_route(current: Tuple[int, int], target: Tuple[int, int]) -> Port:
+    """Deterministic XY routing: correct X first, then Y, then deliver.
+
+    This is the algorithm the paper names in Section 2.1.  Being
+    dimension-ordered it is deadlock-free on a mesh.
+    """
+    cx, cy = current
+    tx, ty = target
+    if tx > cx:
+        return Port.EAST
+    if tx < cx:
+        return Port.WEST
+    if ty > cy:
+        return Port.NORTH
+    if ty < cy:
+        return Port.SOUTH
+    return Port.LOCAL
+
+
+def route_path(source: Tuple[int, int], target: Tuple[int, int]) -> list:
+    """The full list of routers an XY-routed packet traverses.
+
+    Includes both endpoints, matching the latency formula's ``n`` ("number
+    of routers in the communication path (source and target included)").
+    """
+    path = [source]
+    pos = source
+    while pos != target:
+        port = xy_route(pos, target)
+        dx, dy = PORT_DELTA[port]
+        pos = (pos[0] + dx, pos[1] + dy)
+        path.append(pos)
+    return path

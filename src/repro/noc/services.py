@@ -1,0 +1,247 @@
+"""The nine Hermes packet services of MultiNoC (paper Section 2.1).
+
+    1. read from memory      5. printf        8. notify
+    2. read return           6. scanf         9. wait
+    3. write in memory       7. scanf return
+    4. activate processor
+
+Every service is a payload layout on top of :class:`~repro.noc.packet.Packet`.
+The first payload flit is always the service command byte; 16-bit values
+travel big-endian as two flits.  ``encode_*`` builds a packet, ``decode``
+parses one into the matching dataclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Sequence, Tuple, Union
+
+from .flit import flits_to_words, split_word, words_to_flits
+from .packet import Packet
+
+Address = Tuple[int, int]
+
+
+class Service(IntEnum):
+    """Command byte carried in the first payload flit."""
+
+    READ = 0x00
+    WRITE = 0x01
+    ACTIVATE = 0x02
+    SCANF_RETURN = 0x03
+    READ_RETURN = 0x10
+    PRINTF = 0x11
+    SCANF = 0x12
+    NOTIFY = 0x20
+    WAIT = 0x21
+
+
+class ServiceError(Exception):
+    """A packet payload does not parse as a valid service."""
+
+
+# -- decoded message types ---------------------------------------------------
+
+
+@dataclass
+class ReadRequest:
+    """Request *count* words starting at *address* from a memory-capable IP.
+
+    ``reply_to`` is the NoC address flit of the requester so the memory
+    knows where to send the read-return packet.
+    """
+
+    reply_to: int
+    address: int
+    count: int
+
+
+@dataclass
+class ReadReturn:
+    """Response to a :class:`ReadRequest`."""
+
+    address: int
+    words: List[int]
+
+
+@dataclass
+class WriteRequest:
+    """Store ``words`` into the target memory starting at ``address``."""
+
+    address: int
+    words: List[int]
+
+
+@dataclass
+class Activate:
+    """Start the target processor from address 0 of its local memory."""
+
+
+@dataclass
+class Printf:
+    """Processor ``proc`` sends ``words`` to the host console."""
+
+    proc: int
+    words: List[int]
+
+
+@dataclass
+class Scanf:
+    """Processor ``proc`` requests one word of user input from the host."""
+
+    proc: int
+
+
+@dataclass
+class ScanfReturn:
+    """Host's answer to a :class:`Scanf`."""
+
+    value: int
+
+
+@dataclass
+class Notify:
+    """Wake the target processor; ``source`` is the notifier's id."""
+
+    source: int
+
+
+@dataclass
+class Wait:
+    """Park the target processor until notified by processor ``source``."""
+
+    source: int
+
+
+Message = Union[
+    ReadRequest,
+    ReadReturn,
+    WriteRequest,
+    Activate,
+    Printf,
+    Scanf,
+    ScanfReturn,
+    Notify,
+    Wait,
+]
+
+
+# -- encoders ------------------------------------------------------------------
+
+
+def encode_read(
+    target: Address, reply_to: int, address: int, count: int
+) -> Packet:
+    if not 1 <= count <= 0xFF:
+        raise ServiceError(f"read count {count} out of range 1..255")
+    hi, lo = split_word(address)
+    return Packet(target, [Service.READ, reply_to, count, hi, lo])
+
+
+def encode_read_return(
+    target: Address, address: int, words: Sequence[int]
+) -> Packet:
+    hi, lo = split_word(address)
+    payload = [Service.READ_RETURN, hi, lo, len(words), *words_to_flits(words)]
+    return Packet(target, payload)
+
+
+def encode_write(target: Address, address: int, words: Sequence[int]) -> Packet:
+    if not words:
+        raise ServiceError("write packet needs at least one word")
+    hi, lo = split_word(address)
+    payload = [Service.WRITE, hi, lo, len(words), *words_to_flits(words)]
+    return Packet(target, payload)
+
+
+def encode_activate(target: Address) -> Packet:
+    return Packet(target, [Service.ACTIVATE])
+
+
+def encode_printf(target: Address, proc: int, words: Sequence[int]) -> Packet:
+    payload = [Service.PRINTF, proc, len(words), *words_to_flits(words)]
+    return Packet(target, payload)
+
+
+def encode_scanf(target: Address, proc: int) -> Packet:
+    return Packet(target, [Service.SCANF, proc])
+
+
+def encode_scanf_return(target: Address, value: int) -> Packet:
+    hi, lo = split_word(value)
+    return Packet(target, [Service.SCANF_RETURN, hi, lo])
+
+
+def encode_notify(target: Address, source: int) -> Packet:
+    return Packet(target, [Service.NOTIFY, source])
+
+
+def encode_wait(target: Address, source: int) -> Packet:
+    return Packet(target, [Service.WAIT, source])
+
+
+# -- decoder -------------------------------------------------------------------
+
+
+def _need(payload: Sequence[int], n: int, what: str) -> None:
+    if len(payload) < n:
+        raise ServiceError(
+            f"{what}: payload has {len(payload)} flits, expected >= {n}"
+        )
+
+
+def decode(packet: Packet) -> Message:
+    """Parse a packet's payload into its service message."""
+    payload = packet.payload
+    _need(payload, 1, "service packet")
+    try:
+        service = Service(payload[0])
+    except ValueError as exc:
+        raise ServiceError(f"unknown service byte 0x{payload[0]:02x}") from exc
+
+    if service == Service.READ:
+        _need(payload, 5, "read")
+        return ReadRequest(
+            reply_to=payload[1],
+            count=payload[2],
+            address=(payload[3] << 8) | payload[4],
+        )
+    if service == Service.READ_RETURN:
+        _need(payload, 4, "read return")
+        count = payload[3]
+        _need(payload, 4 + 2 * count, "read return data")
+        return ReadReturn(
+            address=(payload[1] << 8) | payload[2],
+            words=flits_to_words(payload[4 : 4 + 2 * count]),
+        )
+    if service == Service.WRITE:
+        _need(payload, 4, "write")
+        count = payload[3]
+        _need(payload, 4 + 2 * count, "write data")
+        return WriteRequest(
+            address=(payload[1] << 8) | payload[2],
+            words=flits_to_words(payload[4 : 4 + 2 * count]),
+        )
+    if service == Service.ACTIVATE:
+        return Activate()
+    if service == Service.PRINTF:
+        _need(payload, 3, "printf")
+        count = payload[2]
+        _need(payload, 3 + 2 * count, "printf data")
+        return Printf(
+            proc=payload[1], words=flits_to_words(payload[3 : 3 + 2 * count])
+        )
+    if service == Service.SCANF:
+        _need(payload, 2, "scanf")
+        return Scanf(proc=payload[1])
+    if service == Service.SCANF_RETURN:
+        _need(payload, 3, "scanf return")
+        return ScanfReturn(value=(payload[1] << 8) | payload[2])
+    if service == Service.NOTIFY:
+        _need(payload, 2, "notify")
+        return Notify(source=payload[1])
+    if service == Service.WAIT:
+        _need(payload, 2, "wait")
+        return Wait(source=payload[1])
+    raise ServiceError(f"unhandled service {service!r}")  # pragma: no cover

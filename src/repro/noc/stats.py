@@ -1,0 +1,161 @@
+"""Network statistics collection.
+
+Routers and network interfaces call into a shared :class:`NetworkStats`
+instance; benchmarks read the aggregates (latency distribution, accepted
+throughput, blocking) from it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .flit import FLIT_BITS
+from .packet import Packet
+
+Address = Tuple[int, int]
+
+
+@dataclass
+class NetworkStats:
+    """Counters shared across routers and network interfaces."""
+
+    flits_received: Dict[Tuple[Address, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    flits_sent: Dict[Tuple[Address, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    stall_cycles: Dict[Tuple[Address, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    blocked_routings: Dict[Address, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    connections_opened: Dict[Address, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    connections_closed: Dict[Address, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    packets_injected: int = 0
+    packets_delivered: int = 0
+    latencies: List[int] = field(default_factory=list)
+    delivered_flits: int = 0
+    _in_flight: Dict[tuple, list] = field(default_factory=lambda: defaultdict(list))
+
+    # -- hooks called by the models ---------------------------------------
+
+    def flit_received(self, router: Address, port: int) -> None:
+        self.flits_received[(router, port)] += 1
+
+    def flit_sent(self, router: Address, port: int) -> None:
+        self.flits_sent[(router, port)] += 1
+
+    def stall(self, router: Address, port: int) -> None:
+        self.stall_cycles[(router, port)] += 1
+
+    def routing_blocked(self, router: Address) -> None:
+        self.blocked_routings[router] += 1
+
+    def connection_opened(self, router: Address) -> None:
+        self.connections_opened[router] += 1
+
+    def connection_closed(self, router: Address) -> None:
+        self.connections_closed[router] += 1
+
+    def packet_injected(self, packet: Packet) -> None:
+        """Record an injection; remember its cycle for latency matching.
+
+        A delivered packet is a fresh object reassembled from flits, so the
+        injection stamp cannot ride along.  Packets are matched FIFO on
+        (target, payload) — identical concurrent packets are
+        interchangeable for latency purposes.
+        """
+        self.packets_injected += 1
+        key = (packet.target, tuple(packet.payload))
+        self._in_flight[key].append(packet.injected_cycle)
+
+    def packet_delivered(self, packet: Packet, at: Address) -> None:
+        self.packets_delivered += 1
+        self.delivered_flits += packet.size_flits
+        key = (packet.target, tuple(packet.payload))
+        pending = self._in_flight.get(key)
+        if pending:
+            packet.injected_cycle = pending.pop(0)
+        if packet.latency is not None:
+            self.latencies.append(packet.latency)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def average_latency(self) -> float:
+        """Mean injection-to-delivery latency in clock cycles."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> int:
+        return max(self.latencies) if self.latencies else 0
+
+    def router_flits_sent(self, router: Address) -> int:
+        """Total flits a router pushed out across all its ports."""
+        return sum(
+            count for (addr, _), count in self.flits_sent.items() if addr == router
+        )
+
+    def accepted_throughput(self, cycles: int) -> float:
+        """Delivered payload in flits per cycle over *cycles*."""
+        if cycles <= 0:
+            return 0.0
+        return self.delivered_flits / cycles
+
+    def link_load(self, router: Address, port: int, cycles: int) -> float:
+        """Utilisation of one output link in [0, 1] (1.0 = the 2-cycle
+        handshake bound: one flit every two cycles)."""
+        if cycles <= 0:
+            return 0.0
+        return self.flits_sent[(router, port)] * 2 / cycles
+
+    def utilisation_grid(self, width: int, height: int, cycles: int):
+        """Per-router total output utilisation, as a [y][x] grid."""
+        grid = []
+        for y in range(height):
+            row = []
+            for x in range(width):
+                total = sum(
+                    self.link_load((x, y), port, cycles) for port in range(5)
+                )
+                row.append(total)
+            grid.append(row)
+        return grid
+
+    def heatmap(self, width: int, height: int, cycles: int) -> str:
+        """ASCII traffic heatmap of the mesh (top row = highest y)."""
+        grid = self.utilisation_grid(width, height, cycles)
+        peak = max((v for row in grid for v in row), default=0.0) or 1.0
+        ramp = " .:-=+*#%@"
+        lines = []
+        for y in reversed(range(height)):
+            cells = []
+            for x in range(width):
+                level = int(grid[y][x] / peak * (len(ramp) - 1))
+                cells.append(ramp[level] * 3)
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    def router_throughput_bps(
+        self, router: Address, cycles: int, clock_hz: float
+    ) -> float:
+        """A single router's aggregate bandwidth in bits per second.
+
+        At 50 MHz with 8-bit flits and the 2-cycle handshake each port
+        moves 200 Mbit/s, so a fully loaded five-port router reaches the
+        paper's 1 Gbit/s peak figure.
+        """
+        if cycles <= 0:
+            return 0.0
+        flits = self.router_flits_sent(router)
+        return flits * FLIT_BITS * clock_hz / cycles

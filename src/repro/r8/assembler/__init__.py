@@ -1,0 +1,20 @@
+"""Two-pass assembler for the R8 instruction set."""
+
+from .assembler import Assembler, assemble
+from .errors import AsmError
+from .linker import Module, link
+from .objectfile import ObjectCode
+from .parser import Expr, Reg, Statement, parse
+
+__all__ = [
+    "AsmError",
+    "Assembler",
+    "Expr",
+    "Module",
+    "link",
+    "ObjectCode",
+    "Reg",
+    "Statement",
+    "assemble",
+    "parse",
+]

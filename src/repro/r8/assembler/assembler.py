@@ -1,0 +1,350 @@
+"""Two-pass R8 assembler.
+
+Pass 1 walks the statements maintaining a location counter and collects
+every label and ``.equ`` into the symbol table; pass 2 encodes
+instructions and data with all symbols known.
+
+Supported directives::
+
+    .org  expr          set the location counter
+    .word expr, ...     emit literal words
+    .space expr         reserve zero-filled words
+    .string "text"      one character per word, NUL terminated
+    .equ  name, expr    define a constant
+
+Pseudo-instructions::
+
+    LDI  Rt, expr       -> LDH + LDL           (16-bit constant load)
+    CLR  Rt             -> XOR Rt, Rt, Rt
+    JMP  label          -> JMPD with computed displacement
+    JSR  label          -> JSRD with computed displacement
+
+Displacement jumps accept either a register-free expression (a target
+address, converted to a PC-relative displacement) — this is the common
+case with labels — and raise if the target is out of the signed 8-bit
+range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .. import isa
+from .errors import AsmError
+from .macro import expand_macros, resolve_includes
+from .objectfile import ObjectCode
+from .parser import Expr, Reg, Statement, parse
+
+#: pseudo-instruction -> emitted word count
+_PSEUDO_SIZES = {"LDI": 2, "CLR": 1, "JMP": 1, "JSR": 1}
+
+#: mnemonics taking a displacement expression operand
+_DISP_OPS = {
+    "JMPD",
+    "JMPND",
+    "JMPZD",
+    "JMPCD",
+    "JMPVD",
+    "JSRD",
+}
+
+
+@dataclass
+class _Item:
+    """A pass-1 placement: statement plus its resolved address."""
+
+    stmt: Statement
+    address: int
+
+
+class Assembler:
+    """Reusable two-pass assembler instance."""
+
+    def __init__(self, filename: str = "<asm>"):
+        self.filename = filename
+
+    # -- public API ----------------------------------------------------------
+
+    def assemble(self, source: str) -> ObjectCode:
+        source = resolve_includes(source, self.filename)
+        statements = expand_macros(parse(source, self.filename), self.filename)
+        return self.assemble_statements(statements)
+
+    def assemble_statements(self, statements: List[Statement]) -> ObjectCode:
+        """Run the two passes over already-parsed statements (used by the
+        linker, which stitches statement streams from several modules)."""
+        symbols, items = self._pass1(statements)
+        return self._pass2(items, symbols)
+
+    # -- pass 1: layout -------------------------------------------------------
+
+    def _statement_size(self, stmt: Statement, symbols: Dict[str, int]) -> int:
+        op = stmt.op
+        if op is None:
+            return 0
+        if op.startswith("."):
+            if op == ".org":
+                return 0  # handled separately
+            if op == ".word":
+                return len(stmt.operands)
+            if op == ".space":
+                return self._const_operand(stmt, 0, symbols)
+            if op == ".string":
+                if len(stmt.operands) != 1 or not isinstance(stmt.operands[0], str):
+                    raise AsmError(".string needs one string", stmt.line, self.filename)
+                return len(stmt.operands[0]) + 1
+            if op == ".equ":
+                return 0
+            if op in (".global", ".extern"):
+                return 0  # visibility markers, consumed by the linker
+            raise AsmError(f"unknown directive {op}", stmt.line, self.filename)
+        if op in _PSEUDO_SIZES:
+            return _PSEUDO_SIZES[op]
+        if op.upper() in isa.SPECS:
+            return 1
+        raise AsmError(f"unknown mnemonic {op}", stmt.line, self.filename)
+
+    def _const_operand(
+        self, stmt: Statement, index: int, symbols: Dict[str, int]
+    ) -> int:
+        """Evaluate an operand that must be constant already in pass 1."""
+        if index >= len(stmt.operands):
+            raise AsmError(f"{stmt.op} needs operand {index + 1}", stmt.line, self.filename)
+        operand = stmt.operands[index]
+        if not isinstance(operand, Expr):
+            raise AsmError(f"{stmt.op} needs a constant", stmt.line, self.filename)
+        return operand.evaluate(symbols, stmt.line, self.filename)
+
+    def _pass1(
+        self, statements: List[Statement]
+    ) -> Tuple[Dict[str, int], List[_Item]]:
+        symbols: Dict[str, int] = {}
+        items: List[_Item] = []
+        lc = 0
+        for stmt in statements:
+            for label in stmt.labels:
+                if label in symbols:
+                    raise AsmError(
+                        f"duplicate symbol {label!r}", stmt.line, self.filename
+                    )
+                symbols[label] = lc
+            if stmt.op == ".org":
+                lc = self._const_operand(stmt, 0, symbols)
+                items.append(_Item(stmt, lc))
+                continue
+            if stmt.op == ".equ":
+                if len(stmt.operands) != 2 or not isinstance(stmt.operands[0], Expr):
+                    raise AsmError(
+                        ".equ needs: name, value", stmt.line, self.filename
+                    )
+                name_terms = stmt.operands[0].terms
+                if len(name_terms) != 1 or not isinstance(name_terms[0][1], str):
+                    raise AsmError(
+                        ".equ needs a symbol name", stmt.line, self.filename
+                    )
+                name = name_terms[0][1]
+                if name in symbols:
+                    raise AsmError(
+                        f"duplicate symbol {name!r}", stmt.line, self.filename
+                    )
+                value = stmt.operands[1]
+                if not isinstance(value, Expr):
+                    raise AsmError(".equ value must be constant", stmt.line, self.filename)
+                symbols[name] = value.evaluate(symbols, stmt.line, self.filename)
+                continue
+            items.append(_Item(stmt, lc))
+            lc += self._statement_size(stmt, symbols)
+        return symbols, items
+
+    # -- pass 2: encode -------------------------------------------------------
+
+    def _pass2(self, items: List[_Item], symbols: Dict[str, int]) -> ObjectCode:
+        obj = ObjectCode(symbols=dict(symbols))
+        segment_origin = 0
+        words: List[int] = []
+        next_address = 0
+
+        def flush() -> None:
+            nonlocal words
+            if words:
+                obj.segments.append((segment_origin, words))
+                words = []
+
+        for item in items:
+            stmt = item.stmt
+            if stmt.op == ".org":
+                flush()
+                segment_origin = item.address
+                next_address = item.address
+                continue
+            if stmt.op is None:
+                continue
+            emitted = self._encode_statement(stmt, item.address, symbols)
+            if emitted:
+                if words and item.address != next_address:
+                    flush()
+                    segment_origin = item.address
+                elif not words:
+                    segment_origin = item.address
+            for offset, word in enumerate(emitted):
+                obj.listing.append(
+                    f"{item.address + offset:04x}  "
+                    f"{word:04x}  {stmt.source_text.strip()}"
+                )
+                words.append(word)
+            next_address = item.address + len(emitted)
+        flush()
+        return obj
+
+    def _reg(self, stmt: Statement, index: int) -> int:
+        if index >= len(stmt.operands) or not isinstance(stmt.operands[index], Reg):
+            raise AsmError(
+                f"{stmt.op}: operand {index + 1} must be a register",
+                stmt.line,
+                self.filename,
+            )
+        return stmt.operands[index].index  # type: ignore[union-attr]
+
+    def _value(
+        self, stmt: Statement, index: int, symbols: Dict[str, int]
+    ) -> int:
+        if index >= len(stmt.operands) or not isinstance(stmt.operands[index], Expr):
+            raise AsmError(
+                f"{stmt.op}: operand {index + 1} must be an expression",
+                stmt.line,
+                self.filename,
+            )
+        return stmt.operands[index].evaluate(symbols, stmt.line, self.filename)
+
+    def _expect_operands(self, stmt: Statement, count: int) -> None:
+        if len(stmt.operands) != count:
+            raise AsmError(
+                f"{stmt.op} expects {count} operand(s), got {len(stmt.operands)}",
+                stmt.line,
+                self.filename,
+            )
+
+    def _disp_from(
+        self, stmt: Statement, index: int, address: int, symbols: Dict[str, int]
+    ) -> int:
+        """Displacement = target - (address of next instruction)."""
+        target = self._value(stmt, index, symbols)
+        disp = target - (address + 1)
+        if not -128 <= disp <= 127:
+            raise AsmError(
+                f"{stmt.op}: target {target:#06x} out of displacement range "
+                f"({disp} not in [-128, 127])",
+                stmt.line,
+                self.filename,
+            )
+        return disp & 0xFF
+
+    def _encode_statement(
+        self, stmt: Statement, address: int, symbols: Dict[str, int]
+    ) -> List[int]:
+        op = stmt.op
+        assert op is not None
+
+        # directives emitting data
+        if op == ".word":
+            out = []
+            for i in range(len(stmt.operands)):
+                value = self._value(stmt, i, symbols) & 0xFFFF
+                out.append(value)
+            if not out:
+                raise AsmError(".word needs at least one value", stmt.line, self.filename)
+            return out
+        if op == ".space":
+            return [0] * self._const_operand(stmt, 0, symbols)
+        if op == ".string":
+            text = stmt.operands[0]
+            assert isinstance(text, str)
+            return [ord(ch) & 0xFFFF for ch in text] + [0]
+        if op in (".global", ".extern"):
+            return []
+        if op.startswith("."):
+            raise AsmError(f"unknown directive {op}", stmt.line, self.filename)
+
+        # pseudo-instructions
+        if op == "LDI":
+            self._expect_operands(stmt, 2)
+            rt = self._reg(stmt, 0)
+            value = self._value(stmt, 1, symbols) & 0xFFFF
+            ldh = isa.Instruction(isa.spec("LDH"), rt=rt, imm=(value >> 8) & 0xFF)
+            ldl = isa.Instruction(isa.spec("LDL"), rt=rt, imm=value & 0xFF)
+            return [isa.encode(ldh), isa.encode(ldl)]
+        if op == "CLR":
+            self._expect_operands(stmt, 1)
+            rt = self._reg(stmt, 0)
+            return [isa.encode(isa.Instruction(isa.spec("XOR"), rt=rt, rs1=rt, rs2=rt))]
+        if op == "JMP":
+            self._expect_operands(stmt, 1)
+            disp = self._disp_from(stmt, 0, address, symbols)
+            return [isa.encode(isa.Instruction(isa.spec("JMPD"), imm=disp))]
+        if op == "JSR":
+            self._expect_operands(stmt, 1)
+            disp = self._disp_from(stmt, 0, address, symbols)
+            return [isa.encode(isa.Instruction(isa.spec("JSRD"), imm=disp))]
+
+        spec = isa.spec(op)
+
+        if spec.fmt == isa.Fmt.RRR:
+            self._expect_operands(stmt, 3)
+            instr = isa.Instruction(
+                spec,
+                rt=self._reg(stmt, 0),
+                rs1=self._reg(stmt, 1),
+                rs2=self._reg(stmt, 2),
+            )
+        elif spec.fmt == isa.Fmt.RI:
+            self._expect_operands(stmt, 2)
+            imm = self._value(stmt, 1, symbols)
+            if not -128 <= imm <= 255:
+                raise AsmError(
+                    f"{op}: immediate {imm} out of 8-bit range",
+                    stmt.line,
+                    self.filename,
+                )
+            instr = isa.Instruction(spec, rt=self._reg(stmt, 0), imm=imm & 0xFF)
+        elif spec.fmt == isa.Fmt.RR:
+            if spec.mnemonic in ("PUSH", "LDSP"):
+                self._expect_operands(stmt, 1)
+                instr = isa.Instruction(spec, rs1=self._reg(stmt, 0))
+            elif spec.mnemonic in ("POP", "RDSP"):
+                self._expect_operands(stmt, 1)
+                instr = isa.Instruction(spec, rt=self._reg(stmt, 0))
+            else:  # NOT, shifts, MOV: Rt, Rs
+                self._expect_operands(stmt, 2)
+                instr = isa.Instruction(
+                    spec, rt=self._reg(stmt, 0), rs1=self._reg(stmt, 1)
+                )
+        elif spec.fmt == isa.Fmt.JR:
+            self._expect_operands(stmt, 1)
+            instr = isa.Instruction(spec, rs1=self._reg(stmt, 0))
+        elif spec.fmt == isa.Fmt.JD:
+            self._expect_operands(stmt, 1)
+            instr = isa.Instruction(
+                spec, imm=self._disp_from(stmt, 0, address, symbols)
+            )
+        elif spec.fmt == isa.Fmt.SUBR:
+            if spec.mnemonic == "JSRR":
+                self._expect_operands(stmt, 1)
+                instr = isa.Instruction(spec, rs1=self._reg(stmt, 0))
+            elif spec.mnemonic == "JSRD":
+                self._expect_operands(stmt, 1)
+                instr = isa.Instruction(
+                    spec, imm=self._disp_from(stmt, 0, address, symbols)
+                )
+            else:  # RTS
+                self._expect_operands(stmt, 0)
+                instr = isa.Instruction(spec)
+        else:  # MISC
+            self._expect_operands(stmt, 0)
+            instr = isa.Instruction(spec)
+        return [isa.encode(instr)]
+
+
+def assemble(source: str, filename: str = "<asm>") -> ObjectCode:
+    """Assemble *source* and return its :class:`ObjectCode`."""
+    return Assembler(filename).assemble(source)

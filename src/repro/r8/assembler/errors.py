@@ -1,0 +1,13 @@
+"""Assembler diagnostics."""
+
+from __future__ import annotations
+
+
+class AsmError(Exception):
+    """An assembly-time error, carrying source position information."""
+
+    def __init__(self, message: str, line: int = 0, source: str = "<asm>"):
+        self.message = message
+        self.line = line
+        self.source = source
+        super().__init__(f"{source}:{line}: {message}" if line else message)

@@ -1,0 +1,135 @@
+"""Tokenizer for R8 assembly source.
+
+The surface syntax follows the classic two-pass assembler conventions the
+R8 Simulator environment used: one statement per line, optional
+``label:`` prefix, ``;`` comments, ``.directives``, ``R0``..``R15``
+registers, decimal / ``0x`` hex / ``'c'`` character literals.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List
+
+from .errors import AsmError
+
+
+class TokKind(Enum):
+    LABEL = "label"  # identifier followed by ':'
+    IDENT = "ident"  # mnemonic, directive argument, symbol
+    DIRECTIVE = "directive"  # .org, .word, ...
+    REGISTER = "register"  # R0..R15
+    NUMBER = "number"
+    STRING = "string"
+    COMMA = "comma"
+    PLUS = "plus"
+    MINUS = "minus"
+    NEWLINE = "newline"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    value: int = 0
+    line: int = 0
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>;[^\n]*|//[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<char>'(?:[^'\\]|\\.)')
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<number>\d+)
+  | (?P<directive>\.[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<label>[A-Za-z_][A-Za-z0-9_]*[ \t]*:)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<comma>,)
+  | (?P<plus>\+)
+  | (?P<minus>-)
+  | (?P<hash>\#)
+    """,
+    re.VERBOSE,
+)
+
+_REGISTER_RE = re.compile(r"^[rR](\d{1,2})$")
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'", '"': '"'}
+
+
+def _unescape(body: str) -> str:
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            out.append(_ESCAPES.get(body[i + 1], body[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def tokenize(source: str, filename: str = "<asm>") -> List[Token]:
+    """Tokenize assembly *source* into a flat token list.
+
+    Every line ends with a NEWLINE token (including the last), so the
+    parser can treat lines uniformly.
+    """
+    tokens: List[Token] = []
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        pos = 0
+        while pos < len(line):
+            m = _TOKEN_RE.match(line, pos)
+            if m is None:
+                raise AsmError(
+                    f"unexpected character {line[pos]!r}", line_no, filename
+                )
+            pos = m.end()
+            kind = m.lastgroup
+            text = m.group()
+            if kind in ("ws", "comment"):
+                continue
+            if kind == "comment":
+                break
+            if kind == "hash":
+                continue  # optional '#' immediate prefix is decorative
+            if kind == "hex":
+                tokens.append(Token(TokKind.NUMBER, text, int(text, 16), line_no))
+            elif kind == "number":
+                tokens.append(Token(TokKind.NUMBER, text, int(text, 10), line_no))
+            elif kind == "char":
+                ch = _unescape(text[1:-1])
+                if len(ch) != 1:
+                    raise AsmError(f"bad char literal {text}", line_no, filename)
+                tokens.append(Token(TokKind.NUMBER, text, ord(ch), line_no))
+            elif kind == "string":
+                tokens.append(
+                    Token(TokKind.STRING, _unescape(text[1:-1]), 0, line_no)
+                )
+            elif kind == "directive":
+                tokens.append(Token(TokKind.DIRECTIVE, text.lower(), 0, line_no))
+            elif kind == "label":
+                name = text.rstrip()[:-1].rstrip()
+                tokens.append(Token(TokKind.LABEL, name, 0, line_no))
+            elif kind == "ident":
+                reg = _REGISTER_RE.match(text)
+                if reg and int(reg.group(1)) < 16:
+                    tokens.append(
+                        Token(TokKind.REGISTER, text, int(reg.group(1)), line_no)
+                    )
+                else:
+                    tokens.append(Token(TokKind.IDENT, text, 0, line_no))
+            elif kind == "comma":
+                tokens.append(Token(TokKind.COMMA, text, 0, line_no))
+            elif kind == "plus":
+                tokens.append(Token(TokKind.PLUS, text, 0, line_no))
+            elif kind == "minus":
+                tokens.append(Token(TokKind.MINUS, text, 0, line_no))
+        tokens.append(Token(TokKind.NEWLINE, "\n", 0, line_no))
+    return tokens

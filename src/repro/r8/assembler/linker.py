@@ -1,0 +1,191 @@
+"""Multi-module linking for R8 programs.
+
+Real applications (the edge detector, the C runtime) are built from
+several source modules; this linker combines them with proper symbol
+visibility:
+
+* ``.global name`` exports a label or ``.equ`` constant to other modules,
+* every other symbol is module-private (renamed ``module$name``
+  internally, so two modules may both define ``loop:``),
+* references to names a module does not define resolve against other
+  modules' globals; a truly undefined reference is a link error naming
+  the module,
+* modules are laid out in the given order, the first at address 0 (the
+  activate-processor service starts execution there).
+
+Example::
+
+    main_mod = Module("main", '''
+            .extern double      ; optional documentation of the import
+            LDI  R1, 21
+            LDI  R15, double
+            JSRR R15
+            LDI  R2, 0xFFFF
+            CLR  R0
+            ST   R1, R2, R0
+            HALT
+    ''')
+    lib_mod = Module("lib", '''
+            .global double
+    double: ADD R1, R1, R1
+            RTS
+    ''')
+    obj = link([main_mod, lib_mod])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from .assembler import Assembler
+from .errors import AsmError
+from .macro import expand_macros, resolve_includes
+from .parser import Expr, Statement, parse
+
+
+@dataclass
+class Module:
+    """One source module to be linked."""
+
+    name: str
+    source: str
+    filename: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.filename:
+            self.filename = f"<{self.name}>"
+
+
+def _module_statements(module: Module) -> List[Statement]:
+    source = resolve_includes(module.source, module.filename)
+    return expand_macros(parse(source, module.filename), module.filename)
+
+
+def _defined_names(statements: Sequence[Statement]) -> Set[str]:
+    """Labels plus .equ constants defined by a statement stream."""
+    names: Set[str] = set()
+    for stmt in statements:
+        names.update(stmt.labels)
+        if stmt.op == ".equ" and stmt.operands:
+            operand = stmt.operands[0]
+            if (
+                isinstance(operand, Expr)
+                and len(operand.terms) == 1
+                and isinstance(operand.terms[0][1], str)
+            ):
+                names.add(operand.terms[0][1])
+    return names
+
+
+def _declared(statements: Sequence[Statement], directive: str) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in statements:
+        if stmt.op == directive:
+            for operand in stmt.operands:
+                if (
+                    isinstance(operand, Expr)
+                    and len(operand.terms) == 1
+                    and isinstance(operand.terms[0][1], str)
+                ):
+                    names.add(operand.terms[0][1])
+                else:
+                    raise AsmError(
+                        f"{directive} takes symbol names", stmt.line
+                    )
+    return names
+
+
+def _rename_statement(stmt: Statement, mapping: Dict[str, str]) -> Statement:
+    new_operands = []
+    for operand in stmt.operands:
+        if isinstance(operand, Expr):
+            new_operands.append(
+                Expr(
+                    tuple(
+                        (sign, mapping.get(term, term) if isinstance(term, str) else term)
+                        for sign, term in operand.terms
+                    )
+                )
+            )
+        else:
+            new_operands.append(operand)
+    return Statement(
+        line=stmt.line,
+        labels=[mapping.get(label, label) for label in stmt.labels],
+        op=stmt.op,
+        operands=new_operands,
+        source_text=stmt.source_text,
+    )
+
+
+def link(modules: Sequence[Module]):
+    """Link *modules* into one object (first module first in memory)."""
+    if not modules:
+        raise AsmError("nothing to link")
+    seen_names = set()
+    for module in modules:
+        if module.name in seen_names:
+            raise AsmError(f"duplicate module name {module.name!r}")
+        seen_names.add(module.name)
+
+    parsed = {m.name: _module_statements(m) for m in modules}
+    defined = {name: _defined_names(stmts) for name, stmts in parsed.items()}
+    exported: Dict[str, str] = {}  # global symbol -> exporting module
+    for module in modules:
+        for symbol in _declared(parsed[module.name], ".global"):
+            if symbol not in defined[module.name]:
+                raise AsmError(
+                    f"module {module.name!r} declares .global {symbol!r} "
+                    "but does not define it"
+                )
+            if symbol in exported:
+                raise AsmError(
+                    f"global {symbol!r} defined in both "
+                    f"{exported[symbol]!r} and {module.name!r}"
+                )
+            exported[symbol] = module.name
+
+    all_statements: List[Statement] = []
+    undefined: Dict[str, Set[str]] = {}
+    for module in modules:
+        statements = parsed[module.name]
+        globals_here = _declared(statements, ".global")
+        externs_here = _declared(statements, ".extern")
+        mapping = {
+            name: f"{module.name}${name}"
+            for name in defined[module.name]
+            if name not in globals_here
+        }
+        for stmt in statements:
+            renamed = _rename_statement(stmt, mapping)
+            all_statements.append(renamed)
+            # track references that are neither local nor exported
+            for operand in renamed.operands:
+                if isinstance(operand, Expr):
+                    for _, term in operand.terms:
+                        if (
+                            isinstance(term, str)
+                            and "$" not in term
+                            and term not in exported
+                            and term not in globals_here
+                        ):
+                            undefined.setdefault(module.name, set()).add(term)
+        # declared externs that no module exports get reported below
+        for symbol in externs_here:
+            if symbol not in exported:
+                undefined.setdefault(module.name, set()).add(symbol)
+
+    # everything still undefined must be satisfied by some module's export
+    truly_undefined = {
+        mod: {sym for sym in syms if sym not in exported}
+        for mod, syms in undefined.items()
+    }
+    problems = {mod: syms for mod, syms in truly_undefined.items() if syms}
+    if problems:
+        details = "; ".join(
+            f"{mod}: {', '.join(sorted(syms))}" for mod, syms in sorted(problems.items())
+        )
+        raise AsmError(f"undefined symbols after linking — {details}")
+
+    return Assembler("<linked>").assemble_statements(all_statements)

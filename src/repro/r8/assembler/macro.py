@@ -1,0 +1,250 @@
+"""Macro expansion and file inclusion for the R8 assembler.
+
+Adds two classic assembler facilities on top of the statement parser:
+
+``.include "file"``
+    Textual inclusion, resolved relative to the including file, with
+    cycle detection.
+
+``.macro name, param...`` / ``.endm``
+    Statement-level macros.  Parameters substitute wherever they appear
+    as operands (registers or expression symbols); labels defined inside
+    a macro body are made unique per expansion so loops inside macros
+    work::
+
+        .macro ADDI, rd, rs, value
+                LDI  R15, value
+                ADD  rd, rs, R15
+        .endm
+
+                ADDI R1, R2, 1000
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from .errors import AsmError
+from .parser import Expr, Reg, Statement
+
+_INCLUDE_RE = re.compile(r'^\s*\.include\s+"([^"]+)"\s*(;.*)?$', re.IGNORECASE)
+
+#: Expansion depth bound: macros may invoke macros, but not forever.
+MAX_DEPTH = 16
+
+
+def resolve_includes(
+    source: str,
+    filename: str = "<asm>",
+    _stack: Optional[Set[str]] = None,
+) -> str:
+    """Splice ``.include`` directives into *source* recursively."""
+    stack = _stack if _stack is not None else set()
+    base = Path(filename).parent if filename not in ("<asm>",) else Path(".")
+    out_lines: List[str] = []
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        match = _INCLUDE_RE.match(line)
+        if not match:
+            out_lines.append(line)
+            continue
+        target = (base / match.group(1)).resolve()
+        key = str(target)
+        if key in stack:
+            raise AsmError(
+                f"circular include of {match.group(1)!r}", line_no, filename
+            )
+        try:
+            text = target.read_text()
+        except OSError as exc:
+            raise AsmError(
+                f"cannot include {match.group(1)!r}: {exc}", line_no, filename
+            ) from exc
+        stack.add(key)
+        out_lines.append(resolve_includes(text, str(target), stack))
+        stack.remove(key)
+    return "\n".join(out_lines)
+
+
+@dataclass
+class MacroDef:
+    """One ``.macro`` body."""
+
+    name: str
+    params: List[str]
+    body: List[Statement]
+    line: int = 0
+
+    @property
+    def local_labels(self) -> Set[str]:
+        return {label for stmt in self.body for label in stmt.labels}
+
+
+Operand = Union[Reg, Expr, str]
+
+
+def _collect_macros(
+    statements: Sequence[Statement], filename: str
+) -> (Dict[str, MacroDef], List[Statement]):
+    """Split macro definitions out of the statement stream."""
+    macros: Dict[str, MacroDef] = {}
+    rest: List[Statement] = []
+    current: Optional[MacroDef] = None
+    for stmt in statements:
+        if stmt.op == ".macro":
+            if current is not None:
+                raise AsmError("nested .macro", stmt.line, filename)
+            names = []
+            for operand in stmt.operands:
+                if isinstance(operand, Expr) and len(operand.terms) == 1 and \
+                        isinstance(operand.terms[0][1], str):
+                    names.append(operand.terms[0][1])
+                elif isinstance(operand, Reg):
+                    raise AsmError(
+                        ".macro parameters must not be register names",
+                        stmt.line,
+                        filename,
+                    )
+                else:
+                    raise AsmError(
+                        ".macro needs: name, params...", stmt.line, filename
+                    )
+            if not names:
+                raise AsmError(".macro needs a name", stmt.line, filename)
+            current = MacroDef(names[0].upper(), names[1:], [], stmt.line)
+            continue
+        if stmt.op == ".endm":
+            if current is None:
+                raise AsmError(".endm without .macro", stmt.line, filename)
+            if current.name in macros:
+                raise AsmError(
+                    f"duplicate macro {current.name!r}", stmt.line, filename
+                )
+            macros[current.name] = current
+            current = None
+            continue
+        if current is not None:
+            current.body.append(stmt)
+        else:
+            rest.append(stmt)
+    if current is not None:
+        raise AsmError(f".macro {current.name!r} missing .endm", current.line, filename)
+    return macros, rest
+
+
+def _substitute_expr(
+    expr: Expr, bindings: Dict[str, Operand], renames: Dict[str, str],
+    line: int, filename: str,
+) -> Operand:
+    """Rewrite an expression: bound parameters and renamed local labels."""
+    # a bare parameter reference may substitute a whole operand (even a Reg)
+    if len(expr.terms) == 1 and expr.terms[0][0] == 1:
+        term = expr.terms[0][1]
+        if isinstance(term, str) and term in bindings:
+            return bindings[term]
+    new_terms = []
+    for sign, term in expr.terms:
+        if isinstance(term, str):
+            if term in bindings:
+                bound = bindings[term]
+                if isinstance(bound, Reg):
+                    raise AsmError(
+                        f"macro parameter {term!r} is a register but is "
+                        "used inside an expression",
+                        line,
+                        filename,
+                    )
+                if isinstance(bound, Expr):
+                    if len(bound.terms) == 1:
+                        inner_sign, inner_term = bound.terms[0]
+                        new_terms.append((sign * inner_sign, inner_term))
+                        continue
+                    raise AsmError(
+                        f"macro argument for {term!r} is too complex to "
+                        "embed in an expression",
+                        line,
+                        filename,
+                    )
+            term = renames.get(term, term)
+        new_terms.append((sign, term))
+    return Expr(tuple(new_terms))
+
+
+def _expand_invocation(
+    macro: MacroDef,
+    stmt: Statement,
+    counter: int,
+    filename: str,
+) -> List[Statement]:
+    if len(stmt.operands) != len(macro.params):
+        raise AsmError(
+            f"macro {macro.name} expects {len(macro.params)} argument(s), "
+            f"got {len(stmt.operands)}",
+            stmt.line,
+            filename,
+        )
+    bindings = dict(zip(macro.params, stmt.operands))
+    renames = {
+        label: f"{label}__m{counter}" for label in macro.local_labels
+    }
+    expanded: List[Statement] = []
+    # labels on the invocation line attach to the first expanded statement
+    pending_labels = list(stmt.labels)
+    for body_stmt in macro.body:
+        new_ops: List[Operand] = []
+        for operand in body_stmt.operands:
+            if isinstance(operand, Expr):
+                new_ops.append(
+                    _substitute_expr(
+                        operand, bindings, renames, body_stmt.line, filename
+                    )
+                )
+            else:
+                new_ops.append(operand)
+        expanded.append(
+            Statement(
+                line=stmt.line,
+                labels=pending_labels
+                + [renames.get(l, l) for l in body_stmt.labels],
+                op=body_stmt.op,
+                operands=new_ops,
+                source_text=f"{body_stmt.source_text.strip()}  ; from {macro.name}",
+            )
+        )
+        pending_labels = []
+    if pending_labels:
+        # empty macro body: keep the labels on a bare statement
+        expanded.append(Statement(line=stmt.line, labels=pending_labels))
+    return expanded
+
+
+def expand_macros(
+    statements: Sequence[Statement], filename: str = "<asm>"
+) -> List[Statement]:
+    """Extract macro definitions and expand every invocation."""
+    macros, stream = _collect_macros(statements, filename)
+    counter = 0
+    depth = 0
+    while True:
+        out: List[Statement] = []
+        expanded_any = False
+        for stmt in stream:
+            if stmt.op is not None and stmt.op in macros:
+                counter += 1
+                out.extend(
+                    _expand_invocation(macros[stmt.op], stmt, counter, filename)
+                )
+                expanded_any = True
+            else:
+                out.append(stmt)
+        stream = out
+        if not expanded_any:
+            return stream
+        depth += 1
+        if depth > MAX_DEPTH:
+            raise AsmError(
+                f"macro expansion exceeded depth {MAX_DEPTH} "
+                "(recursive macro?)",
+            )

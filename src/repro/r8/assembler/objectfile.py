@@ -1,0 +1,105 @@
+"""R8 object-code container and its text serialisation.
+
+The paper's flow sends "the text file obtained after the application
+simulation" to the board through the Serial software.  We reconstruct
+that artifact as a simple line-oriented hex format::
+
+    ; r8 object file
+    ;sym start=0000
+    @0000
+    9105
+    B510
+    ...
+
+``@hhhh`` records set the load address; other lines are 16-bit words in
+hex.  ``;sym name=hhhh`` comment records carry the symbol table for the
+debugger; loaders may ignore every comment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class ObjectCode:
+    """Assembled program: memory segments plus symbols and a listing."""
+
+    segments: List[Tuple[int, List[int]]] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    listing: List[str] = field(default_factory=list)
+
+    @property
+    def size_words(self) -> int:
+        """Total words across all segments."""
+        return sum(len(words) for _, words in self.segments)
+
+    def memory_image(self, size: int = 1024, fill: int = 0) -> List[int]:
+        """Flatten into a memory image of *size* words."""
+        image = [fill] * size
+        for origin, words in self.segments:
+            if origin + len(words) > size:
+                raise ValueError(
+                    f"segment at {origin:#06x} ({len(words)} words) exceeds "
+                    f"{size}-word memory"
+                )
+            image[origin : origin + len(words)] = words
+        return image
+
+    def word_records(self) -> List[Tuple[int, int]]:
+        """All (address, word) pairs in load order."""
+        records = []
+        for origin, words in self.segments:
+            for i, w in enumerate(words):
+                records.append((origin + i, w))
+        return records
+
+    # -- text format --------------------------------------------------------
+
+    def to_text(self) -> str:
+        lines = ["; r8 object file"]
+        for name in sorted(self.symbols):
+            lines.append(f";sym {name}={self.symbols[name]:04x}")
+        for origin, words in self.segments:
+            lines.append(f"@{origin:04x}")
+            lines.extend(f"{w:04x}" for w in words)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "ObjectCode":
+        obj = cls()
+        address = 0
+        current: List[int] = []
+        current_origin = 0
+
+        def flush() -> None:
+            nonlocal current
+            if current:
+                obj.segments.append((current_origin, current))
+                current = []
+
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(";sym "):
+                name, _, value = line[5:].partition("=")
+                obj.symbols[name.strip()] = int(value, 16)
+                continue
+            if line.startswith(";"):
+                continue
+            if line.startswith("@"):
+                flush()
+                address = int(line[1:], 16)
+                current_origin = address
+                continue
+            word = int(line, 16)
+            if not 0 <= word <= 0xFFFF:
+                raise ValueError(f"object word {line!r} out of 16-bit range")
+            if not current:
+                current_origin = address
+            current.append(word)
+            address += 1
+        flush()
+        return obj

@@ -1,0 +1,150 @@
+"""Statement parser for R8 assembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from .errors import AsmError
+from .lexer import TokKind, Token, tokenize
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand R0..R15."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Expr:
+    """A constant expression: sum of signed symbol/number terms.
+
+    ``terms`` is a list of (sign, symbol-or-int); evaluation happens in
+    the assembler's second pass when all symbols are known.
+    """
+
+    terms: Tuple[Tuple[int, Union[str, int]], ...]
+
+    def evaluate(self, symbols, line: int, source: str) -> int:
+        total = 0
+        for sign, term in self.terms:
+            if isinstance(term, int):
+                total += sign * term
+            else:
+                if term not in symbols:
+                    raise AsmError(f"undefined symbol {term!r}", line, source)
+                total += sign * symbols[term]
+        return total
+
+
+Operand = Union[Reg, Expr, str]  # str only for .string
+
+
+@dataclass
+class Statement:
+    """One source line: optional labels, optional operation with operands."""
+
+    line: int
+    labels: List[str] = field(default_factory=list)
+    op: Optional[str] = None  # mnemonic (upper) or directive (lower, with dot)
+    operands: List[Operand] = field(default_factory=list)
+    source_text: str = ""
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Token], source: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    @property
+    def done(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+def _parse_expr(stream: _TokenStream) -> Expr:
+    terms: List[Tuple[int, Union[str, int]]] = []
+    sign = 1
+    tok = stream.peek()
+    if tok.kind == TokKind.MINUS:
+        stream.next()
+        sign = -1
+    elif tok.kind == TokKind.PLUS:
+        stream.next()
+    while True:
+        tok = stream.next()
+        if tok.kind == TokKind.NUMBER:
+            terms.append((sign, tok.value))
+        elif tok.kind == TokKind.IDENT:
+            terms.append((sign, tok.text))
+        else:
+            raise AsmError(
+                f"expected number or symbol, got {tok.text!r}",
+                tok.line,
+                stream.source,
+            )
+        nxt = stream.peek()
+        if nxt.kind == TokKind.PLUS:
+            stream.next()
+            sign = 1
+        elif nxt.kind == TokKind.MINUS:
+            stream.next()
+            sign = -1
+        else:
+            return Expr(tuple(terms))
+
+
+def _parse_operand(stream: _TokenStream) -> Operand:
+    tok = stream.peek()
+    if tok.kind == TokKind.REGISTER:
+        stream.next()
+        return Reg(tok.value)
+    if tok.kind == TokKind.STRING:
+        stream.next()
+        return tok.text
+    return _parse_expr(stream)
+
+
+def parse(source: str, filename: str = "<asm>") -> List[Statement]:
+    """Parse assembly source into a list of statements."""
+    tokens = tokenize(source, filename)
+    stream = _TokenStream(tokens, filename)
+    lines = source.splitlines()
+    statements: List[Statement] = []
+
+    while not stream.done:
+        tok = stream.peek()
+        stmt = Statement(
+            line=tok.line,
+            source_text=lines[tok.line - 1] if tok.line <= len(lines) else "",
+        )
+        # leading labels
+        while stream.peek().kind == TokKind.LABEL:
+            stmt.labels.append(stream.next().text)
+        tok = stream.peek()
+        if tok.kind in (TokKind.IDENT, TokKind.DIRECTIVE):
+            stream.next()
+            stmt.op = tok.text.upper() if tok.kind == TokKind.IDENT else tok.text
+            # operands until newline
+            if stream.peek().kind != TokKind.NEWLINE:
+                stmt.operands.append(_parse_operand(stream))
+                while stream.peek().kind == TokKind.COMMA:
+                    stream.next()
+                    stmt.operands.append(_parse_operand(stream))
+        nl = stream.next()
+        if nl.kind != TokKind.NEWLINE:
+            raise AsmError(
+                f"unexpected {nl.text!r} at end of statement", nl.line, filename
+            )
+        if stmt.labels or stmt.op:
+            statements.append(stmt)
+    return statements

@@ -1,0 +1,275 @@
+"""Cycle-accurate multicycle model of the R8 soft core.
+
+The core is a classic multicycle FSM ("CPI (Clocks Per Instruction)
+between 2 and 4", paper Section 2.4):
+
+=============  ====================================  ===
+instructions   states                                CPI
+=============  ====================================  ===
+ALU, moves,    FETCH, EXEC                            2
+jumps, NOP
+ST, PUSH,      FETCH, EXEC, WRITE                     3
+JSRR, JSRD
+LD, POP, RTS   FETCH, EXEC, MEM, MEM(latch)           4
+=============  ====================================  ===
+
+A data access that the environment cannot complete immediately (remote
+memory, I/O, wait/notify — anything crossing the NoC) leaves its
+:class:`~repro.r8.bus.Transaction` pending, and the core simply stays in
+its MEM/WRITE state: that *is* the ``waitR8`` stall of Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Component
+from . import alu, isa
+from .alu import MASK16
+from .bus import MemoryBus, Transaction
+from .semantics import condition_met
+from .state import R8State
+
+S_HALT = 0
+S_FETCH = 1
+S_EXEC = 2
+S_MEM = 3
+S_WRITE = 4
+
+_STATE_NAMES = {
+    S_HALT: "HALT",
+    S_FETCH: "FETCH",
+    S_EXEC: "EXEC",
+    S_MEM: "MEM",
+    S_WRITE: "WRITE",
+}
+
+#: mnemonics whose MEM-state result lands in PC instead of a register
+_MEM_TO_PC = frozenset(["RTS"])
+
+
+class R8Cpu(Component):
+    """One R8 core attached to a :class:`~repro.r8.bus.MemoryBus`.
+
+    The core powers up halted; :meth:`activate` (driven by the "activate
+    processor" packet service) starts execution at address 0.
+    """
+
+    def __init__(self, name: str, bus: MemoryBus):
+        super().__init__(name)
+        self.bus = bus
+        self.state = R8State()
+        self._fsm = S_HALT
+        self._instr: Optional[isa.Instruction] = None
+        self._txn: Optional[Transaction] = None
+        self._mem_settle = 0
+        #: externally forced stall (the "wait" *packet* service): while
+        #: True the core idles at its next fetch boundary.
+        self.paused = False
+        # performance counters
+        self.cycles_active = 0
+        self.cycles_stalled = 0
+        self.instructions_retired = 0
+
+    # -- control ------------------------------------------------------------
+
+    def activate(self) -> None:
+        """Start (or restart) execution from local address 0."""
+        self.state.activate()
+        self._fsm = S_FETCH
+        self._instr = None
+        self._txn = None
+
+    @property
+    def halted(self) -> bool:
+        return self._fsm == S_HALT
+
+    @property
+    def stalled(self) -> bool:
+        """True while a pending bus transaction is blocking the core."""
+        return (
+            self._txn is not None
+            and not self._txn.done
+            and self._fsm in (S_MEM, S_WRITE)
+            and self._mem_settle == 0
+        )
+
+    @property
+    def fsm_state(self) -> str:
+        return _STATE_NAMES[self._fsm]
+
+    def cpi(self) -> float:
+        """Measured clocks per instruction since reset."""
+        if self.instructions_retired == 0:
+            return 0.0
+        return self.cycles_active / self.instructions_retired
+
+    # -- simulation -----------------------------------------------------------
+
+    def reset(self) -> None:
+        super().reset()
+        self.state.reset()
+        self._fsm = S_HALT
+        self._instr = None
+        self._txn = None
+        self._mem_settle = 0
+        self.paused = False
+        self.cycles_active = 0
+        self.cycles_stalled = 0
+        self.instructions_retired = 0
+
+    def eval(self, cycle: int) -> None:
+        if self._fsm == S_HALT:
+            return
+        self.cycles_active += 1
+        if self._fsm == S_FETCH:
+            if self.paused:
+                self.cycles_stalled += 1
+                return
+            self._do_fetch()
+        elif self._fsm == S_EXEC:
+            self._do_exec()
+        elif self._fsm == S_MEM:
+            self._do_mem()
+        elif self._fsm == S_WRITE:
+            self._do_write()
+
+    # -- FSM states --------------------------------------------------------------
+
+    def _do_fetch(self) -> None:
+        word = self.bus.fetch(self.state.pc)
+        self._instr = isa.decode(word)
+        self.state.pc = (self.state.pc + 1) & MASK16
+        self._fsm = S_EXEC
+
+    def _retire(self, next_state: int = S_FETCH) -> None:
+        self.instructions_retired += 1
+        self._instr = None
+        self._txn = None
+        self._fsm = next_state
+
+    def _do_exec(self) -> None:
+        instr = self._instr
+        assert instr is not None
+        st = self.state
+        regs = st.regs
+        flags = st.flags
+        m = instr.mnemonic
+
+        if m == "ADD":
+            st.set_reg(instr.rt, alu.add(regs[instr.rs1], regs[instr.rs2], flags))
+        elif m == "ADDC":
+            st.set_reg(
+                instr.rt,
+                alu.add(regs[instr.rs1], regs[instr.rs2], flags, carry_in=int(flags.c)),
+            )
+        elif m == "SUB":
+            st.set_reg(instr.rt, alu.sub(regs[instr.rs1], regs[instr.rs2], flags))
+        elif m == "SUBC":
+            st.set_reg(
+                instr.rt,
+                alu.sub(regs[instr.rs1], regs[instr.rs2], flags, borrow_in=int(flags.c)),
+            )
+        elif m == "AND":
+            st.set_reg(instr.rt, alu.logic_and(regs[instr.rs1], regs[instr.rs2], flags))
+        elif m == "OR":
+            st.set_reg(instr.rt, alu.logic_or(regs[instr.rs1], regs[instr.rs2], flags))
+        elif m == "XOR":
+            st.set_reg(instr.rt, alu.logic_xor(regs[instr.rs1], regs[instr.rs2], flags))
+        elif m == "LDL":
+            st.set_reg(instr.rt, (regs[instr.rt] & 0xFF00) | instr.imm)
+        elif m == "LDH":
+            st.set_reg(instr.rt, (instr.imm << 8) | (regs[instr.rt] & 0x00FF))
+        elif m == "NOT":
+            st.set_reg(instr.rt, alu.logic_not(regs[instr.rs1], flags))
+        elif m == "SL0":
+            st.set_reg(instr.rt, alu.shift_left(regs[instr.rs1], 0, flags))
+        elif m == "SL1":
+            st.set_reg(instr.rt, alu.shift_left(regs[instr.rs1], 1, flags))
+        elif m == "SR0":
+            st.set_reg(instr.rt, alu.shift_right(regs[instr.rs1], 0, flags))
+        elif m == "SR1":
+            st.set_reg(instr.rt, alu.shift_right(regs[instr.rs1], 1, flags))
+        elif m == "MOV":
+            st.set_reg(instr.rt, regs[instr.rs1])
+        elif m == "LDSP":
+            st.sp = regs[instr.rs1]
+        elif m == "RDSP":
+            st.set_reg(instr.rt, st.sp)
+        elif m == "NOP":
+            pass
+        elif m == "HALT":
+            st.halted = True
+            self._retire(S_HALT)
+            return
+        elif m in ("JMPR", "JMPNR", "JMPZR", "JMPCR", "JMPVR"):
+            if condition_met(st, instr.spec.sub):
+                st.pc = regs[instr.rs1]
+        elif m in ("JMPD", "JMPND", "JMPZD", "JMPCD", "JMPVD"):
+            if condition_met(st, instr.spec.sub):
+                st.pc = (st.pc + instr.disp) & MASK16
+        elif m == "LD":
+            addr = (regs[instr.rs1] + regs[instr.rs2]) & MASK16
+            self._txn = self.bus.read(addr)
+            self._mem_settle = 1
+            self._fsm = S_MEM
+            return
+        elif m == "POP":
+            st.sp = (st.sp + 1) & MASK16
+            self._txn = self.bus.read(st.sp)
+            self._mem_settle = 1
+            self._fsm = S_MEM
+            return
+        elif m == "RTS":
+            st.sp = (st.sp + 1) & MASK16
+            self._txn = self.bus.read(st.sp)
+            self._mem_settle = 1
+            self._fsm = S_MEM
+            return
+        elif m == "ST":
+            addr = (regs[instr.rs1] + regs[instr.rs2]) & MASK16
+            self._txn = self.bus.write(addr, regs[instr.rt])
+            self._fsm = S_WRITE
+            return
+        elif m == "PUSH":
+            self._txn = self.bus.write(st.sp, regs[instr.rs1])
+            st.sp = (st.sp - 1) & MASK16
+            self._fsm = S_WRITE
+            return
+        elif m in ("JSRR", "JSRD"):
+            self._txn = self.bus.write(st.sp, st.pc)
+            st.sp = (st.sp - 1) & MASK16
+            if m == "JSRR":
+                st.pc = regs[instr.rs1]
+            else:
+                st.pc = (st.pc + instr.disp) & MASK16
+            self._fsm = S_WRITE
+            return
+        else:  # pragma: no cover - the spec table is closed
+            raise NotImplementedError(m)
+        self._retire()
+
+    def _do_mem(self) -> None:
+        if self._mem_settle > 0:
+            self._mem_settle -= 1
+            return
+        txn = self._txn
+        assert txn is not None
+        if not txn.done:
+            self.cycles_stalled += 1
+            return
+        instr = self._instr
+        assert instr is not None
+        if instr.mnemonic in _MEM_TO_PC:
+            self.state.pc = txn.value & MASK16
+        else:
+            self.state.set_reg(instr.rt, txn.value)
+        self._retire()
+
+    def _do_write(self) -> None:
+        txn = self._txn
+        assert txn is not None
+        if not txn.done:
+            self.cycles_stalled += 1
+            return
+        self._retire()

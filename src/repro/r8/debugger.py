@@ -1,0 +1,190 @@
+"""Command-driven debugger for the R8 Simulator.
+
+The paper's flow starts in "The R8 Simulator environment [which] allows
+writing, simulating and debugging assembly code" (Section 4), and the
+conclusions pitch MultiNoC as a teaching platform.  This module is the
+debugging half: a textual command interface over
+:class:`~repro.r8.simulator.R8Simulator` suitable for scripting, tests
+and interactive loops.
+
+Commands (as accepted by :meth:`Debugger.execute`)::
+
+    load <file>          load an object file
+    step [n]             execute n instructions (default 1)
+    run                  run until HALT or a breakpoint
+    regs                 show registers, PC, SP, flags
+    mem <addr> [n]       dump n memory words (default 8)
+    dis <addr> [n]       disassemble n words (default 8)
+    break <addr>         set a breakpoint (label or address)
+    unbreak <addr>       clear a breakpoint
+    watch <addr>         set a memory watchpoint
+    reset                reset processor state
+    where                current PC with disassembly context
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .assembler import ObjectCode
+from .disassembler import disassemble
+from .simulator import R8Simulator
+
+
+class DebuggerError(Exception):
+    """Bad command or argument."""
+
+
+class Debugger:
+    """Scriptable debugger wrapping one :class:`R8Simulator`."""
+
+    def __init__(self, simulator: Optional[R8Simulator] = None):
+        self.sim = simulator if simulator is not None else R8Simulator()
+        self.symbols: Dict[str, int] = {}
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "step": self._cmd_step,
+            "run": self._cmd_run,
+            "regs": self._cmd_regs,
+            "mem": self._cmd_mem,
+            "dis": self._cmd_dis,
+            "break": self._cmd_break,
+            "unbreak": self._cmd_unbreak,
+            "watch": self._cmd_watch,
+            "reset": self._cmd_reset,
+            "where": self._cmd_where,
+        }
+
+    # -- program management ---------------------------------------------------
+
+    def load_object(self, obj: ObjectCode) -> None:
+        """Load object code and import its symbol table."""
+        self.sim.load(obj)
+        self.symbols.update(obj.symbols)
+        self.sim.activate()
+
+    def resolve(self, token: str) -> int:
+        """An address argument: symbol name, hex (0x...) or decimal."""
+        if token in self.symbols:
+            return self.symbols[token]
+        try:
+            return int(token, 0)
+        except ValueError as exc:
+            raise DebuggerError(
+                f"not an address or known symbol: {token!r}"
+            ) from exc
+
+    def _symbol_at(self, addr: int) -> str:
+        names = [name for name, value in self.symbols.items() if value == addr]
+        return f" <{','.join(sorted(names))}>" if names else ""
+
+    # -- command dispatch -------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns its textual output."""
+        parts = line.split()
+        if not parts:
+            return ""
+        name, args = parts[0].lower(), parts[1:]
+        handler = self._commands.get(name)
+        if handler is None:
+            raise DebuggerError(
+                f"unknown command {name!r}; known: {sorted(self._commands)}"
+            )
+        return handler(args)
+
+    def run_script(self, script: str) -> List[str]:
+        """Execute a newline-separated command script."""
+        outputs = []
+        for line in script.splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                outputs.append(self.execute(line))
+        return outputs
+
+    # -- commands ------------------------------------------------------------------
+
+    def _cmd_step(self, args: List[str]) -> str:
+        count = int(args[0]) if args else 1
+        lines = []
+        for _ in range(count):
+            if self.sim.state.halted:
+                lines.append("processor halted")
+                break
+            pc = self.sim.state.pc
+            instr = self.sim.step()
+            lines.append(
+                f"{pc:04x}{self._symbol_at(pc)}: "
+                f"{instr.mnemonic if instr else '?'}  -> {self.sim.state}"
+            )
+        return "\n".join(lines)
+
+    def _cmd_run(self, args: List[str]) -> str:
+        executed = self.sim.run(
+            max_instructions=int(args[0]) if args else 1_000_000
+        )
+        if self.sim.state.halted:
+            status = "HALT"
+        else:
+            status = f"breakpoint at {self.sim.state.pc:04x}"
+        return (
+            f"ran {executed} instructions ({self.sim.cycles} cycles, "
+            f"CPI {self.sim.cpi():.2f}): {status}"
+        )
+
+    def _cmd_regs(self, args: List[str]) -> str:
+        return str(self.sim.state)
+
+    def _cmd_mem(self, args: List[str]) -> str:
+        if not args:
+            raise DebuggerError("mem needs an address")
+        start = self.resolve(args[0])
+        count = int(args[1]) if len(args) > 1 else 8
+        words = self.sim.dump_memory(start, count)
+        lines = []
+        for i in range(0, len(words), 8):
+            chunk = words[i : i + 8]
+            text = " ".join(f"{w:04x}" for w in chunk)
+            lines.append(f"{start + i:04x}: {text}")
+        return "\n".join(lines)
+
+    def _cmd_dis(self, args: List[str]) -> str:
+        if not args:
+            raise DebuggerError("dis needs an address")
+        start = self.resolve(args[0])
+        count = int(args[1]) if len(args) > 1 else 8
+        words = self.sim.dump_memory(start, count)
+        return "\n".join(disassemble(words, base=start))
+
+    def _cmd_break(self, args: List[str]) -> str:
+        if not args:
+            raise DebuggerError("break needs an address")
+        addr = self.resolve(args[0])
+        self.sim.breakpoints.add(addr)
+        return f"breakpoint set at {addr:04x}{self._symbol_at(addr)}"
+
+    def _cmd_unbreak(self, args: List[str]) -> str:
+        addr = self.resolve(args[0])
+        self.sim.breakpoints.discard(addr)
+        return f"breakpoint cleared at {addr:04x}"
+
+    def _cmd_watch(self, args: List[str]) -> str:
+        addr = self.resolve(args[0])
+        self.sim.watchpoints.add(addr)
+        return f"watchpoint set at {addr:04x}"
+
+    def _cmd_reset(self, args: List[str]) -> str:
+        self.sim.state.reset()
+        self.sim.state.activate()
+        self.sim.cycles = 0
+        self.sim.instructions = 0
+        return "reset; PC=0000"
+
+    def _cmd_where(self, args: List[str]) -> str:
+        pc = self.sim.state.pc
+        start = max(0, pc - 2)
+        words = self.sim.dump_memory(start, min(5, self.sim.memory_words - start))
+        lines = []
+        for offset, line in enumerate(disassemble(words, base=start)):
+            marker = " ->" if start + offset == pc else "   "
+            lines.append(marker + line)
+        return "\n".join(lines)

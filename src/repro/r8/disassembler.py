@@ -1,0 +1,55 @@
+"""R8 disassembler: 16-bit words back to assembly text."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from . import isa
+
+
+def disassemble_word(word: int) -> str:
+    """Render one instruction word as assembly text.
+
+    Words that do not decode are rendered as ``.word 0xhhhh`` so a full
+    memory image (code mixed with data) can always be dumped.
+    """
+    try:
+        instr = isa.decode(word)
+    except isa.DecodeError:
+        return f".word {word:#06x}"
+    return format_instruction(instr)
+
+
+def format_instruction(instr: isa.Instruction) -> str:
+    """Canonical assembly text of a decoded instruction."""
+    spec = instr.spec
+    m = spec.mnemonic
+    if spec.fmt == isa.Fmt.RRR:
+        return f"{m} R{instr.rt}, R{instr.rs1}, R{instr.rs2}"
+    if spec.fmt == isa.Fmt.RI:
+        return f"{m} R{instr.rt}, {instr.imm:#04x}"
+    if spec.fmt == isa.Fmt.RR:
+        if m in ("PUSH", "LDSP"):
+            return f"{m} R{instr.rs1}"
+        if m in ("POP", "RDSP"):
+            return f"{m} R{instr.rt}"
+        return f"{m} R{instr.rt}, R{instr.rs1}"
+    if spec.fmt == isa.Fmt.JR:
+        return f"{m} R{instr.rs1}"
+    if spec.fmt == isa.Fmt.JD:
+        return f"{m} {instr.disp:+d}"
+    if spec.fmt == isa.Fmt.SUBR:
+        if m == "JSRR":
+            return f"{m} R{instr.rs1}"
+        if m == "JSRD":
+            return f"{m} {instr.disp:+d}"
+        return m
+    return m
+
+
+def disassemble(words: Iterable[int], base: int = 0) -> List[str]:
+    """Disassemble a word sequence into ``addr  word  text`` lines."""
+    lines = []
+    for offset, word in enumerate(words):
+        lines.append(f"{base + offset:04x}  {word:04x}  {disassemble_word(word)}")
+    return lines

@@ -1,0 +1,279 @@
+"""The R8 instruction set architecture.
+
+The paper describes R8 as "a load-store 16-bit processor architecture,
+containing a 16x16 bit register file, and supporting execution of 36
+distinct instructions" with PC/SP/IR and four status flags (negative,
+zero, carry, overflow).  The original PUCRS specification is no longer
+available, so this module reconstructs a 36-instruction ISA satisfying
+every constraint in the paper (see DESIGN.md, "Key reconstruction
+decisions").
+
+Instruction formats (16-bit words)::
+
+    RRR  [op:4][rt:4][rs1:4][rs2:4]   ADD..XOR, LD, ST
+    RI   [op:4][rt:4][imm:8]          LDL, LDH
+    RR   [0xB][sub:4][rt:4][rs:4]     NOT..RDSP group
+    JR   [0xC][cond:4][rs:4][0:4]     register jumps
+    JD   [0xD][cond:4][disp:8]        displacement jumps
+    SUB  [0xE][sub:4][disp:8]         JSRR/JSRD/RTS (JSRR: rs in disp low nibble)
+    MISC [0xF][sub:4][0:8]            NOP, HALT
+
+Conventions
+-----------
+* All registers and memory words are 16 bit.  R0..R15 are general
+  purpose.
+* Arithmetic sets N, Z, C, V; logic and shifts set N and Z (shifts also
+  set C to the shifted-out bit); moves and loads leave flags alone.
+* For SUB/SUBC the carry flag holds the *borrow* (C=1 when the unsigned
+  subtraction underflowed); SUBC subtracts the incoming borrow.
+* The stack grows downward: PUSH stores at SP then decrements; POP
+  increments then loads.
+* JMPxD/JSRD displacements are signed 8-bit, relative to the already
+  incremented PC (the address following the jump instruction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+
+class Fmt(Enum):
+    """Encoding format of an instruction."""
+
+    RRR = "rrr"  # rt, rs1, rs2
+    RI = "ri"  # rt, imm8
+    RR = "rr"  # rt, rs (either may be unused)
+    JR = "jr"  # rs
+    JD = "jd"  # disp8
+    SUBR = "subr"  # JSRR: rs / JSRD: disp8 / RTS: none
+    MISC = "misc"  # no operands
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one of the 36 instructions."""
+
+    mnemonic: str
+    fmt: Fmt
+    opcode: int  # major opcode nibble
+    sub: Optional[int] = None  # sub-opcode / condition nibble
+    cycles: int = 2  # CPI of the multicycle implementation
+    reads_mem: bool = False
+    writes_mem: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.mnemonic
+
+
+# Condition codes for jump groups.
+COND_ALWAYS = 0x0
+COND_N = 0x1
+COND_Z = 0x2
+COND_C = 0x3
+COND_V = 0x4
+
+_OP_GROUP_RR = 0xB
+_OP_GROUP_JR = 0xC
+_OP_GROUP_JD = 0xD
+_OP_GROUP_SUBR = 0xE
+_OP_GROUP_MISC = 0xF
+
+# Sub-opcodes of the RR group.
+SUB_NOT = 0x0
+SUB_SL0 = 0x1
+SUB_SL1 = 0x2
+SUB_SR0 = 0x3
+SUB_SR1 = 0x4
+SUB_MOV = 0x5
+SUB_PUSH = 0x6
+SUB_POP = 0x7
+SUB_LDSP = 0x8
+SUB_RDSP = 0x9
+
+# Sub-opcodes of the subroutine group.
+SUB_JSRR = 0x0
+SUB_JSRD = 0x1
+SUB_RTS = 0x2
+
+# Sub-opcodes of the misc group.
+SUB_NOP = 0x0
+SUB_HALT = 0x1
+
+
+def _specs() -> Dict[str, InstrSpec]:
+    table = [
+        # ALU register-register: CPI 2 (fetch + execute).
+        InstrSpec("ADD", Fmt.RRR, 0x0),
+        InstrSpec("ADDC", Fmt.RRR, 0x1),
+        InstrSpec("SUB", Fmt.RRR, 0x2),
+        InstrSpec("SUBC", Fmt.RRR, 0x3),
+        InstrSpec("AND", Fmt.RRR, 0x4),
+        InstrSpec("OR", Fmt.RRR, 0x5),
+        InstrSpec("XOR", Fmt.RRR, 0x6),
+        # Memory: LD is CPI 4 (fetch, EA, bus, latch), ST is CPI 3.
+        InstrSpec("LD", Fmt.RRR, 0x7, cycles=4, reads_mem=True),
+        InstrSpec("ST", Fmt.RRR, 0x8, cycles=3, writes_mem=True),
+        # Byte immediates.
+        InstrSpec("LDL", Fmt.RI, 0x9),
+        InstrSpec("LDH", Fmt.RI, 0xA),
+        # RR group.
+        InstrSpec("NOT", Fmt.RR, _OP_GROUP_RR, SUB_NOT),
+        InstrSpec("SL0", Fmt.RR, _OP_GROUP_RR, SUB_SL0),
+        InstrSpec("SL1", Fmt.RR, _OP_GROUP_RR, SUB_SL1),
+        InstrSpec("SR0", Fmt.RR, _OP_GROUP_RR, SUB_SR0),
+        InstrSpec("SR1", Fmt.RR, _OP_GROUP_RR, SUB_SR1),
+        InstrSpec("MOV", Fmt.RR, _OP_GROUP_RR, SUB_MOV),
+        InstrSpec("PUSH", Fmt.RR, _OP_GROUP_RR, SUB_PUSH, cycles=3, writes_mem=True),
+        InstrSpec("POP", Fmt.RR, _OP_GROUP_RR, SUB_POP, cycles=4, reads_mem=True),
+        InstrSpec("LDSP", Fmt.RR, _OP_GROUP_RR, SUB_LDSP),
+        InstrSpec("RDSP", Fmt.RR, _OP_GROUP_RR, SUB_RDSP),
+        # Register-absolute jumps.
+        InstrSpec("JMPR", Fmt.JR, _OP_GROUP_JR, COND_ALWAYS),
+        InstrSpec("JMPNR", Fmt.JR, _OP_GROUP_JR, COND_N),
+        InstrSpec("JMPZR", Fmt.JR, _OP_GROUP_JR, COND_Z),
+        InstrSpec("JMPCR", Fmt.JR, _OP_GROUP_JR, COND_C),
+        InstrSpec("JMPVR", Fmt.JR, _OP_GROUP_JR, COND_V),
+        # PC-relative jumps.
+        InstrSpec("JMPD", Fmt.JD, _OP_GROUP_JD, COND_ALWAYS),
+        InstrSpec("JMPND", Fmt.JD, _OP_GROUP_JD, COND_N),
+        InstrSpec("JMPZD", Fmt.JD, _OP_GROUP_JD, COND_Z),
+        InstrSpec("JMPCD", Fmt.JD, _OP_GROUP_JD, COND_C),
+        InstrSpec("JMPVD", Fmt.JD, _OP_GROUP_JD, COND_V),
+        # Subroutines: JSR pushes the return address (CPI 3), RTS pops (CPI 4).
+        InstrSpec("JSRR", Fmt.SUBR, _OP_GROUP_SUBR, SUB_JSRR, cycles=3, writes_mem=True),
+        InstrSpec("JSRD", Fmt.SUBR, _OP_GROUP_SUBR, SUB_JSRD, cycles=3, writes_mem=True),
+        InstrSpec("RTS", Fmt.SUBR, _OP_GROUP_SUBR, SUB_RTS, cycles=4, reads_mem=True),
+        # Misc.
+        InstrSpec("NOP", Fmt.MISC, _OP_GROUP_MISC, SUB_NOP),
+        InstrSpec("HALT", Fmt.MISC, _OP_GROUP_MISC, SUB_HALT),
+    ]
+    return {spec.mnemonic: spec for spec in table}
+
+
+#: Mnemonic -> static spec for all 36 instructions.
+SPECS: Dict[str, InstrSpec] = _specs()
+
+assert len(SPECS) == 36, f"ISA must have 36 instructions, has {len(SPECS)}"
+
+#: Jump-group condition nibble -> flag name ('' = unconditional).
+COND_FLAG = {
+    COND_ALWAYS: "",
+    COND_N: "n",
+    COND_Z: "z",
+    COND_C: "c",
+    COND_V: "v",
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction: spec plus operand fields."""
+
+    spec: InstrSpec
+    rt: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0  # 8-bit immediate or displacement (raw, unsigned)
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def disp(self) -> int:
+        """The immediate interpreted as a signed 8-bit displacement."""
+        return self.imm - 256 if self.imm >= 128 else self.imm
+
+
+class DecodeError(Exception):
+    """A 16-bit word does not encode a valid R8 instruction."""
+
+
+def encode(instr: Instruction) -> int:
+    """Encode a decoded instruction back into its 16-bit word."""
+    spec = instr.spec
+    op = spec.opcode << 12
+    if spec.fmt == Fmt.RRR:
+        return op | (instr.rt << 8) | (instr.rs1 << 4) | instr.rs2
+    if spec.fmt == Fmt.RI:
+        return op | (instr.rt << 8) | (instr.imm & 0xFF)
+    if spec.fmt == Fmt.RR:
+        return op | (spec.sub << 8) | (instr.rt << 4) | instr.rs1
+    if spec.fmt == Fmt.JR:
+        return op | (spec.sub << 8) | (instr.rs1 << 4)
+    if spec.fmt == Fmt.JD:
+        return op | (spec.sub << 8) | (instr.imm & 0xFF)
+    if spec.fmt == Fmt.SUBR:
+        if spec.sub == SUB_JSRR:
+            return op | (SUB_JSRR << 8) | instr.rs1
+        if spec.sub == SUB_JSRD:
+            return op | (SUB_JSRD << 8) | (instr.imm & 0xFF)
+        return op | (SUB_RTS << 8)
+    if spec.fmt == Fmt.MISC:
+        return op | (spec.sub << 8)
+    raise DecodeError(f"unencodable format {spec.fmt}")  # pragma: no cover
+
+
+_RRR_BY_OP = {s.opcode: s for s in SPECS.values() if s.fmt == Fmt.RRR}
+_RI_BY_OP = {s.opcode: s for s in SPECS.values() if s.fmt == Fmt.RI}
+_RR_BY_SUB = {s.sub: s for s in SPECS.values() if s.fmt == Fmt.RR}
+_JR_BY_COND = {s.sub: s for s in SPECS.values() if s.fmt == Fmt.JR}
+_JD_BY_COND = {s.sub: s for s in SPECS.values() if s.fmt == Fmt.JD}
+_SUBR_BY_SUB = {s.sub: s for s in SPECS.values() if s.fmt == Fmt.SUBR}
+_MISC_BY_SUB = {s.sub: s for s in SPECS.values() if s.fmt == Fmt.MISC}
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 16-bit memory word into an :class:`Instruction`."""
+    if not 0 <= word <= 0xFFFF:
+        raise DecodeError(f"word {word!r} out of 16-bit range")
+    op = (word >> 12) & 0xF
+    f1 = (word >> 8) & 0xF
+    f2 = (word >> 4) & 0xF
+    f3 = word & 0xF
+    low8 = word & 0xFF
+
+    if op in _RRR_BY_OP:
+        return Instruction(_RRR_BY_OP[op], rt=f1, rs1=f2, rs2=f3)
+    if op in _RI_BY_OP:
+        return Instruction(_RI_BY_OP[op], rt=f1, imm=low8)
+    if op == _OP_GROUP_RR:
+        spec = _RR_BY_SUB.get(f1)
+        if spec is None:
+            raise DecodeError(f"bad RR sub-opcode {f1:#x} in word {word:#06x}")
+        return Instruction(spec, rt=f2, rs1=f3)
+    if op == _OP_GROUP_JR:
+        spec = _JR_BY_COND.get(f1)
+        if spec is None:
+            raise DecodeError(f"bad jump condition {f1:#x} in word {word:#06x}")
+        return Instruction(spec, rs1=f2)
+    if op == _OP_GROUP_JD:
+        spec = _JD_BY_COND.get(f1)
+        if spec is None:
+            raise DecodeError(f"bad jump condition {f1:#x} in word {word:#06x}")
+        return Instruction(spec, imm=low8)
+    if op == _OP_GROUP_SUBR:
+        spec = _SUBR_BY_SUB.get(f1)
+        if spec is None:
+            raise DecodeError(f"bad subroutine sub-op {f1:#x} in word {word:#06x}")
+        if spec.sub == SUB_JSRR:
+            return Instruction(spec, rs1=f3)
+        if spec.sub == SUB_JSRD:
+            return Instruction(spec, imm=low8)
+        return Instruction(spec)
+    if op == _OP_GROUP_MISC:
+        spec = _MISC_BY_SUB.get(f1)
+        if spec is None:
+            raise DecodeError(f"bad misc sub-op {f1:#x} in word {word:#06x}")
+        return Instruction(spec)
+    raise DecodeError(f"unknown opcode {op:#x} in word {word:#06x}")
+
+
+def spec(mnemonic: str) -> InstrSpec:
+    """Look up an instruction spec by mnemonic (case-insensitive)."""
+    try:
+        return SPECS[mnemonic.upper()]
+    except KeyError as exc:
+        raise DecodeError(f"unknown mnemonic {mnemonic!r}") from exc

@@ -1,0 +1,120 @@
+"""Functional (single-call) execution semantics for R8 instructions.
+
+Used by the instruction-set simulator; the cycle-accurate
+:class:`~repro.r8.cpu.R8Cpu` implements the same semantics split across
+FSM states, and the differential tests in ``tests/test_r8_differential.py``
+keep the two in lock-step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import alu, isa
+from .alu import MASK16
+from .state import R8State
+
+ReadFn = Callable[[int], int]
+WriteFn = Callable[[int, int], None]
+
+
+def condition_met(state: R8State, cond: int) -> bool:
+    """Evaluate a jump-group condition nibble against the flags."""
+    flag = isa.COND_FLAG[cond]
+    if not flag:
+        return True
+    return getattr(state.flags, flag)
+
+
+def execute(
+    state: R8State,
+    instr: isa.Instruction,
+    read: ReadFn,
+    write: WriteFn,
+) -> None:
+    """Execute one decoded instruction against *state*.
+
+    ``state.pc`` must already point at the *next* instruction (the
+    hardware increments PC during fetch), which is what displacement
+    jumps and JSR return addresses are relative to.
+    """
+    spec = instr.spec
+    m = spec.mnemonic
+    regs = state.regs
+    flags = state.flags
+
+    if m == "ADD":
+        state.set_reg(instr.rt, alu.add(regs[instr.rs1], regs[instr.rs2], flags))
+    elif m == "ADDC":
+        state.set_reg(
+            instr.rt,
+            alu.add(regs[instr.rs1], regs[instr.rs2], flags, carry_in=int(flags.c)),
+        )
+    elif m == "SUB":
+        state.set_reg(instr.rt, alu.sub(regs[instr.rs1], regs[instr.rs2], flags))
+    elif m == "SUBC":
+        state.set_reg(
+            instr.rt,
+            alu.sub(regs[instr.rs1], regs[instr.rs2], flags, borrow_in=int(flags.c)),
+        )
+    elif m == "AND":
+        state.set_reg(instr.rt, alu.logic_and(regs[instr.rs1], regs[instr.rs2], flags))
+    elif m == "OR":
+        state.set_reg(instr.rt, alu.logic_or(regs[instr.rs1], regs[instr.rs2], flags))
+    elif m == "XOR":
+        state.set_reg(instr.rt, alu.logic_xor(regs[instr.rs1], regs[instr.rs2], flags))
+    elif m == "LD":
+        addr = (regs[instr.rs1] + regs[instr.rs2]) & MASK16
+        state.set_reg(instr.rt, read(addr))
+    elif m == "ST":
+        addr = (regs[instr.rs1] + regs[instr.rs2]) & MASK16
+        write(addr, regs[instr.rt])
+    elif m == "LDL":
+        state.set_reg(instr.rt, (regs[instr.rt] & 0xFF00) | instr.imm)
+    elif m == "LDH":
+        state.set_reg(instr.rt, (instr.imm << 8) | (regs[instr.rt] & 0x00FF))
+    elif m == "NOT":
+        state.set_reg(instr.rt, alu.logic_not(regs[instr.rs1], flags))
+    elif m == "SL0":
+        state.set_reg(instr.rt, alu.shift_left(regs[instr.rs1], 0, flags))
+    elif m == "SL1":
+        state.set_reg(instr.rt, alu.shift_left(regs[instr.rs1], 1, flags))
+    elif m == "SR0":
+        state.set_reg(instr.rt, alu.shift_right(regs[instr.rs1], 0, flags))
+    elif m == "SR1":
+        state.set_reg(instr.rt, alu.shift_right(regs[instr.rs1], 1, flags))
+    elif m == "MOV":
+        state.set_reg(instr.rt, regs[instr.rs1])
+    elif m == "PUSH":
+        write(state.sp, regs[instr.rs1])
+        state.sp = (state.sp - 1) & MASK16
+    elif m == "POP":
+        state.sp = (state.sp + 1) & MASK16
+        state.set_reg(instr.rt, read(state.sp))
+    elif m == "LDSP":
+        state.sp = regs[instr.rs1]
+    elif m == "RDSP":
+        state.set_reg(instr.rt, state.sp)
+    elif m in ("JMPR", "JMPNR", "JMPZR", "JMPCR", "JMPVR"):
+        if condition_met(state, spec.sub):
+            state.pc = regs[instr.rs1]
+    elif m in ("JMPD", "JMPND", "JMPZD", "JMPCD", "JMPVD"):
+        if condition_met(state, spec.sub):
+            state.pc = (state.pc + instr.disp) & MASK16
+    elif m == "JSRR":
+        write(state.sp, state.pc)
+        state.sp = (state.sp - 1) & MASK16
+        state.pc = regs[instr.rs1]
+    elif m == "JSRD":
+        write(state.sp, state.pc)
+        state.sp = (state.sp - 1) & MASK16
+        state.pc = (state.pc + instr.disp) & MASK16
+    elif m == "RTS":
+        state.sp = (state.sp + 1) & MASK16
+        state.pc = read(state.sp)
+    elif m == "NOP":
+        pass
+    elif m == "HALT":
+        state.halted = True
+    else:  # pragma: no cover - the spec table is closed
+        raise NotImplementedError(m)

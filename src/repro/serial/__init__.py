@@ -1,0 +1,14 @@
+"""Serial IP core: RS-232 UART models and the host byte protocol."""
+
+from . import protocol
+from .serial_ip import SerialIp
+from .uart import FRAME_BITS, AutoBaudUartRx, UartRx, UartTx
+
+__all__ = [
+    "AutoBaudUartRx",
+    "FRAME_BITS",
+    "SerialIp",
+    "UartRx",
+    "UartTx",
+    "protocol",
+]

@@ -1,0 +1,143 @@
+"""The Serial IP core (paper Section 2.2).
+
+"The basic function of the Serial IP is to assemble and disassemble
+packets.  When information comes from the host computer, the Serial IP
+creates a valid NoC packet.  When a packet is received from the NoC it
+must be disassembled, and sent serially to the host computer."
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..noc import services
+from ..noc.flit import decode_address, encode_address, split_word
+from ..noc.ni import NetworkInterface
+from ..noc.packet import Packet
+from ..sim import Component, Wire
+from . import protocol
+from .uart import AutoBaudUartRx, UartTx
+
+
+class SerialIp(Component):
+    """RS-232 <-> Hermes bridge at a router's Local port.
+
+    Parameters
+    ----------
+    rxd:
+        1-bit line carrying host->board traffic (create with ``reset=1``).
+    txd:
+        1-bit line carrying board->host traffic (owned and driven here).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        address: Tuple[int, int],
+        rxd: Wire,
+        txd: Wire,
+        tx_divisor: int = 4,
+        stats=None,
+    ):
+        super().__init__(name)
+        self.noc_address = address
+        self.uart_rx = AutoBaudUartRx(f"{name}.rx", rxd)
+        self.uart_tx = UartTx(f"{name}.tx", txd, divisor=tx_divisor)
+        self.ni = NetworkInterface(f"{name}.ni", address, stats=stats)
+        self.add_child(self.uart_rx)
+        self.add_child(self.uart_tx)
+        self.add_child(self.ni)
+        self._frame: List[int] = []
+        self.frames_processed = 0
+        self.dropped_packets: List[Packet] = []
+
+    @property
+    def synced(self) -> bool:
+        """True once the 0x55 auto-baud byte has been received."""
+        return self.uart_rx.synced
+
+    @property
+    def busy(self) -> bool:
+        return (
+            bool(self._frame)
+            or self.uart_tx.busy
+            or self.ni.tx_busy
+            or bool(self.uart_rx.received)
+        )
+
+    def eval(self, cycle: int) -> None:
+        super().eval(cycle)
+        if self.uart_rx.synced:
+            # Match the board UART transmit rate to the learned baud rate.
+            self.uart_tx.divisor = self.uart_rx.divisor
+        self._assemble_host_frames()
+        self._disassemble_noc_packets()
+
+    def reset(self) -> None:
+        super().reset()
+        self._frame = []
+        self.frames_processed = 0
+        self.dropped_packets = []
+
+    # -- host -> NoC -----------------------------------------------------------
+
+    def _assemble_host_frames(self) -> None:
+        while self.uart_rx.received:
+            self._frame.append(self.uart_rx.received.popleft())
+            length = protocol.host_frame_length(self._frame)
+            if length is not None and len(self._frame) >= length:
+                frame, self._frame = self._frame[:length], self._frame[length:]
+                self._dispatch_host_frame(frame)
+
+    def _dispatch_host_frame(self, frame: List[int]) -> None:
+        cmd = frame[0]
+        target = decode_address(frame[1])
+        own_flit = encode_address(*self.noc_address)
+        if cmd == protocol.HostCommand.READ:
+            count = frame[2]
+            address = (frame[3] << 8) | frame[4]
+            packet = services.encode_read(target, own_flit, address, count)
+        elif cmd == protocol.HostCommand.WRITE:
+            count = frame[2]
+            address = (frame[3] << 8) | frame[4]
+            words = [
+                (frame[5 + 2 * i] << 8) | frame[6 + 2 * i] for i in range(count)
+            ]
+            packet = services.encode_write(target, address, words)
+        elif cmd == protocol.HostCommand.ACTIVATE:
+            packet = services.encode_activate(target)
+        elif cmd == protocol.HostCommand.SCANF_RETURN:
+            value = (frame[2] << 8) | frame[3]
+            packet = services.encode_scanf_return(target, value)
+        else:  # pragma: no cover - host_frame_length already rejects
+            raise protocol.ProtocolError(f"unknown command {cmd:#04x}")
+        self.ni.send_packet(packet)
+        self.frames_processed += 1
+
+    # -- NoC -> host -------------------------------------------------------------
+
+    def _disassemble_noc_packets(self) -> None:
+        while self.ni.has_received():
+            packet = self.ni.pop_received()
+            try:
+                message = services.decode(packet)
+            except services.ServiceError:
+                self.dropped_packets.append(packet)
+                continue
+            if isinstance(message, services.ReadReturn):
+                hi, lo = split_word(message.address)
+                frame = [protocol.BoardReply.READ_RETURN, hi, lo, len(message.words)]
+                for word in message.words:
+                    whi, wlo = split_word(word)
+                    frame.extend((whi, wlo))
+            elif isinstance(message, services.Printf):
+                frame = [protocol.BoardReply.PRINTF, message.proc, len(message.words)]
+                for word in message.words:
+                    whi, wlo = split_word(word)
+                    frame.extend((whi, wlo))
+            elif isinstance(message, services.Scanf):
+                frame = [protocol.BoardReply.SCANF, message.proc]
+            else:
+                self.dropped_packets.append(packet)
+                continue
+            self.uart_tx.send_bytes(frame)

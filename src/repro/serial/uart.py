@@ -1,0 +1,170 @@
+"""Bit-level RS-232 UART models.
+
+Frames are the classic 8N1: one start bit (low), eight data bits LSB
+first, one stop bit (high); the line idles high.  The bit period is
+``divisor`` clock cycles, so different host/board clock ratios can be
+exercised — which is why MultiNoC needs the 0x55 synchronisation byte
+(see :class:`AutoBaudUartRx`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..sim import Component, Wire
+
+#: Bits per 8N1 frame: start + 8 data + stop.
+FRAME_BITS = 10
+
+
+class UartTx(Component):
+    """Serialises queued bytes onto a 1-bit line."""
+
+    def __init__(self, name: str, line: Wire, divisor: int = 4):
+        super().__init__(name)
+        if divisor < 2:
+            raise ValueError("UART divisor must be at least 2 cycles per bit")
+        self.line = line
+        self.divisor = divisor
+        self.adopt_wires([line])
+        self.queue: Deque[int] = deque()
+        self._bits: list = []
+        self._bit_index = 0
+        self._phase = 0
+
+    def send_byte(self, byte: int) -> None:
+        if not 0 <= byte <= 0xFF:
+            raise ValueError(f"byte {byte!r} out of range")
+        self.queue.append(byte)
+
+    def send_bytes(self, data) -> None:
+        for b in data:
+            self.send_byte(b)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.queue) or bool(self._bits)
+
+    def eval(self, cycle: int) -> None:
+        if not self._bits:
+            if self.queue:
+                byte = self.queue.popleft()
+                data_bits = [(byte >> i) & 1 for i in range(8)]
+                self._bits = [0] + data_bits + [1]
+                self._bit_index = 0
+                self._phase = 0
+            else:
+                self.line.drive(1)  # idle high
+                return
+        self.line.drive(self._bits[self._bit_index])
+        self._phase += 1
+        if self._phase >= self.divisor:
+            self._phase = 0
+            self._bit_index += 1
+            if self._bit_index >= len(self._bits):
+                self._bits = []
+
+    def reset(self) -> None:
+        # The line wire must be created with reset=1 (RS-232 idles high).
+        super().reset()
+        self.queue.clear()
+        self._bits = []
+
+
+class UartRx(Component):
+    """Deserialises bytes from a 1-bit line at a known divisor."""
+
+    def __init__(self, name: str, line: Wire, divisor: int = 4):
+        super().__init__(name)
+        if divisor < 2:
+            raise ValueError("UART divisor must be at least 2 cycles per bit")
+        self.line = line
+        self.divisor = divisor
+        self.received: Deque[int] = deque()
+        self.framing_errors = 0
+        self._sampling = False
+        self._count = 0
+        self._bits: list = []
+
+    def eval(self, cycle: int) -> None:
+        level = self.line.value
+        if not self._sampling:
+            if level == 0:  # start-bit edge
+                self._sampling = True
+                self._count = 0
+                self._bits = []
+            return
+        self._count += 1
+        # Sample each bit at its mid-point: start bit at divisor/2, data
+        # bit k at divisor/2 + (k+1)*divisor ...
+        offset = self._count - self.divisor // 2
+        if offset >= 0 and offset % self.divisor == 0:
+            bit_index = offset // self.divisor
+            if bit_index == 0:
+                if level != 0:  # glitch, not a real start bit
+                    self._sampling = False
+                return
+            if bit_index <= 8:
+                self._bits.append(level)
+                return
+            # stop bit
+            if level != 1:
+                self.framing_errors += 1
+            else:
+                byte = 0
+                for i, bit in enumerate(self._bits):
+                    byte |= bit << i
+                self.received.append(byte)
+            self._sampling = False
+
+    def pop_byte(self) -> Optional[int]:
+        return self.received.popleft() if self.received else None
+
+    def reset(self) -> None:
+        super().reset()
+        self.received.clear()
+        self.framing_errors = 0
+        self._sampling = False
+
+
+class AutoBaudUartRx(UartRx):
+    """UART receiver that learns its divisor from the 0x55 sync byte.
+
+    "The MultiNoC system must receive from the Serial software the host
+    computer baud rate ... achieved transmitting the value 55H" (paper
+    Section 4).  0x55 sent LSB-first toggles the line on every bit, so
+    the shortest observed edge-to-edge interval *is* the bit period.
+    """
+
+    SYNC_EDGES = 9  # start + 8 alternating data bits give 9+ edges
+
+    def __init__(self, name: str, line: Wire):
+        super().__init__(name, line, divisor=2)
+        self.synced = False
+        self._last_level = 1
+        self._last_edge_cycle: Optional[int] = None
+        self._intervals: list = []
+
+    def eval(self, cycle: int) -> None:
+        if self.synced:
+            super().eval(cycle)
+            return
+        level = self.line.value
+        if level != self._last_level:
+            if self._last_edge_cycle is not None:
+                self._intervals.append(cycle - self._last_edge_cycle)
+            self._last_edge_cycle = cycle
+            self._last_level = level
+            if len(self._intervals) >= self.SYNC_EDGES:
+                self.divisor = max(2, min(self._intervals))
+                self.synced = True
+                # The sync byte itself is consumed by synchronisation; the
+                # final stop bit leaves the line idle, ready for framing.
+
+    def reset(self) -> None:
+        super().reset()
+        self.synced = False
+        self._last_level = 1
+        self._last_edge_cycle = None
+        self._intervals = []

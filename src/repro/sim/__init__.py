@@ -1,0 +1,27 @@
+"""Synchronous, cycle-accurate simulation kernel used by every hardware model.
+
+The kernel is deliberately tiny: :class:`Wire` (two-phase registered
+signals), :class:`Component` (a clocked block with an ``eval``/``commit``
+protocol) and :class:`Simulator` (the lock-step clock driver).  Everything
+in :mod:`repro.noc`, :mod:`repro.r8`, :mod:`repro.memory`,
+:mod:`repro.serial` and :mod:`repro.system` is built on these three
+classes.
+"""
+
+from .component import Component
+from .kernel import SimulationTimeout, Simulator
+from .trace import TraceEvent, Tracer
+from .vcd import VcdWriter
+from .wire import HandshakeTx, Wire, make_channel
+
+__all__ = [
+    "Component",
+    "HandshakeTx",
+    "SimulationTimeout",
+    "Simulator",
+    "TraceEvent",
+    "Tracer",
+    "VcdWriter",
+    "Wire",
+    "make_channel",
+]

@@ -1,0 +1,76 @@
+"""Base class for clocked hardware components."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .wire import Wire
+
+
+class Component:
+    """A synchronous block evaluated once per clock cycle.
+
+    Subclasses implement :meth:`eval`, which may read ``wire.value`` (the
+    state latched at the previous edge), update internal registers, and
+    call ``wire.drive`` on their output wires.  Internal state may be
+    mutated eagerly because no other component can observe it except
+    through wires, which only change at the commit phase.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._wires: List[Wire] = []
+        self._children: List["Component"] = []
+
+    # -- construction helpers -------------------------------------------
+
+    def wire(self, name: str, reset=0, width: int | None = None) -> Wire:
+        """Create a wire owned (registered and reset) by this component."""
+        w = Wire(f"{self.name}.{name}", reset=reset, width=width)
+        self._wires.append(w)
+        return w
+
+    def adopt_wires(self, wires: Iterable[Wire]) -> None:
+        """Register externally created wires for commit/reset handling."""
+        self._wires.extend(wires)
+
+    def disown_wires(self, wires: Iterable[Wire]) -> None:
+        """Stop committing/resetting previously adopted wires (used when
+        re-wiring components, e.g. dynamic reconfiguration)."""
+        for w in wires:
+            if w in self._wires:
+                self._wires.remove(w)
+
+    def add_child(self, child: "Component") -> "Component":
+        self._children.append(child)
+        return child
+
+    # -- simulation protocol --------------------------------------------
+
+    def eval(self, cycle: int) -> None:
+        """Evaluate one clock cycle.  Default: evaluate children in order."""
+        for child in self._children:
+            child.eval(cycle)
+
+    def commit(self) -> None:
+        """Latch all owned wires; recurses into children."""
+        for w in self._wires:
+            w.commit()
+        for child in self._children:
+            child.commit()
+
+    def reset(self) -> None:
+        """Return owned wires and children to their reset state."""
+        for w in self._wires:
+            w.reset()
+        for child in self._children:
+            child.reset()
+
+    def iter_components(self) -> Iterable["Component"]:
+        """Yield this component and all descendants (pre-order)."""
+        yield self
+        for child in self._children:
+            yield from child.iter_components()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

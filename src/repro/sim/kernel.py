@@ -1,0 +1,103 @@
+"""Cycle-based simulation kernel.
+
+The kernel owns a set of top-level :class:`~repro.sim.component.Component`
+instances and advances them in lock-step: every cycle it calls ``eval`` on
+each component (which reads last cycle's wire values and schedules new
+ones) and then commits every wire.  This two-phase discipline makes the
+result independent of evaluation order, exactly like synchronous RTL.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .component import Component
+
+
+class SimulationTimeout(Exception):
+    """Raised when :meth:`Simulator.run_until` exceeds its cycle budget."""
+
+
+class Simulator:
+    """Lock-step clock driver for a set of components.
+
+    Parameters
+    ----------
+    clock_hz:
+        Nominal clock frequency; only used to convert cycle counts into
+        wall-clock figures for reports (the paper's board runs at 25 MHz
+        after the clkdll division of the 50 MHz oscillator).
+    """
+
+    def __init__(self, clock_hz: float = 25_000_000.0):
+        self.clock_hz = clock_hz
+        self.cycle = 0
+        self._components: List[Component] = []
+        self._watchers: List[Callable[[int], None]] = []
+
+    # -- construction ----------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        """Register a top-level component and return it.
+
+        Adding the same component twice is a no-op: double registration
+        would evaluate it twice per cycle and corrupt its state.
+        """
+        if component not in self._components:
+            self._components.append(component)
+        return component
+
+    def add_watcher(self, fn: Callable[[int], None]) -> None:
+        """Call *fn(cycle)* after every committed cycle (tracing hooks)."""
+        self._watchers.append(fn)
+
+    # -- execution ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Assert the global reset: all wires/components to initial state."""
+        self.cycle = 0
+        for c in self._components:
+            c.reset()
+
+    def step(self, cycles: int = 1) -> int:
+        """Advance the simulation by *cycles* clock cycles."""
+        components = self._components
+        watchers = self._watchers
+        for _ in range(cycles):
+            cyc = self.cycle
+            for c in components:
+                c.eval(cyc)
+            for c in components:
+                c.commit()
+            self.cycle = cyc + 1
+            for fn in watchers:
+                fn(self.cycle)
+        return self.cycle
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_cycles: int = 1_000_000,
+        label: Optional[str] = None,
+    ) -> int:
+        """Step until *predicate()* is true; return cycles consumed.
+
+        Raises :class:`SimulationTimeout` after *max_cycles* additional
+        cycles so a deadlocked model fails loudly instead of spinning.
+        """
+        start = self.cycle
+        while not predicate():
+            if self.cycle - start >= max_cycles:
+                what = label or getattr(predicate, "__name__", "condition")
+                raise SimulationTimeout(
+                    f"{what} not reached within {max_cycles} cycles "
+                    f"(at cycle {self.cycle})"
+                )
+            self.step()
+        return self.cycle - start
+
+    # -- reporting ---------------------------------------------------------
+
+    def elapsed_seconds(self) -> float:
+        """Simulated wall-clock time at the nominal clock frequency."""
+        return self.cycle / self.clock_hz

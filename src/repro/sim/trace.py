@@ -1,0 +1,51 @@
+"""Lightweight signal tracing for debugging cycle-accurate models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .wire import Wire
+
+
+@dataclass
+class TraceEvent:
+    """A single recorded signal change."""
+
+    cycle: int
+    wire: str
+    value: Any
+
+
+@dataclass
+class Tracer:
+    """Records value changes on a set of wires.
+
+    Attach with ``sim.add_watcher(tracer.sample)``.  Only *changes* are
+    stored, so long idle stretches are cheap.
+    """
+
+    wires: Sequence[Wire]
+    events: List[TraceEvent] = field(default_factory=list)
+    _last: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Baseline at attach time: only subsequent *changes* are events.
+        for w in self.wires:
+            self._last[w.name] = w.value
+
+    def sample(self, cycle: int) -> None:
+        for w in self.wires:
+            if self._last.get(w.name) != w.value:
+                self._last[w.name] = w.value
+                self.events.append(TraceEvent(cycle, w.name, w.value))
+
+    def changes(self, wire_name: str) -> List[Tuple[int, Any]]:
+        """All (cycle, value) changes recorded for *wire_name*."""
+        return [(e.cycle, e.value) for e in self.events if e.wire == wire_name]
+
+    def as_text(self) -> str:
+        """Human-readable dump, one change per line."""
+        return "\n".join(
+            f"{e.cycle:>8}  {e.wire:<40} {e.value!r}" for e in self.events
+        )

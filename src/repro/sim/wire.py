@@ -1,0 +1,88 @@
+"""Two-phase signal wires for synchronous hardware simulation.
+
+Every value exchanged between two components travels over a :class:`Wire`.
+During the *evaluate* phase of a clock cycle components read ``wire.value``
+(the value latched at the previous clock edge) and call :meth:`Wire.drive`
+to schedule the value for the next edge.  The kernel then *commits* all
+wires at once, which models a synchronous register boundary and makes the
+simulation independent of component evaluation order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Wire:
+    """A named signal with registered (two-phase) update semantics.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name, shown in traces and error messages.
+    reset:
+        Value the wire holds at cycle zero and after :meth:`reset`.
+    width:
+        Optional bit width.  When given, driven integer values are checked
+        against ``[0, 2**width)`` which catches encoding bugs early.
+    """
+
+    __slots__ = ("name", "value", "reset_value", "width", "_next", "_max")
+
+    def __init__(self, name: str, reset: Any = 0, width: int | None = None):
+        self.name = name
+        self.reset_value = reset
+        self.width = width
+        self._max = (1 << width) if width is not None else None
+        self.value = reset
+        self._next = reset
+
+    def drive(self, value: Any) -> None:
+        """Schedule *value* to appear on the wire at the next clock edge."""
+        if self._max is not None:
+            if not isinstance(value, int) or not 0 <= value < self._max:
+                raise ValueError(
+                    f"wire {self.name!r}: value {value!r} does not fit in "
+                    f"{self.width} bits"
+                )
+        self._next = value
+
+    def commit(self) -> None:
+        """Latch the scheduled value (called by the kernel, once per cycle)."""
+        self.value = self._next
+
+    def reset(self) -> None:
+        """Return the wire to its reset value in both phases."""
+        self.value = self.reset_value
+        self._next = self.reset_value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Wire({self.name}={self.value!r})"
+
+
+class HandshakeTx:
+    """The sender-side half of a Hermes asynchronous handshake channel.
+
+    A channel is three wires: ``tx`` (data valid), ``data`` and ``ack``
+    (data accepted).  The protocol follows the paper's Section 2.1: the
+    sender raises ``tx`` with stable ``data``; the receiver stores the flit
+    and pulses ``ack``; the sender drops ``tx`` (or presents the next flit)
+    after seeing the pulse.  With registered wires this costs two clock
+    cycles per flit, which is exactly the factor 2 in the paper's latency
+    formula.
+    """
+
+    __slots__ = ("tx", "data", "ack")
+
+    def __init__(self, name: str, data_width: int = 8):
+        self.tx = Wire(f"{name}.tx", reset=0, width=1)
+        self.data = Wire(f"{name}.data", reset=0, width=data_width)
+        self.ack = Wire(f"{name}.ack", reset=0, width=1)
+
+    def wires(self) -> tuple[Wire, Wire, Wire]:
+        return (self.tx, self.data, self.ack)
+
+
+def make_channel(name: str, data_width: int = 8) -> HandshakeTx:
+    """Create a handshake channel (tx/data owned by sender, ack by receiver)."""
+    return HandshakeTx(name, data_width)

@@ -1,0 +1,30 @@
+"""The MultiNoC system: processor IPs, address decoding, top level."""
+
+from .address_map import (
+    IO_ADDRESS,
+    NOTIFY_ADDRESS,
+    WAIT_ADDRESS,
+    Access,
+    AccessKind,
+    AddressMap,
+    standard_map,
+)
+from .config import SystemConfig
+from .multinoc import MultiNoC
+from .processor_ip import ProcessorIp
+from .reconfig import ReconfigError, ReconfigurationManager
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "AddressMap",
+    "IO_ADDRESS",
+    "MultiNoC",
+    "NOTIFY_ADDRESS",
+    "ProcessorIp",
+    "ReconfigError",
+    "ReconfigurationManager",
+    "SystemConfig",
+    "WAIT_ADDRESS",
+    "standard_map",
+]

@@ -1,0 +1,78 @@
+"""System configuration for MultiNoC instances.
+
+The paper's prototype is fixed (2x2 mesh, two processors, one remote
+memory, one serial IP), but "the approach can be extended to any number
+of processor IPs and/or memory IPs, using the natural scalability of
+NoCs" — so the configuration is data, not code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..noc.flit import encode_address
+
+Address = Tuple[int, int]
+
+
+@dataclass
+class SystemConfig:
+    """Placement and parameters of one MultiNoC instance.
+
+    ``processors`` maps processor id (1, 2, ...) to its router address;
+    ``memories`` lists remote Memory IP addresses; ``serial`` places the
+    Serial IP (id 0 in the wait/notify numbering, by convention).
+    """
+
+    mesh: Tuple[int, int] = (2, 2)
+    serial: Address = (0, 0)
+    processors: Dict[int, Address] = field(
+        default_factory=lambda: {1: (0, 1), 2: (1, 0)}
+    )
+    memories: List[Address] = field(default_factory=lambda: [(1, 1)])
+    local_words: int = 1024
+    buffer_depth: int = 2
+    routing_cycles: int = 7
+    uart_divisor: int = 4
+    clock_hz: float = 25_000_000.0  # 50 MHz board clock after the clkdll /2
+
+    def validate(self) -> None:
+        width, height = self.mesh
+        occupied: Dict[Address, str] = {}
+
+        def place(addr: Address, what: str) -> None:
+            x, y = addr
+            if not (0 <= x < width and 0 <= y < height):
+                raise ValueError(f"{what} at {addr} outside {width}x{height} mesh")
+            if addr in occupied:
+                raise ValueError(
+                    f"{what} at {addr} collides with {occupied[addr]}"
+                )
+            occupied[addr] = what
+
+        place(self.serial, "serial IP")
+        for pid, addr in self.processors.items():
+            if pid <= 0:
+                raise ValueError("processor ids start at 1 (0 is the host/serial)")
+            place(addr, f"processor {pid}")
+        for i, addr in enumerate(self.memories):
+            place(addr, f"memory {i}")
+
+    # -- derived tables --------------------------------------------------------
+
+    def id_to_flit(self) -> Dict[int, int]:
+        """wait/notify numbering: 0 = serial/host, 1.. = processors."""
+        table = {0: encode_address(*self.serial)}
+        for pid, addr in self.processors.items():
+            table[pid] = encode_address(*addr)
+        return table
+
+    def serial_flit(self) -> int:
+        return encode_address(*self.serial)
+
+    @classmethod
+    def paper(cls) -> "SystemConfig":
+        """The exact configuration prototyped on the Spartan-IIe
+        (Figure 1: serial at 00, processors at 01 and 10, memory at 11)."""
+        return cls()

@@ -1,0 +1,151 @@
+"""The MultiNoC system top level (paper Figure 1).
+
+Wires the Hermes mesh, the Serial IP, the Processor IPs and the Memory
+IPs into one simulatable component, exposing exactly the paper's
+external interface: ``reset`` (the kernel's reset), ``clock`` (the
+kernel's step), and the serial ``tx``/``rx`` lines to the host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..memory.memory_ip import MemoryIp
+from ..noc.flit import encode_address
+from ..noc.mesh import Mesh
+from ..noc.stats import NetworkStats
+from ..serial.serial_ip import SerialIp
+from ..sim import Component, Simulator, Wire
+from .address_map import AddressMap
+from .config import SystemConfig
+from .processor_ip import ProcessorIp
+
+Address = Tuple[int, int]
+
+
+class MultiNoC(Component):
+    """A complete MultiNoC instance built from a :class:`SystemConfig`."""
+
+    def __init__(self, config: Optional[SystemConfig] = None):
+        config = config if config is not None else SystemConfig.paper()
+        config.validate()
+        super().__init__("multinoc")
+        self.config = config
+        self.stats = NetworkStats()
+
+        width, height = config.mesh
+        self.mesh = Mesh(
+            width,
+            height,
+            buffer_depth=config.buffer_depth,
+            routing_cycles=config.routing_cycles,
+            stats=self.stats,
+        )
+        self.add_child(self.mesh)
+
+        # External serial lines (RS-232 idles high -> reset=1).
+        self.rxd = Wire("multinoc.rxd", reset=1, width=1)  # host -> board
+        self.txd = Wire("multinoc.txd", reset=1, width=1)  # board -> host
+
+        self.serial = SerialIp(
+            "serial",
+            config.serial,
+            rxd=self.rxd,
+            txd=self.txd,
+            tx_divisor=config.uart_divisor,
+            stats=self.stats,
+        )
+        self._attach(self.serial.ni, config.serial)
+        self.add_child(self.serial)
+
+        id_to_flit = config.id_to_flit()
+        self.processors: Dict[int, ProcessorIp] = {}
+        for pid, addr in sorted(config.processors.items()):
+            amap = self._build_address_map(pid)
+            proc = ProcessorIp(
+                f"proc{pid}",
+                addr,
+                proc_id=pid,
+                address_map=amap,
+                id_to_flit=id_to_flit,
+                serial_flit=config.serial_flit(),
+                local_words=config.local_words,
+                stats=self.stats,
+            )
+            self._attach(proc.ni, addr)
+            self.processors[pid] = proc
+            self.add_child(proc)
+
+        self.memories: List[MemoryIp] = []
+        for i, addr in enumerate(config.memories):
+            mem = MemoryIp(
+                f"mem{i}", addr, depth=config.local_words, stats=self.stats
+            )
+            self._attach(mem.ni, addr)
+            self.memories.append(mem)
+            self.add_child(mem)
+
+    # -- construction helpers ------------------------------------------------
+
+    def _attach(self, ni, addr: Address) -> None:
+        into, out = self.mesh.local_channels(addr)
+        ni.attach(to_router=into, from_router=out)
+
+    def _build_address_map(self, pid: int) -> AddressMap:
+        """Figure 6's map, generalised: after local memory come windows
+        for every *other* processor (by id) and then every Memory IP.
+
+        The 16-bit address space caps how many remote windows fit below
+        the FFFD-FFFF control cells; windows beyond that are simply not
+        mapped (a processor in a hundred-IP system reaches its nearest
+        peers by NUMA load/store and the rest by message services).
+        """
+        config = self.config
+        amap = AddressMap(config.local_words)
+        # paper alignment: windows are 1K apart even if local_words < 1024
+        step = max(config.local_words, 1024)
+        base = step
+        limit = 0xFFFD
+
+        def try_add(addr) -> None:
+            nonlocal base
+            if base + config.local_words <= limit:
+                amap.add_window(base, config.local_words, encode_address(*addr))
+                base += step
+
+        for other_pid, other_addr in sorted(config.processors.items()):
+            if other_pid != pid:
+                try_add(other_addr)
+        for mem_addr in config.memories:
+            try_add(mem_addr)
+        return amap
+
+    # -- convenience -------------------------------------------------------------
+
+    def processor(self, pid: int) -> ProcessorIp:
+        return self.processors[pid]
+
+    def memory(self, index: int = 0) -> MemoryIp:
+        return self.memories[index]
+
+    @property
+    def idle(self) -> bool:
+        """No in-flight NoC traffic, serial activity or pending CPU stalls."""
+        return (
+            self.mesh.idle
+            and not self.serial.busy
+            and all(
+                not p.ni.tx_busy and p.server_idle
+                for p in self.processors.values()
+            )
+            and all(not m.noc_busy for m in self.memories)
+        )
+
+    @property
+    def all_halted(self) -> bool:
+        return all(p.cpu.halted for p in self.processors.values())
+
+    def make_simulator(self) -> Simulator:
+        sim = Simulator(clock_hz=self.config.clock_hz)
+        sim.add(self)
+        return sim

@@ -1,0 +1,370 @@
+"""The Processor IP core (paper Section 2.4, Figure 5).
+
+One Processor IP bundles an R8 core, its 1K-word local memory (four
+BlockRAM nibble banks) and the control logic gluing both to a single
+Hermes network interface.  The control logic:
+
+* decodes R8 load/store addresses (local / other processor / remote
+  memory / I/O / wait / notify) per the address map,
+* turns remote accesses into NoC service packets, stalling the core
+  until completion (the ``waitR8`` mechanism — a pending bus
+  transaction),
+* serves incoming read/write packets against the local memory with
+  *lower* priority than the core ("The highest priority to access the
+  memory banks is given to the processor"),
+* handles activate / notify / wait packets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..memory.blockram import MemoryBanks
+from ..noc import services
+from ..noc.flit import decode_address, encode_address
+from ..noc.ni import NetworkInterface
+from ..noc.packet import Packet
+from ..r8.bus import Transaction
+from ..r8.cpu import R8Cpu
+from ..sim import Component
+from .address_map import Access, AccessKind, AddressMap
+
+_SRV_IDLE = 0
+_SRV_WRITING = 1
+_SRV_READING = 2
+
+
+class ProcessorIp(Component):
+    """R8 core + local memory + NoC control logic.
+
+    Parameters
+    ----------
+    proc_id:
+        The processor number used by wait/notify ("the number of the
+        processor that will be restarted").
+    id_to_flit:
+        Registry mapping processor/IP numbers to NoC header flits, shared
+        across the system (wait/notify address peers by number).
+    serial_flit:
+        Header flit of the Serial IP, the printf/scanf endpoint.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        address: Tuple[int, int],
+        proc_id: int,
+        address_map: AddressMap,
+        id_to_flit: Dict[int, int],
+        serial_flit: int,
+        local_words: int = 1024,
+        stats=None,
+    ):
+        super().__init__(name)
+        self.noc_address = address
+        self.proc_id = proc_id
+        self.address_map = address_map
+        self.id_to_flit = id_to_flit
+        self.serial_flit = serial_flit
+
+        self.banks = MemoryBanks(local_words)
+        self.cpu = R8Cpu(f"{name}.r8", bus=self)
+        self.ni = NetworkInterface(f"{name}.ni", address, stats=stats)
+        self.add_child(self.cpu)
+        self.add_child(self.ni)
+
+        # outstanding remote transaction issued by the core
+        self._pending: Optional[Transaction] = None
+        self._pending_kind: Optional[AccessKind] = None
+        self._wait_source: Optional[int] = None
+        # buffered notifies (a notify may land before the wait executes)
+        self._notify_counts: Dict[int, int] = {}
+        # local-memory packet server
+        self._srv_state = _SRV_IDLE
+        self._srv_addr = 0
+        self._srv_words: List[int] = []
+        self._srv_remaining = 0
+        self._srv_reply_to: Optional[int] = None
+        self._srv_backlog: List = []
+        self._proc_mem_used = False
+        self.dropped_packets: List[Packet] = []
+        self.activations = 0
+
+    # ================= MemoryBus protocol (called by the R8 core) ==========
+
+    def fetch(self, addr: int) -> int:
+        """Instruction fetch: always from local memory, processor priority."""
+        self._proc_mem_used = True
+        return self.banks.read_word(addr % self.banks.depth)
+
+    def read(self, addr: int) -> Transaction:
+        access = self.address_map.classify(addr)
+        txn = Transaction(False, addr)
+        if access.kind == AccessKind.LOCAL:
+            self._proc_mem_used = True
+            txn.complete(self.banks.read_word(access.offset))
+        elif access.kind == AccessKind.REMOTE:
+            self.ni.send_packet(
+                services.encode_read(
+                    decode_address(access.target_flit),
+                    encode_address(*self.noc_address),
+                    access.offset,
+                    1,
+                )
+            )
+            self._pending = txn
+            self._pending_kind = AccessKind.REMOTE
+        elif access.kind == AccessKind.IO:
+            # LD from FFFF = scanf (paper Section 2.4, I/O Operations)
+            self.ni.send_packet(
+                services.encode_scanf(
+                    decode_address(self.serial_flit), self.proc_id
+                )
+            )
+            self._pending = txn
+            self._pending_kind = AccessKind.IO
+        else:
+            raise RuntimeError(
+                f"{self.name}: load from invalid address {addr:#06x} "
+                f"({access.kind.value})"
+            )
+        return txn
+
+    def write(self, addr: int, value: int) -> Transaction:
+        access = self.address_map.classify(addr)
+        txn = Transaction(True, addr, value)
+        if access.kind == AccessKind.LOCAL:
+            self._proc_mem_used = True
+            self.banks.write_word(access.offset, value)
+            txn.complete()
+        elif access.kind == AccessKind.REMOTE:
+            self.ni.send_packet(
+                services.encode_write(
+                    decode_address(access.target_flit), access.offset, [value]
+                )
+            )
+            self._pending = txn
+            self._pending_kind = AccessKind.REMOTE
+        elif access.kind == AccessKind.IO:
+            # ST to FFFF = printf
+            self.ni.send_packet(
+                services.encode_printf(
+                    decode_address(self.serial_flit), self.proc_id, [value]
+                )
+            )
+            self._pending = txn
+            self._pending_kind = AccessKind.IO
+        elif access.kind == AccessKind.NOTIFY:
+            # ST to FFFD: wake processor number <value>
+            peer = self._peer_flit(value)
+            self.ni.send_packet(
+                services.encode_notify(decode_address(peer), self.proc_id)
+            )
+            self._pending = txn
+            self._pending_kind = AccessKind.NOTIFY
+        elif access.kind == AccessKind.WAIT:
+            # ST to FFFE: block until notify from processor number <value>
+            if self._consume_notify(value):
+                txn.complete()
+            else:
+                self._pending = txn
+                self._pending_kind = AccessKind.WAIT
+                self._wait_source = value
+        else:
+            raise RuntimeError(
+                f"{self.name}: store to invalid address {addr:#06x}"
+            )
+        return txn
+
+    def _peer_flit(self, proc_id: int) -> int:
+        try:
+            return self.id_to_flit[proc_id]
+        except KeyError as exc:
+            raise RuntimeError(
+                f"{self.name}: wait/notify names unknown processor {proc_id}"
+            ) from exc
+
+    def _consume_notify(self, source: int) -> bool:
+        count = self._notify_counts.get(source, 0)
+        if count > 0:
+            self._notify_counts[source] = count - 1
+            return True
+        return False
+
+    # ======================= simulation ========================================
+
+    def eval(self, cycle: int) -> None:
+        super().eval(cycle)  # cpu first (bus calls), then ni
+        self._complete_posted_ops()
+        self._handle_incoming(cycle)
+        self._serve_local_memory()
+        self._proc_mem_used = False
+
+    def reset(self) -> None:
+        super().reset()
+        self._pending = None
+        self._pending_kind = None
+        self._wait_source = None
+        self._notify_counts = {}
+        self._srv_state = _SRV_IDLE
+        self._srv_words = []
+        self._srv_remaining = 0
+        self._srv_backlog = []
+        self._proc_mem_used = False
+        self.dropped_packets = []
+        self.activations = 0
+
+    # -- posted operations (writes, printf, notify) complete on injection ----
+
+    def _complete_posted_ops(self) -> None:
+        if self._pending is None or self._pending.done:
+            return
+        fire_and_forget = (
+            self._pending_kind == AccessKind.NOTIFY
+            or (self._pending_kind == AccessKind.REMOTE and self._pending.is_write)
+            or (self._pending_kind == AccessKind.IO and self._pending.is_write)
+        )
+        if fire_and_forget and not self.ni.tx_busy:
+            self._pending.complete()
+            self._clear_pending()
+
+    def _clear_pending(self) -> None:
+        self._pending = None
+        self._pending_kind = None
+        self._wait_source = None
+
+    # -- incoming service packets ------------------------------------------------
+
+    def _handle_incoming(self, cycle: int) -> None:
+        while self.ni.has_received():
+            packet = self.ni.pop_received()
+            try:
+                message = services.decode(packet)
+            except services.ServiceError:
+                self.dropped_packets.append(packet)
+                continue
+            if isinstance(message, services.Activate):
+                self.cpu.activate()
+                self.activations += 1
+            elif isinstance(message, services.ReadReturn):
+                self._complete_read(message.words)
+            elif isinstance(message, services.ScanfReturn):
+                self._complete_scanf(message.value)
+            elif isinstance(message, services.Notify):
+                self._handle_notify(message.source)
+            elif isinstance(message, services.Wait):
+                # the wait *packet* service: park the core until notified
+                self.cpu.paused = True
+                self._wait_source = message.source
+            elif isinstance(message, (services.ReadRequest, services.WriteRequest)):
+                self._enqueue_memory_op(message)
+            else:
+                self.dropped_packets.append(packet)
+
+    def _complete_read(self, words: List[int]) -> None:
+        if (
+            self._pending is None
+            or self._pending.is_write
+            or self._pending_kind != AccessKind.REMOTE
+        ):
+            raise RuntimeError(f"{self.name}: unexpected read return")
+        self._pending.complete(words[0] if words else 0)
+        self._clear_pending()
+
+    def _complete_scanf(self, value: int) -> None:
+        if (
+            self._pending is None
+            or self._pending.is_write
+            or self._pending_kind != AccessKind.IO
+        ):
+            raise RuntimeError(f"{self.name}: unexpected scanf return")
+        self._pending.complete(value)
+        self._clear_pending()
+
+    def _handle_notify(self, source: int) -> None:
+        # A blocked ST-to-FFFE waiting on this source?
+        if (
+            self._pending is not None
+            and self._pending_kind == AccessKind.WAIT
+            and self._wait_source == source
+        ):
+            self._pending.complete()
+            self._clear_pending()
+            return
+        # A wait *packet* pause?
+        if self.cpu.paused and self._wait_source == source:
+            self.cpu.paused = False
+            self._wait_source = None
+            return
+        self._notify_counts[source] = self._notify_counts.get(source, 0) + 1
+
+    # -- serving the local memory to the NoC ---------------------------------------
+
+    def _enqueue_memory_op(self, message) -> None:
+        if self._srv_state != _SRV_IDLE:
+            # One operation at a time; hardware applies backpressure by
+            # not consuming flits, we emulate with a tiny queue.
+            self._srv_backlog.append(message)
+            return
+        self._start_memory_op(message)
+
+    def _start_memory_op(self, message) -> None:
+        if isinstance(message, services.WriteRequest):
+            self._srv_state = _SRV_WRITING
+            self._srv_addr = message.address
+            self._srv_words = list(message.words)
+        else:
+            self._srv_state = _SRV_READING
+            self._srv_addr = message.address
+            self._srv_remaining = message.count
+            self._srv_words = []
+            self._srv_reply_to = message.reply_to
+
+    def _serve_local_memory(self) -> None:
+        if self._srv_state == _SRV_IDLE:
+            if self._srv_backlog:
+                self._start_memory_op(self._srv_backlog.pop(0))
+            return
+        if self._proc_mem_used:
+            return  # processor has priority over the banks
+        if self._srv_state == _SRV_WRITING:
+            if self._srv_words:
+                self.banks.write_word(
+                    self._srv_addr % self.banks.depth, self._srv_words.pop(0)
+                )
+                self._srv_addr += 1
+            if not self._srv_words:
+                self._srv_state = _SRV_IDLE
+        elif self._srv_state == _SRV_READING:
+            if self._srv_remaining > 0:
+                self._srv_words.append(
+                    self.banks.read_word(
+                        (self._srv_addr + len(self._srv_words)) % self.banks.depth
+                    )
+                )
+                self._srv_remaining -= 1
+                return
+            assert self._srv_reply_to is not None
+            self.ni.send_packet(
+                services.encode_read_return(
+                    decode_address(self._srv_reply_to),
+                    self._srv_addr,
+                    self._srv_words,
+                )
+            )
+            self._srv_state = _SRV_IDLE
+            self._srv_words = []
+
+    @property
+    def server_idle(self) -> bool:
+        """True when no NoC-initiated local-memory operation is in flight."""
+        return self._srv_state == _SRV_IDLE and not self._srv_backlog
+
+    # -- debugging helpers -------------------------------------------------------------
+
+    def load(self, words, base: int = 0) -> None:
+        """Directly load words into local memory (testbench shortcut)."""
+        self.banks.load(words, base)
+
+    def dump(self, start: int = 0, count: Optional[int] = None) -> List[int]:
+        return self.banks.dump(start, count)

@@ -1,0 +1,105 @@
+"""Tests for the analytical models (latency, throughput, scaling)."""
+
+import pytest
+
+from repro.analysis import (
+    bisection_peak_bps,
+    equivalent_routing_cycles,
+    flits_per_cycle_to_bps,
+    hops,
+    ip_scale_for_fraction,
+    model_latency,
+    noc_fraction_sweep,
+    paper_latency,
+    port_peak_bps,
+    router_peak_bps,
+)
+from repro.noc import HermesNetwork
+
+
+class TestLatencyModels:
+    def test_paper_formula_example(self):
+        # 3 routers, 10-flit packet, Ri = 7: (3*7 + 10) * 2 = 62
+        assert paper_latency(3, 10) == 62
+
+    def test_model_formula_example(self):
+        # (7+3)*3 + 2*10 - 3 = 47
+        assert model_latency(3, 10) == 47
+
+    def test_hops_counts_both_endpoints(self):
+        assert hops((0, 0), (0, 0)) == 1
+        assert hops((0, 0), (2, 1)) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paper_latency(0, 10)
+        with pytest.raises(ValueError):
+            model_latency(1, 1)
+
+    def test_equivalent_routing_cycles(self):
+        # per-hop cost (rc + 3) equals the paper's 2*Ri
+        rc = equivalent_routing_cycles(7)
+        assert rc + 3 == 2 * 7
+
+    @pytest.mark.parametrize("src,dst,payload,rc", [
+        ((0, 0), (3, 3), 4, 7),
+        ((0, 0), (0, 3), 16, 7),
+        ((1, 2), (3, 0), 1, 5),
+        ((2, 2), (2, 2), 8, 2),
+    ])
+    def test_model_is_cycle_exact_against_simulator(self, src, dst, payload, rc):
+        net = HermesNetwork(4, 4, routing_cycles=rc)
+        sim = net.make_simulator()
+        net.send(src, dst, [1] * payload)
+        net.run_to_drain(sim, max_cycles=100_000)
+        packet = net.collect_received()[0]
+        assert packet.latency == model_latency(
+            hops(src, dst), payload + 2, routing_cycles=rc
+        )
+
+    def test_both_models_linear_and_same_payload_slope(self):
+        for n in (1, 4, 9):
+            assert paper_latency(n, 12) - paper_latency(n, 10) == 4
+            assert model_latency(n, 12) - model_latency(n, 10) == 4
+
+
+class TestThroughput:
+    def test_port_peak_200mbps(self):
+        # 8 bits / 2 cycles at 50 MHz
+        assert port_peak_bps() == pytest.approx(200e6)
+
+    def test_router_peak_is_paper_1gbps(self):
+        """Section 2.1: "theoretical peak throughput of each Hermes
+        router is 1Gbits/s"."""
+        assert router_peak_bps() == pytest.approx(1e9)
+
+    def test_bisection_scales_with_width(self):
+        assert bisection_peak_bps(4, 4) == 2 * bisection_peak_bps(2, 2)
+
+    def test_flit_rate_conversion(self):
+        # half a flit per cycle = 4 bits/cycle = 200 Mbit/s at 50 MHz
+        assert flits_per_cycle_to_bps(0.5) == pytest.approx(200e6)
+
+
+class TestScaling:
+    def test_sweep_returns_all_sizes(self):
+        points = noc_fraction_sweep([2, 4, 10])
+        assert [p.mesh for p in points] == [(2, 2), (4, 4), (10, 10)]
+        assert points[-1].n_ips == 100
+
+    def test_fraction_monotone_in_ip_scale(self):
+        f = [
+            noc_fraction_sweep([10], ip_area_scale=s)[0].noc_fraction
+            for s in (1, 2, 4, 8)
+        ]
+        assert f == sorted(f, reverse=True)
+
+    def test_paper_thresholds_reachable(self):
+        scale10 = ip_scale_for_fraction(0.10)
+        scale5 = ip_scale_for_fraction(0.05)
+        assert scale10 < scale5  # 5% needs richer IPs than 10%
+        assert 1.0 < scale10 < 16.0
+
+    def test_fractions_in_unit_interval(self):
+        for point in noc_fraction_sweep():
+            assert 0.0 < point.noc_fraction < 1.0

@@ -1,0 +1,77 @@
+"""Tests for the interconnect energy model."""
+
+import pytest
+
+from repro.analysis import (
+    bus_energy_from_stats,
+    bus_flit_pj,
+    crossover_ips,
+    noc_energy_from_stats,
+    noc_flit_hop_pj,
+)
+from repro.analysis.energy import EnergyEstimate, bus_length_mm, link_length_mm
+from repro.noc import HermesNetwork, SharedBusNetwork
+
+
+class TestModel:
+    def test_link_length_scales_with_tile_area(self):
+        assert link_length_mm(400) == pytest.approx(2 * link_length_mm(100))
+
+    def test_bus_length_linear_in_ips(self):
+        assert bus_length_mm(16, 400) == pytest.approx(4 * bus_length_mm(4, 400))
+
+    def test_bus_flit_energy_grows_with_system(self):
+        assert bus_flit_pj(100) > bus_flit_pj(4)
+
+    def test_noc_hop_energy_independent_of_system_size(self):
+        assert noc_flit_hop_pj() == noc_flit_hop_pj()
+
+    def test_crossover_is_small(self):
+        """The NoC wins on energy already at tiny systems."""
+        assert crossover_ips() <= 9
+
+    def test_pj_per_bit_zero_when_nothing_delivered(self):
+        assert EnergyEstimate(0.0, 0).pj_per_bit == 0.0
+
+
+class TestFromMeasurements:
+    def _mesh_stats(self, n=3):
+        net = HermesNetwork(n, n)
+        sim = net.make_simulator()
+        net.send((0, 0), (n - 1, n - 1), [1] * 8)
+        net.run_to_drain(sim, max_cycles=100_000)
+        net.collect_received()
+        return net.stats
+
+    def test_noc_energy_counts_flit_hops(self):
+        stats = self._mesh_stats(3)
+        estimate = noc_energy_from_stats(stats)
+        # 10 flits over 5 routers = 50 flit-hops
+        assert estimate.total_pj == pytest.approx(50 * noc_flit_hop_pj())
+        assert estimate.delivered_bits == 10 * 8
+
+    def test_longer_paths_cost_more(self):
+        near = noc_energy_from_stats(self._mesh_stats(2))
+        far = noc_energy_from_stats(self._mesh_stats(5))
+        assert far.pj_per_bit > near.pj_per_bit
+
+    def test_bus_energy_counts_deliveries(self):
+        bus = SharedBusNetwork(2, 2)
+        sim = bus.make_simulator()
+        bus.send((0, 0), (1, 1), [1] * 8)
+        bus.run_to_drain(sim, max_cycles=10_000)
+        bus.collect_received()
+        estimate = bus_energy_from_stats(bus.stats, 4)
+        assert estimate.total_pj == pytest.approx(10 * bus_flit_pj(4))
+
+    def test_same_traffic_bus_pays_more_on_large_mesh(self):
+        n = 5
+        net = HermesNetwork(n, n)
+        sim = net.make_simulator()
+        for k in range(6):
+            net.send((0, 0), (k % n, (k * 2) % n), [k] * 6)
+        net.run_to_drain(sim, max_cycles=100_000)
+        net.collect_received()
+        mesh_e = noc_energy_from_stats(net.stats)
+        bus_e = bus_energy_from_stats(net.stats, n * n)  # same deliveries
+        assert bus_e.pj_per_bit > mesh_e.pj_per_bit

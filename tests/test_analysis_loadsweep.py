@@ -1,0 +1,55 @@
+"""Tests for the latency-vs-load characterisation."""
+
+import pytest
+
+from repro.analysis import measure_point, mesh_factory, saturation_rate, sweep
+from repro.noc import SharedBusNetwork
+
+
+class TestMeasurePoint:
+    def test_low_load_not_saturated(self):
+        point = measure_point(mesh_factory(3, 3), rate=0.003, duration=800)
+        assert not point.saturated
+        assert point.average_latency > 0
+        assert point.completion_cycles >= point.injection_window
+
+    def test_high_load_saturates(self):
+        point = measure_point(mesh_factory(3, 3), rate=0.1, duration=800)
+        assert point.saturated
+
+    def test_offered_load_accounting(self):
+        point = measure_point(
+            mesh_factory(2, 2), rate=0.01, duration=500, payload_flits=8
+        )
+        assert point.offered_flits_per_cycle == pytest.approx(0.01 * 4 * 10)
+
+    def test_latency_grows_with_load(self):
+        quiet = measure_point(mesh_factory(3, 3), rate=0.002, duration=1000)
+        busy = measure_point(mesh_factory(3, 3), rate=0.02, duration=1000)
+        assert busy.average_latency > quiet.average_latency
+
+
+class TestSweep:
+    def test_monotone_accepted_load_before_saturation(self):
+        points = sweep(
+            mesh_factory(3, 3), rates=[0.002, 0.005, 0.01], duration=800
+        )
+        accepted = [p.accepted_flits_per_cycle for p in points]
+        assert accepted == sorted(accepted)
+
+    def test_default_rates_used(self):
+        points = sweep(mesh_factory(2, 2), duration=300)
+        assert len(points) == 5
+
+
+class TestSaturationSearch:
+    def test_mesh_saturates_above_bus(self):
+        mesh_rate = saturation_rate(mesh_factory(3, 3), duration=600)
+        bus_rate = saturation_rate(
+            lambda: SharedBusNetwork(3, 3), duration=600
+        )
+        assert mesh_rate > bus_rate
+
+    def test_rate_within_bounds(self):
+        rate = saturation_rate(mesh_factory(2, 2), lo=0.001, hi=0.2, duration=500)
+        assert 0.001 <= rate <= 0.2

@@ -1,0 +1,114 @@
+"""Tests for PGM image I/O and synthetic patterns."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.image import (
+    PgmError,
+    checkerboard,
+    disc,
+    gradient,
+    read_pgm,
+    write_pgm,
+)
+
+
+class TestPgmRoundtrip:
+    @pytest.mark.parametrize("binary", [False, True])
+    def test_roundtrip(self, tmp_path, binary):
+        image = [[0, 128, 255], [7, 42, 99]]
+        path = write_pgm(image, tmp_path / "x.pgm", binary=binary)
+        assert read_pgm(path) == image
+
+    def test_ascii_format_readable(self, tmp_path):
+        path = write_pgm([[1, 2]], tmp_path / "x.pgm")
+        text = path.read_text()
+        assert text.startswith("P2\n2 1\n255\n")
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_text("P2\n# a comment\n2 2\n255\n1 2\n3 4\n")
+        assert read_pgm(path) == [[1, 2], [3, 4]]
+
+    def test_maxval_scaling(self, tmp_path):
+        path = tmp_path / "m.pgm"
+        path.write_text("P2\n2 1\n100\n0 100\n")
+        assert read_pgm(path) == [[0, 255]]
+
+    def test_16bit_binary(self, tmp_path):
+        path = tmp_path / "w.pgm"
+        header = b"P5\n2 1\n65535\n"
+        body = (0).to_bytes(2, "big") + (65535).to_bytes(2, "big")
+        path.write_bytes(header + body)
+        assert read_pgm(path) == [[0, 255]]
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_text("P6\n1 1\n255\n0\n")
+        with pytest.raises(PgmError):
+            read_pgm(path)
+
+    def test_truncated_pixels(self, tmp_path):
+        path = tmp_path / "t.pgm"
+        path.write_text("P2\n2 2\n255\n1 2 3\n")
+        with pytest.raises(PgmError):
+            read_pgm(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "h.pgm"
+        path.write_text("P2\n2\n")
+        with pytest.raises(PgmError):
+            read_pgm(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        with pytest.raises(PgmError):
+            write_pgm([[1, 2], [3]], tmp_path / "r.pgm")
+
+    def test_empty_image_rejected(self, tmp_path):
+        with pytest.raises(PgmError):
+            write_pgm([], tmp_path / "e.pgm")
+
+    def test_values_clamped_on_write(self, tmp_path):
+        path = write_pgm([[300, -5]], tmp_path / "cl.pgm")
+        assert read_pgm(path) == [[255, 0]]
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        image=st.lists(
+            st.lists(st.integers(0, 255), min_size=1, max_size=8),
+            min_size=1,
+            max_size=8,
+        ).filter(lambda rows: len({len(r) for r in rows}) == 1),
+        binary=st.booleans(),
+    )
+    def test_roundtrip_property(self, tmp_path, image, binary):
+        path = write_pgm(image, tmp_path / "p.pgm", binary=binary)
+        assert read_pgm(path) == image
+
+
+class TestPatterns:
+    def test_gradient_shape_and_range(self):
+        img = gradient(8, 3)
+        assert len(img) == 3 and len(img[0]) == 8
+        assert img[0][0] == 0 and img[0][-1] == 255
+        assert img[0] == img[1] == img[2]
+
+    def test_checkerboard_alternates(self):
+        img = checkerboard(4, 4, cell=1)
+        assert img[0][0] != img[0][1]
+        assert img[0][0] != img[1][0]
+
+    def test_disc_has_bright_center_dark_corner(self):
+        img = disc(9, 9)
+        assert img[4][4] == 220
+        assert img[0][0] == 30
+
+    def test_patterns_feed_edge_detector(self):
+        from repro.apps import reference_sobel
+
+        edges = reference_sobel(checkerboard(6, 6, cell=2))
+        assert any(v > 0 for row in edges for v in row)
+        flat = reference_sobel([[50] * 6 for _ in range(6)])
+        assert all(v == 0 for row in flat for v in row)

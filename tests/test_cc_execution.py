@@ -1,0 +1,296 @@
+"""Execution tests for compiled R8C: semantics checked on the R8 ISS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc import CcError, compile_source, compile_to_asm
+from repro.r8 import R8Simulator
+
+
+def run_c(source, scanf=None, max_instructions=3_000_000):
+    values = list(scanf or [])
+    sim = R8Simulator(on_scanf=(lambda: values.pop(0)) if values else None)
+    sim.load(compile_source(source))
+    sim.activate()
+    sim.run(max_instructions=max_instructions)
+    return sim
+
+
+def printed(source, **kw):
+    return run_c(source, **kw).printed
+
+
+class TestBasics:
+    def test_printf_constant(self):
+        assert printed("void main() { printf(42); halt(); }") == [42]
+
+    def test_main_required(self):
+        with pytest.raises(CcError):
+            compile_source("void notmain() { }")
+
+    def test_globals_and_locals(self):
+        assert printed("""
+            int g = 10;
+            void main() { int x = 32; printf(g + x); halt(); }
+        """) == [42]
+
+    def test_uninitialised_global_is_zero(self):
+        assert printed("int g; void main() { printf(g); halt(); }") == [0]
+
+    def test_global_array_init_and_index(self):
+        assert printed("""
+            int a[5] = {10, 20, 30};
+            void main() {
+                a[3] = a[0] + a[1];
+                printf(a[3]);
+                printf(a[4]);
+                halt();
+            }
+        """) == [30, 0]
+
+    def test_scanf_builtin(self):
+        assert printed(
+            "void main() { printf(scanf() + 1); halt(); }", scanf=[41]
+        ) == [42]
+
+    def test_peek_poke(self):
+        sim = run_c("void main() { poke(0x300, 77); printf(peek(0x300)); halt(); }")
+        assert sim.printed == [77]
+        assert sim.memory[0x300] == 77
+
+
+class TestControlFlow:
+    def test_if_else_both_arms(self):
+        src = """
+            void main() {{
+                if ({cond}) printf(1); else printf(2);
+                halt();
+            }}
+        """
+        assert printed(src.format(cond="3 < 5")) == [1]
+        assert printed(src.format(cond="5 < 3")) == [2]
+
+    def test_while_loop_sum(self):
+        assert printed("""
+            void main() {
+                int i = 1; int total = 0;
+                while (i <= 10) { total += i; ++i; }
+                printf(total);
+                halt();
+            }
+        """) == [55]
+
+    def test_for_loop(self):
+        assert printed("""
+            void main() {
+                int i; int p = 1;
+                for (i = 0; i < 5; ++i) p = p * 2;
+                printf(p);
+                halt();
+            }
+        """) == [32]
+
+    def test_break_and_continue(self):
+        assert printed("""
+            void main() {
+                int i; int total = 0;
+                for (i = 0; i < 100; ++i) {
+                    if (i == 5) break;
+                    if (i % 2) continue;
+                    total += i;
+                }
+                printf(total);
+                halt();
+            }
+        """) == [6]  # 0 + 2 + 4
+
+    def test_nested_loops(self):
+        assert printed("""
+            void main() {
+                int i; int j; int c = 0;
+                for (i = 0; i < 4; ++i)
+                    for (j = 0; j < 3; ++j)
+                        c += 1;
+                printf(c);
+                halt();
+            }
+        """) == [12]
+
+    def test_short_circuit_and_skips_rhs(self):
+        # if && evaluated its right side, the printf would fire
+        assert printed("""
+            int trace;
+            int side() { trace = 1; return 1; }
+            void main() {
+                int r = 0 && side();
+                printf(r);
+                printf(trace);
+                halt();
+            }
+        """) == [0, 0]
+
+    def test_short_circuit_or_skips_rhs(self):
+        assert printed("""
+            int trace;
+            int side() { trace = 1; return 1; }
+            void main() {
+                int r = 1 || side();
+                printf(r);
+                printf(trace);
+                halt();
+            }
+        """) == [1, 0]
+
+
+class TestFunctions:
+    def test_args_and_return(self):
+        assert printed("""
+            int add3(int a, int b, int c) { return a + b + c; }
+            void main() { printf(add3(1, 2, 3)); halt(); }
+        """) == [6]
+
+    def test_recursion_factorial(self):
+        assert printed("""
+            int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+            void main() { printf(fact(7)); halt(); }
+        """) == [5040]
+
+    def test_mutual_recursion_via_definition_order(self):
+        # without prototypes, later-defined functions are still callable
+        # because name resolution happens over the whole unit
+        assert printed("""
+            int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+            int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+            void main() { printf(is_even(10)); printf(is_odd(10)); halt(); }
+        """) == [1, 0]
+
+    def test_wrong_arg_count_rejected(self):
+        with pytest.raises(CcError):
+            compile_source("int f(int a) { return a; } void main() { f(); }")
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(CcError):
+            compile_source("void main() { g(); }")
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(CcError):
+            compile_source("void main() { x = 1; }")
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(CcError):
+            compile_source("void main() { int x; int x; }")
+
+    def test_implicit_return_value_zero(self):
+        assert printed("""
+            int f() { }
+            void main() { printf(f() + 5); halt(); }
+        """) == [5]
+
+
+class TestOperators:
+    @pytest.mark.parametrize("expr,expected", [
+        ("7 + 8", 15),
+        ("100 - 58", 42),
+        ("6 * 7", 42),
+        ("100 / 7", 14),
+        ("100 % 7", 2),
+        ("0xF0 & 0x3C", 0x30),
+        ("0xF0 | 0x0F", 0xFF),
+        ("0xFF ^ 0x0F", 0xF0),
+        ("1 << 10", 1024),
+        ("1024 >> 10", 1),
+        ("5 == 5", 1),
+        ("5 != 5", 0),
+        ("3 < 4", 1),
+        ("4 <= 4", 1),
+        ("4 > 4", 0),
+        ("4 >= 5", 0),
+        ("!0", 1),
+        ("!7", 0),
+        ("~0", 0xFFFF),
+        ("-1", 0xFFFF),
+        ("65535 + 1", 0),
+        ("7 / 0", 0xFFFF),  # documented divide-by-zero convention
+    ])
+    def test_expression_value(self, expr, expected):
+        assert printed(f"void main() {{ printf({expr}); halt(); }}") == [expected]
+
+    def test_compound_assignments(self):
+        assert printed("""
+            void main() {
+                int x = 10;
+                x += 5; printf(x);
+                x -= 3; printf(x);
+                x *= 2; printf(x);
+                x &= 0xFC; printf(x);
+                x |= 1; printf(x);
+                x ^= 0xFF; printf(x);
+                halt();
+            }
+        """) == [15, 12, 24, 24, 25, 230]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.integers(0, 0xFFFF),
+    b=st.integers(0, 0xFFFF),
+    c=st.integers(1, 0xFFFF),
+)
+def test_arithmetic_fuzz_against_python(a, b, c):
+    """Property: compiled arithmetic matches Python's uint16 semantics."""
+    source = f"""
+        void main() {{
+            printf({a} + {b});
+            printf({a} - {b});
+            printf(({a} * {b}) & 0xFFFF);
+            printf({a} / {c});
+            printf({a} % {c});
+            printf({a} < {b});
+            printf({a} == {b});
+            halt();
+        }}
+    """
+    expected = [
+        (a + b) & 0xFFFF,
+        (a - b) & 0xFFFF,
+        (a * b) & 0xFFFF,
+        a // c,
+        a % c,
+        int(a < b),
+        int(a == b),
+    ]
+    assert printed(source) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=st.lists(st.integers(0, 1000), min_size=1, max_size=8))
+def test_array_sum_fuzz(values):
+    init = ", ".join(str(v) for v in values)
+    source = f"""
+        int data[{len(values)}] = {{{init}}};
+        void main() {{
+            int i; int total = 0;
+            for (i = 0; i < {len(values)}; ++i) total += data[i];
+            printf(total);
+            halt();
+        }}
+    """
+    assert printed(source) == [sum(values) & 0xFFFF]
+
+
+class TestAsmOutput:
+    def test_asm_is_textual_and_labelled(self):
+        asm = compile_to_asm("void main() { printf(1); halt(); }")
+        assert "main:" in asm
+        assert "JSRR" in asm
+
+    def test_runtime_emitted_only_when_used(self):
+        no_mul = compile_to_asm("void main() { printf(1 + 2); halt(); }")
+        with_mul = compile_to_asm("void main() { printf(1 * 2); halt(); }")
+        assert "__mul" not in no_mul
+        assert "__mul:" in with_mul
+
+    def test_div_pulls_in_divmod(self):
+        asm = compile_to_asm("void main() { printf(4 / 2); halt(); }")
+        assert "__divmod:" in asm

@@ -1,0 +1,170 @@
+"""Tests for the R8C lexer and parser."""
+
+import pytest
+
+from repro.cc import CcError, parse
+from repro.cc import ast
+from repro.cc.lexer import tokenize
+
+
+class TestLexer:
+    def test_numbers(self):
+        toks = tokenize("12 0x1F 'A' '\\n'")
+        assert [t.value for t in toks[:-1]] == [12, 31, 65, 10]
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("int foo while bar")
+        assert [t.kind for t in toks[:-1]] == ["kw", "ident", "kw", "ident"]
+
+    def test_operators_maximal_munch(self):
+        toks = tokenize("a <<= b << c <= d < e")
+        ops = [t.text for t in toks if t.kind == "op"]
+        assert ops == ["<<=", "<<", "<=", "<"]
+
+    def test_comments_stripped(self):
+        toks = tokenize("a // line\n/* block\nstill */ b")
+        idents = [t.text for t in toks if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(CcError):
+            tokenize("a @ b")
+
+    def test_line_numbers_tracked(self):
+        toks = tokenize("a\n\nb")
+        # lexer returns a flat list; line of 'b' is 3
+        b = [t for t in toks if t.text == "b"][0]
+        assert b.line == 3
+
+
+class TestParserDeclarations:
+    def test_global_scalar_with_init(self):
+        unit = parse("int x = 5;")
+        assert unit.globals[0].name == "x"
+        assert unit.globals[0].init == [5]
+
+    def test_global_array(self):
+        unit = parse("int a[4] = {1, 2};")
+        g = unit.globals[0]
+        assert g.size == 4
+        assert g.init == [1, 2]
+
+    def test_negative_initialiser_wraps(self):
+        unit = parse("int x = -1;")
+        assert unit.globals[0].init == [0xFFFF]
+
+    def test_too_many_initialisers(self):
+        with pytest.raises(CcError):
+            parse("int a[1] = {1, 2};")
+
+    def test_function_with_params(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        fn = unit.functions[0]
+        assert fn.name == "add"
+        assert fn.params == ["a", "b"]
+        assert fn.returns_value
+
+    def test_void_function(self):
+        unit = parse("void main() { halt(); }")
+        assert not unit.functions[0].returns_value
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(CcError):
+            parse("void x;")
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(CcError):
+            parse("int a[0];")
+
+
+class TestParserStatements:
+    def _body(self, text):
+        return parse(f"void main() {{ {text} }}").functions[0].body.body
+
+    def test_if_else(self):
+        stmt = self._body("if (x) y = 1; else y = 2;")[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_while(self):
+        stmt = self._body("while (1) { }")[0]
+        assert isinstance(stmt, ast.While)
+
+    def test_for_with_all_clauses(self):
+        stmt = self._body("for (i = 0; i < 3; ++i) ;")[0]
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is not None and stmt.cond is not None
+
+    def test_empty_statement(self):
+        stmt = self._body(";")[0]
+        assert isinstance(stmt, ast.Block)
+        assert stmt.body == []
+
+    def test_for_with_empty_clauses(self):
+        stmt = self._body("for (;;) { break; }")[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_local_decl_with_init(self):
+        stmt = self._body("int x = 3;")[0]
+        assert isinstance(stmt, ast.LocalDecl)
+
+    def test_return_with_and_without_value(self):
+        assert self._body("return;")[0].value is None
+        assert self._body("return 1;")[0].value is not None
+
+    def test_break_continue(self):
+        body = self._body("while (1) { break; continue; }")
+        loop = body[0]
+        assert isinstance(loop.body.body[0], ast.Break)
+        assert isinstance(loop.body.body[1], ast.Continue)
+
+
+class TestParserExpressions:
+    def _expr(self, text):
+        unit = parse(f"void main() {{ x = {text}; }}")
+        return unit.functions[0].body.body[0].expr.value
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_parentheses_override(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_comparison_precedence(self):
+        e = self._expr("a + 1 < b * 2")
+        assert e.op == "<"
+
+    def test_logical_precedence(self):
+        e = self._expr("a && b || c")
+        assert e.op == "||"
+
+    def test_unary_operators(self):
+        assert self._expr("-x").op == "-"
+        assert self._expr("!x").op == "!"
+        assert self._expr("~x").op == "~"
+
+    def test_increment_desugars_to_assign(self):
+        e = self._expr("++x")
+        assert isinstance(e, ast.Assign)
+        assert e.op == "+="
+
+    def test_call_with_args(self):
+        e = self._expr("f(1, g(2))")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 2
+
+    def test_array_index(self):
+        e = self._expr("a[i + 1]")
+        assert isinstance(e, ast.Index)
+
+    def test_assignment_to_rvalue_rejected(self):
+        with pytest.raises(CcError):
+            parse("void main() { 1 = 2; }")
+
+    def test_compound_assignment(self):
+        unit = parse("void main() { x += 2; }")
+        assign = unit.functions[0].body.body[0].expr
+        assert assign.op == "+="

@@ -1,0 +1,136 @@
+"""Tests for the peephole optimiser: semantics preserved, waste removed."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc import compile_source, compile_to_asm
+from repro.cc.peephole import PeepholeStats, optimize
+from repro.r8 import R8Simulator
+
+
+def run_compiled(source, peephole, scanf=None, max_instructions=3_000_000):
+    values = list(scanf or [])
+    sim = R8Simulator(on_scanf=(lambda: values.pop(0)) if values else None)
+    sim.load(compile_source(source, peephole=peephole))
+    sim.activate()
+    sim.run(max_instructions=max_instructions)
+    return sim
+
+
+class TestRewrites:
+    def test_push_pop_becomes_mov(self):
+        lines = [
+            "        PUSH R1",
+            "        LDI  R1, 5",
+            "        POP  R2",
+        ]
+        out, stats = optimize(lines)
+        assert stats.push_pop_forwarded == 1
+        assert out == ["        MOV  R2, R1", "        LDI  R1, 5"]
+
+    def test_window_clobbering_target_blocks_rewrite(self):
+        lines = [
+            "        PUSH R1",
+            "        LDI  R2, 5",  # writes the future POP target
+            "        POP  R2",
+        ]
+        out, stats = optimize(lines)
+        assert stats.push_pop_forwarded == 0
+        assert out == lines
+
+    def test_window_reading_target_blocks_rewrite(self):
+        lines = [
+            "        PUSH R1",
+            "        ADD  R3, R2, R1",  # reads R2's pre-pop value
+            "        POP  R2",
+        ]
+        out, stats = optimize(lines)
+        assert stats.push_pop_forwarded == 0
+
+    def test_label_in_window_blocks_rewrite(self):
+        lines = [
+            "        PUSH R1",
+            "somewhere:",
+            "        LDI  R1, 5",
+            "        POP  R2",
+        ]
+        out, stats = optimize(lines)
+        assert stats.push_pop_forwarded == 0
+
+    def test_unsafe_op_in_window_blocks_rewrite(self):
+        lines = [
+            "        PUSH R1",
+            "        JSRR R15",  # calls can do anything to the stack
+            "        POP  R2",
+        ]
+        out, stats = optimize(lines)
+        assert stats.push_pop_forwarded == 0
+
+    def test_jump_to_next_removed(self):
+        lines = [
+            "        LDI  R15, _L1",
+            "        JMPR R15",
+            "_L1:",
+        ]
+        out, stats = optimize(lines)
+        assert stats.jumps_removed == 1
+        assert out == ["_L1:"]
+
+    def test_jump_elsewhere_kept(self):
+        lines = [
+            "        LDI  R15, _L2",
+            "        JMPR R15",
+            "_L1:",
+        ]
+        out, stats = optimize(lines)
+        assert stats.jumps_removed == 0
+
+
+class TestOnRealPrograms:
+    SOURCE = """
+        int data[6] = {9, 4, 7, 1, 8, 3};
+        int best;
+        void main() {
+            int i;
+            best = data[0];
+            for (i = 1; i < 6; ++i)
+                if (data[i] > best) best = data[i];
+            printf(best);
+            printf(best * 3 + 1);
+            halt();
+        }
+    """
+
+    def test_optimised_code_smaller_and_faster(self):
+        plain = compile_source(self.SOURCE, peephole=False)
+        tight = compile_source(self.SOURCE, peephole=True)
+        assert tight.size_words < plain.size_words
+        slow = run_compiled(self.SOURCE, peephole=False)
+        fast = run_compiled(self.SOURCE, peephole=True)
+        assert fast.cycles < slow.cycles
+
+    def test_same_output_both_ways(self):
+        slow = run_compiled(self.SOURCE, peephole=False)
+        fast = run_compiled(self.SOURCE, peephole=True)
+        assert slow.printed == fast.printed == [9, 28]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        a=st.integers(0, 500),
+        b=st.integers(1, 500),
+        op=st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^", "<", "=="]),
+    )
+    def test_differential_fuzz(self, a, b, op):
+        """Optimised and unoptimised code agree on arbitrary expressions."""
+        source = f"""
+            int f(int x, int y) {{ return x {op} y; }}
+            void main() {{
+                printf(f({a}, {b}));
+                printf({a} {op} {b} {op} {b});
+                halt();
+            }}
+        """
+        slow = run_compiled(source, peephole=False)
+        fast = run_compiled(source, peephole=True)
+        assert slow.printed == fast.printed

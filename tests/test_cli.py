@@ -1,0 +1,113 @@
+"""Tests for the command-line toolchain."""
+
+import pytest
+
+from repro.cli import main
+
+HELLO = """
+        CLR  R0
+        LDI  R1, 42
+        LDI  R2, 0xFFFF
+        ST   R1, R2, R0
+        HALT
+"""
+
+ECHO = """
+        CLR  R0
+        LDI  R2, 0xFFFF
+        LD   R1, R2, R0
+        ST   R1, R2, R0
+        HALT
+"""
+
+C_SOURCE = "void main() { printf(6 * 7); halt(); }"
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "hello.asm"
+    path.write_text(HELLO)
+    return path
+
+
+class TestAsmDis:
+    def test_asm_writes_object(self, asm_file, tmp_path, capsys):
+        out = tmp_path / "hello.obj"
+        assert main(["asm", str(asm_file), "-o", str(out)]) == 0
+        assert out.exists()
+        assert "words ->" in capsys.readouterr().out
+
+    def test_asm_listing(self, asm_file, capsys):
+        main(["asm", str(asm_file), "--listing"])
+        assert "HALT" in capsys.readouterr().out
+
+    def test_dis_roundtrip(self, asm_file, tmp_path, capsys):
+        out = tmp_path / "hello.obj"
+        main(["asm", str(asm_file), "-o", str(out)])
+        capsys.readouterr()
+        main(["dis", str(out)])
+        text = capsys.readouterr().out
+        assert "LDL" in text and "HALT" in text
+
+
+class TestRun:
+    def test_run_source_directly(self, asm_file, capsys):
+        assert main(["run", str(asm_file)]) == 0
+        out = capsys.readouterr().out
+        assert "printf: 42" in out
+        assert "CPI" in out
+
+    def test_run_object_file(self, asm_file, tmp_path, capsys):
+        obj = tmp_path / "hello.obj"
+        main(["asm", str(asm_file), "-o", str(obj)])
+        capsys.readouterr()
+        main(["run", str(obj)])
+        assert "printf: 42" in capsys.readouterr().out
+
+    def test_run_with_scanf(self, tmp_path, capsys):
+        path = tmp_path / "echo.asm"
+        path.write_text(ECHO)
+        main(["run", str(path), "--scanf", "0x1F"])
+        assert "printf: 31" in capsys.readouterr().out
+
+
+class TestDebug:
+    def test_script_file(self, asm_file, tmp_path, capsys):
+        script = tmp_path / "session.dbg"
+        script.write_text("run\nregs\n")
+        assert main(["debug", str(asm_file), "--script", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "(r8db) run" in out
+        assert "HALT" in out
+
+
+class TestCc:
+    def test_emit_asm(self, tmp_path, capsys):
+        path = tmp_path / "x.c"
+        path.write_text(C_SOURCE)
+        main(["cc", str(path), "-S"])
+        assert "main:" in capsys.readouterr().out
+
+    def test_compile_and_run(self, tmp_path, capsys):
+        src = tmp_path / "x.c"
+        src.write_text(C_SOURCE)
+        obj = tmp_path / "x.obj"
+        main(["cc", str(src), "-o", str(obj)])
+        capsys.readouterr()
+        main(["run", str(obj)])
+        assert "printf: 42" in capsys.readouterr().out
+
+
+class TestSystem:
+    def test_full_platform_run(self, asm_file, capsys):
+        assert main(["system", str(asm_file), "--proc", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "P2 printf" in out
+        assert "halted at cycle" in out
+
+
+class TestPrototype:
+    def test_report(self, capsys):
+        assert main(["prototype", "--iterations", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "slices" in out and "MHz" in out

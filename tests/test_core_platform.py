@@ -1,0 +1,103 @@
+"""Tests for the public platform API."""
+
+import pytest
+
+from repro import MultiNoCPlatform, Program
+
+
+class TestPlatformBuilder:
+    def test_standard_matches_paper(self):
+        platform = MultiNoCPlatform.standard()
+        assert platform.config.mesh == (2, 2)
+        assert platform.config.processors == {1: (0, 1), 2: (1, 0)}
+
+    def test_auto_placement(self):
+        platform = MultiNoCPlatform(mesh=(3, 3), n_processors=4, n_memories=2)
+        config = platform.config
+        assert len(config.processors) == 4
+        assert len(config.memories) == 2
+        placed = [config.serial, *config.processors.values(), *config.memories]
+        assert len(set(placed)) == len(placed)  # no collisions
+
+    def test_too_many_ips_rejected(self):
+        with pytest.raises(ValueError):
+            MultiNoCPlatform(mesh=(2, 2), n_processors=4, n_memories=1)
+
+    def test_explicit_placement(self):
+        platform = MultiNoCPlatform(
+            mesh=(2, 2),
+            processors_at={1: (1, 1)},
+            memories_at=[(1, 0)],
+        )
+        assert platform.config.processors == {1: (1, 1)}
+
+    def test_config_overrides_forwarded(self):
+        platform = MultiNoCPlatform.standard(buffer_depth=8, routing_cycles=3)
+        assert platform.config.buffer_depth == 8
+        system = platform.build()
+        assert system.mesh.router((0, 0)).buffer_depth == 8
+        assert system.mesh.router((0, 0)).routing_cycles == 3
+
+
+class TestProgram:
+    def test_from_source_assembles(self):
+        program = Program.from_source("start: HALT")
+        assert program.size_words == 1
+        assert program.symbol("start") == 0
+
+    def test_unknown_symbol_raises_with_candidates(self):
+        program = Program.from_source("a: HALT")
+        with pytest.raises(KeyError):
+            program.symbol("b")
+
+    def test_simulate_runs_standalone(self):
+        program = Program.from_source(
+            "CLR R0\nLDI R1, 9\nLDI R2, 0xFFFF\nST R1, R2, R0\nHALT"
+        )
+        sim = program.simulate()
+        assert sim.printed == [9]
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "x.asm"
+        path.write_text("HALT\n")
+        assert Program.from_file(path).size_words == 1
+
+
+class TestSession:
+    def test_run_returns_program(self):
+        session = MultiNoCPlatform.standard().launch()
+        session.host.sync()
+        program = session.run(1, "data: .org 0\nHALT")
+        assert isinstance(program, Program)
+
+    def test_read_write_by_pid_and_mem_name(self):
+        session = MultiNoCPlatform.standard().launch()
+        session.host.sync()
+        session.write(1, 0x80, [5])
+        session.write("mem0", 0x10, [6])
+        assert session.read(1, 0x80, 1) == [5]
+        assert session.read("mem0", 0x10, 1) == [6]
+
+    def test_parallel_start_and_wait(self):
+        session = MultiNoCPlatform.standard().launch()
+        source = "CLR R0\nLDI R1, {v}\nLDI R2, 0xFFFF\nST R1, R2, R0\nHALT"
+        session.start(1, source.format(v=1))
+        session.start(2, source.format(v=2))
+        session.wait_all_halted()
+        session.sim.step(4000)  # drain serial
+        assert session.host.monitor(1).printf_values == [1]
+        assert session.host.monitor(2).printf_values == [2]
+
+    def test_addresses_exposed(self):
+        session = MultiNoCPlatform.standard().launch()
+        assert session.processor_address(1) == (0, 1)
+        assert session.memory_address(0) == (1, 1)
+
+    def test_docstring_example(self):
+        session = MultiNoCPlatform.standard().launch()
+        session.host.sync()
+        session.run(
+            1,
+            "  LDI R1, 7\n  LDI R2, 0xFFFF\n  CLR R0\n  ST R1, R2, R0\n  HALT",
+        )
+        assert session.host.monitor(1).printf_values == [7]

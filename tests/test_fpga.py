@@ -1,0 +1,226 @@
+"""Tests for the FPGA prototyping models: device, area, floorplan,
+timing, clkdll and the combined report."""
+
+import pytest
+
+from repro.fpga import (
+    AreaModel,
+    ClkDll,
+    DEVICES,
+    Floorplanner,
+    ResourceUse,
+    XC2S200E,
+    analyze,
+    device,
+    mesh_port_counts,
+    prototype,
+    system_blocks,
+    system_netlist,
+)
+from repro.fpga.floorplan import _netlist_for_blocks
+from repro.system import SystemConfig
+
+
+class TestDeviceLibrary:
+    def test_xc2s200e_resources(self):
+        assert XC2S200E.slices == 2352
+        assert XC2S200E.luts == 4704
+        assert XC2S200E.brams == 14
+        assert XC2S200E.clbs == 28 * 42
+
+    def test_family_ordered_by_size(self):
+        sizes = [d.slices for d in DEVICES.values()]
+        assert sizes == sorted(sizes)
+
+    def test_lookup_case_insensitive(self):
+        assert device("xc2s200e") is XC2S200E
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            device("XC9999")
+
+    def test_bram_bits(self):
+        assert XC2S200E.bram_bits == 14 * 4096
+
+
+class TestResourceUse:
+    def test_addition(self):
+        total = ResourceUse(1, 2, 3, 4) + ResourceUse(10, 20, 30, 40)
+        assert total == ResourceUse(11, 22, 33, 44)
+
+    def test_utilization_fractions(self):
+        use = ResourceUse(slices=XC2S200E.slices // 2)
+        assert use.utilization(XC2S200E)["slices"] == pytest.approx(0.5)
+
+    def test_fits(self):
+        assert ResourceUse(10, 10, 10, 1).fits(XC2S200E)
+        assert not ResourceUse(slices=99999).fits(XC2S200E)
+
+    def test_scaled(self):
+        assert ResourceUse(100, 100, 100, 4).scaled(2).slices == 200
+
+
+class TestAreaCalibration:
+    """Section 3: 98% slices, 78% LUTs of the XC2S200E."""
+
+    def test_slice_utilization_98_percent(self):
+        util = AreaModel().system().utilization(XC2S200E)
+        assert util["slices"] == pytest.approx(0.98, abs=0.005)
+
+    def test_lut_utilization_78_percent(self):
+        util = AreaModel().system().utilization(XC2S200E)
+        assert util["luts"] == pytest.approx(0.78, abs=0.005)
+
+    def test_brams_are_12_of_14(self):
+        assert AreaModel().system().total.brams == 12
+
+    def test_design_fits_the_device(self):
+        assert AreaModel().system().total.fits(XC2S200E)
+
+    def test_router_cost_grows_with_ports(self):
+        model = AreaModel()
+        assert model.router(5).slices > model.router(3).slices
+
+    def test_router_cost_grows_with_buffer_depth(self):
+        model = AreaModel()
+        assert model.router(5, 8).slices > model.router(5, 2).slices
+
+    def test_mesh_port_counts_2x2_all_corners(self):
+        assert mesh_port_counts(2, 2) == [3, 3, 3, 3]
+
+    def test_mesh_port_counts_3x3_center_has_5(self):
+        counts = mesh_port_counts(3, 3)
+        assert counts[4] == 5  # center router
+        assert counts.count(3) == 4  # corners
+        assert counts.count(4) == 4  # edges
+
+    def test_report_table_renders(self):
+        text = AreaModel().system().table(XC2S200E)
+        assert "TOTAL" in text
+        assert "98%" in text
+
+    def test_noc_fraction_drops_with_richer_ips(self):
+        model = AreaModel()
+        f1 = model.noc_fraction((10, 10), ip_area_scale=1)
+        f4 = model.noc_fraction((10, 10), ip_area_scale=4)
+        f8 = model.noc_fraction((10, 10), ip_area_scale=8)
+        assert f1 > f4 > f8
+        assert f4 < 0.10  # the paper's "less than 10%"
+        assert f8 < 0.05  # and "or 5%"
+
+
+class TestFloorplanner:
+    def test_anneal_fits_the_98_percent_design(self):
+        placement = Floorplanner().anneal(iterations=800, seed=1)
+        assert placement.fits
+
+    def test_anneal_deterministic_for_seed(self):
+        a = Floorplanner().anneal(iterations=300, seed=5)
+        b = Floorplanner().anneal(iterations=300, seed=5)
+        assert a.regions == b.regions
+
+    def test_anneal_cost_not_worse_than_random_average(self):
+        planner = Floorplanner()
+        random_costs = [
+            planner.random_placement(seed=s).cost for s in range(8)
+        ]
+        annealed = planner.anneal(iterations=1500, seed=1)
+        assert annealed.cost <= sum(random_costs) / len(random_costs)
+
+    def test_serial_block_lands_near_pins(self):
+        """Figure 7 rationale: the serial IP sits next to its I/O pads."""
+        placement = Floorplanner(pin_column=0).anneal(iterations=2500, seed=1)
+        x, _ = placement.centroid("serial")
+        assert x < XC2S200E.clb_cols / 3
+
+    def test_memory_ip_near_bram_edge(self):
+        placement = Floorplanner().anneal(iterations=2500, seed=1)
+        x, _ = placement.centroid("mem0")
+        edge_distance = min(x, XC2S200E.clb_cols - x)
+        assert edge_distance < XC2S200E.clb_cols / 4
+
+    def test_render_produces_grid(self):
+        placement = Floorplanner().anneal(iterations=200, seed=2)
+        art = placement.render()
+        rows = art.splitlines()
+        assert len(rows) == 12
+        assert all(len(r) == XC2S200E.clb_cols for r in rows)
+        assert "N" in art  # the NoC block is drawn
+
+    def test_blocks_cover_all_ips(self):
+        blocks = system_blocks(SystemConfig.paper())
+        names = {b.name for b in blocks}
+        assert names == {"proc1", "proc2", "mem0", "serial", "noc"}
+
+
+class TestTiming:
+    def test_calibrated_fmax_close_to_paper(self):
+        """Paper: timing analysis estimated 21.23 MHz."""
+        report = prototype(anneal_iterations=2500, seed=1)
+        assert report.timing.fmax_mhz == pytest.approx(21.23, abs=1.5)
+
+    def test_worse_placement_means_lower_fmax(self):
+        planner = Floorplanner()
+        config = SystemConfig.paper()
+        nets = _netlist_for_blocks(system_netlist(config))
+        good = planner.anneal(config, iterations=2500, seed=1)
+        # pick the worst of several random placements by wirelength
+        bad = max(
+            (planner.random_placement(config, seed=s) for s in range(8)),
+            key=lambda p: p.wirelength,
+        )
+        t_good = analyze(good, nets)
+        t_bad = analyze(bad, nets)
+        assert t_bad.fmax_hz < t_good.fmax_hz
+
+    def test_congestion_slows_routes(self):
+        planner = Floorplanner()
+        config = SystemConfig.paper()
+        nets = _netlist_for_blocks(system_netlist(config))
+        placement = planner.anneal(config, iterations=500, seed=1)
+        empty = analyze(placement, nets, utilization=0.1)
+        full = analyze(placement, nets, utilization=1.0)
+        assert full.fmax_hz < empty.fmax_hz
+
+
+class TestClkDll:
+    def test_paper_choice_50_over_2(self):
+        """The flow picks 25 MHz against a ~21 MHz estimate, flagged as
+        above-estimate — exactly the paper's gamble."""
+        plan = ClkDll(50e6).plan_for(21.23e6)
+        assert plan.division == 2
+        assert plan.output_mhz == pytest.approx(25.0)
+        assert not plan.meets_timing
+
+    def test_meets_timing_when_fast_enough(self):
+        plan = ClkDll(50e6).plan_for(26e6)
+        assert plan.division == 2
+        assert plan.output_mhz == pytest.approx(25.0)
+        assert plan.meets_timing
+
+    def test_full_speed_when_design_is_fast(self):
+        plan = ClkDll(50e6).plan_for(60e6)
+        assert plan.division == 1
+        assert plan.output_mhz == 50
+
+    def test_unsupported_division_rejected(self):
+        with pytest.raises(ValueError):
+            ClkDll(50e6).divide(7)
+
+    def test_hopeless_timing_rejected(self):
+        with pytest.raises(ValueError):
+            ClkDll(50e6).plan_for(1e6)
+
+
+class TestPrototypeReport:
+    def test_summary_contains_section3_facts(self):
+        report = prototype(anneal_iterations=1500, seed=1)
+        text = report.summary()
+        assert "98% slices" in text
+        assert "78% LUTs" in text
+        assert "MHz" in text
+        assert "floorplan" in text
+
+    def test_clock_plan_is_25mhz(self):
+        report = prototype(anneal_iterations=1500, seed=1)
+        assert report.clock.output_mhz == pytest.approx(25.0)

@@ -1,0 +1,71 @@
+"""Tests for UCF constraint export."""
+
+import re
+
+import pytest
+
+from repro.fpga import Floorplanner, XC2S200E, analyze, system_netlist, to_ucf, write_ucf
+from repro.fpga.floorplan import _netlist_for_blocks
+from repro.system import SystemConfig
+
+
+@pytest.fixture(scope="module")
+def placed():
+    placement = Floorplanner().anneal(iterations=800, seed=1)
+    nets = _netlist_for_blocks(system_netlist(SystemConfig.paper()))
+    timing = analyze(placement, nets)
+    return placement, timing
+
+
+class TestUcf:
+    def test_area_group_per_block(self, placed):
+        placement, _ = placed
+        text = to_ucf(placement)
+        for name in placement.regions:
+            assert f'AREA_GROUP = "AG_{name}"' in text
+            assert f'AREA_GROUP "AG_{name}" RANGE' in text
+
+    def test_slice_ranges_inside_device(self, placed):
+        placement, _ = placed
+        text = to_ucf(placement)
+        for x0, y0, x1, y1 in re.findall(
+            r"SLICE_X(\d+)Y(\d+):SLICE_X(\d+)Y(\d+)", text
+        ):
+            assert int(x0) <= int(x1) < XC2S200E.clb_cols * 2
+            assert int(y0) <= int(y1) < XC2S200E.clb_rows
+
+    def test_ranges_cover_block_slices(self, placed):
+        """Every AREA_GROUP range is at least as large as its block."""
+        placement, _ = placed
+        text = to_ucf(placement)
+        ranges = dict(
+            re.findall(
+                r'AREA_GROUP "AG_(\w+)" RANGE = '
+                r"(SLICE_X\d+Y\d+:SLICE_X\d+Y\d+)",
+                text,
+            )
+        )
+        for name, (x, y, w, h) in placement.regions.items():
+            x0, y0, x1, y1 = map(
+                int, re.match(r"SLICE_X(\d+)Y(\d+):SLICE_X(\d+)Y(\d+)",
+                              ranges[name]).groups()
+            )
+            slices = (x1 - x0 + 1) * (y1 - y0 + 1)
+            assert slices >= w * h  # CLB rect * 2 slices >= area
+
+    def test_timing_constraint_included(self, placed):
+        placement, timing = placed
+        text = to_ucf(placement, timing)
+        assert "TIMESPEC" in text
+        assert f"{timing.critical_path_ns:.2f} ns" in text
+
+    def test_pad_locs(self, placed):
+        placement, _ = placed
+        text = to_ucf(placement, rxd_loc="P10", txd_loc="P11")
+        assert 'NET "rxd" LOC = "P10";' in text
+        assert 'NET "txd" LOC = "P11";' in text
+
+    def test_write_to_file(self, placed, tmp_path):
+        placement, timing = placed
+        path = write_ucf(placement, tmp_path / "multinoc.ucf", timing)
+        assert path.read_text().startswith("# MultiNoC")

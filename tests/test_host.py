@@ -1,0 +1,130 @@
+"""Tests for the host-side Serial software and loader."""
+
+import pytest
+
+from repro.host import (
+    HostTimeout,
+    InteractionMonitor,
+    SerialSoftware,
+    assemble_file,
+    load_object_file,
+    save_object_file,
+)
+from repro.r8 import assemble
+from repro.system import MultiNoC
+
+
+def make_session(**config_overrides):
+    system = MultiNoC()
+    sim = system.make_simulator()
+    host = SerialSoftware(system).connect(sim)
+    return system, sim, host
+
+
+class TestSync:
+    def test_sync_sets_flags_both_sides(self):
+        system, sim, host = make_session()
+        assert not host.synced
+        host.sync()
+        assert host.synced
+        assert system.serial.synced
+
+    def test_board_learns_host_baud(self):
+        system = MultiNoC()
+        sim = system.make_simulator()
+        host = SerialSoftware(system, baud_divisor=9).connect(sim)
+        host.sync()
+        assert system.serial.uart_rx.divisor == 9
+        # board replies at the learned rate too
+        host.write_memory((1, 1), 0, [7])
+        assert host.read_memory((1, 1), 0, 1) == [7]
+
+    def test_commands_before_connect_raise(self):
+        system = MultiNoC()
+        host = SerialSoftware(system)
+        with pytest.raises(RuntimeError):
+            host.sync()
+
+
+class TestRunProgram:
+    def test_full_flow_and_io_drain(self):
+        system, sim, host = make_session()
+        host.run_program((0, 1), 1, assemble(
+            "CLR R0\nLDI R2, 0xFFFF\nLDI R1, 1\nST R1, R2, R0\n"
+            "LDI R1, 2\nST R1, R2, R0\nHALT"
+        ))
+        # both printfs present without any extra stepping
+        assert host.monitor(1).printf_values == [1, 2]
+
+    def test_run_program_auto_syncs(self):
+        system, sim, host = make_session()
+        host.run_program((0, 1), 1, assemble("HALT"))
+        assert host.synced
+
+    def test_timeout_on_never_halting_program(self):
+        system, sim, host = make_session()
+        with pytest.raises(HostTimeout):
+            host.run_program(
+                (0, 1), 1, assemble("loop: JMPD loop"), max_cycles=20_000
+            )
+
+
+class TestScanf:
+    def test_manual_answer(self):
+        system, sim, host = make_session()
+        host.sync()
+        host.load_program((0, 1), assemble(
+            "CLR R0\nLDI R2, 0xFFFF\nLD R1, R2, R0\nST R1, R2, R0\nHALT"
+        ))
+        host.activate((0, 1))
+        sim.run_until(lambda: host.scanf_requests, max_cycles=100_000)
+        host.answer_scanf(0x55AA)
+        sim.run_until(
+            lambda: system.processor(1).cpu.halted, max_cycles=100_000
+        )
+        sim.step(3000)
+        assert host.monitor(1).printf_values == [0x55AA]
+
+    def test_answer_without_request_raises(self):
+        system, sim, host = make_session()
+        with pytest.raises(RuntimeError):
+            host.answer_scanf(1)
+
+
+class TestMonitors:
+    def test_transcript_lists_events(self):
+        mon = InteractionMonitor(1)
+        mon.log_printf(100, 42)
+        mon.log_scanf_request(200)
+        mon.log_scanf_answer(7)
+        text = mon.transcript()
+        assert "P1 printf" in text
+        assert "scanf" in text
+
+    def test_monitor_created_on_demand(self):
+        system, sim, host = make_session()
+        assert host.monitor(3).proc == 3
+
+
+class TestLoader:
+    def test_object_file_roundtrip(self, tmp_path):
+        obj = assemble("start: LDI R1, 5\nHALT\n.org 0x20\ndata: .word 9")
+        path = tmp_path / "prog.obj"
+        save_object_file(obj, path)
+        back = load_object_file(path)
+        assert back.segments == obj.segments
+        assert back.symbols == obj.symbols
+
+    def test_assemble_file(self, tmp_path):
+        path = tmp_path / "prog.asm"
+        path.write_text("LDL R1, 7\nHALT\n")
+        obj = assemble_file(path)
+        assert obj.size_words == 2
+
+    def test_loaded_object_runs_on_system(self, tmp_path):
+        obj = assemble("CLR R0\nLDI R1, 31\nLDI R2, 0xFFFF\nST R1, R2, R0\nHALT")
+        path = tmp_path / "p.obj"
+        save_object_file(obj, path)
+        system, sim, host = make_session()
+        host.run_program((0, 1), 1, load_object_file(path))
+        assert host.monitor(1).printf_values == [31]

@@ -1,0 +1,110 @@
+"""Tests for the circular FIFO input buffers."""
+
+from collections import deque
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc import CircularFifo
+
+
+class TestBasics:
+    def test_default_depth_is_two_flits(self):
+        fifo = CircularFifo()
+        assert fifo.capacity == 2  # the paper's buffer size
+
+    def test_new_fifo_is_empty(self):
+        fifo = CircularFifo(4)
+        assert fifo.is_empty
+        assert not fifo.is_full
+        assert len(fifo) == 0
+
+    def test_push_pop_fifo_order(self):
+        fifo = CircularFifo(3)
+        fifo.push(1)
+        fifo.push(2)
+        fifo.push(3)
+        assert [fifo.pop(), fifo.pop(), fifo.pop()] == [1, 2, 3]
+
+    def test_head_peeks_without_removing(self):
+        fifo = CircularFifo(2)
+        fifo.push(9)
+        assert fifo.head == 9
+        assert len(fifo) == 1
+
+    def test_wraparound(self):
+        fifo = CircularFifo(2)
+        for i in range(10):
+            fifo.push(i)
+            assert fifo.pop() == i
+
+    def test_full_flag(self):
+        fifo = CircularFifo(2)
+        fifo.push(1)
+        fifo.push(2)
+        assert fifo.is_full
+
+    def test_push_full_raises(self):
+        fifo = CircularFifo(1)
+        fifo.push(1)
+        with pytest.raises(OverflowError):
+            fifo.push(2)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CircularFifo(2).pop()
+
+    def test_head_empty_raises(self):
+        with pytest.raises(IndexError):
+            CircularFifo(2).head
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CircularFifo(0)
+
+    def test_clear(self):
+        fifo = CircularFifo(2)
+        fifo.push(1)
+        fifo.clear()
+        assert fifo.is_empty
+
+    def test_snapshot_oldest_first(self):
+        fifo = CircularFifo(3)
+        fifo.push(1)
+        fifo.push(2)
+        fifo.pop()
+        fifo.push(3)
+        assert fifo.snapshot() == [2, 3]
+
+
+@given(
+    capacity=st.integers(1, 8),
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.integers(0, 255)),
+            st.tuples(st.just("pop"), st.just(0)),
+        ),
+        max_size=200,
+    ),
+)
+def test_matches_deque_model(capacity, ops):
+    """Property: the ring buffer behaves exactly like a bounded deque."""
+    fifo = CircularFifo(capacity)
+    model = deque()
+    for op, value in ops:
+        if op == "push":
+            if len(model) < capacity:
+                fifo.push(value)
+                model.append(value)
+            else:
+                with pytest.raises(OverflowError):
+                    fifo.push(value)
+        else:
+            if model:
+                assert fifo.pop() == model.popleft()
+            else:
+                with pytest.raises(IndexError):
+                    fifo.pop()
+        assert len(fifo) == len(model)
+        assert fifo.snapshot() == list(model)

@@ -1,0 +1,80 @@
+"""Tests for flit encoding helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc import (
+    FLIT_BITS,
+    FLIT_MAX,
+    decode_address,
+    encode_address,
+    flits_to_words,
+    join_word,
+    split_word,
+    words_to_flits,
+)
+
+
+class TestAddressEncoding:
+    def test_flit_is_8_bits(self):
+        assert FLIT_BITS == 8
+        assert FLIT_MAX == 255
+
+    def test_encode_packs_x_high_y_low(self):
+        assert encode_address(0, 0) == 0x00
+        assert encode_address(0, 1) == 0x01
+        assert encode_address(1, 0) == 0x10
+        assert encode_address(1, 1) == 0x11
+        assert encode_address(0xA, 0x5) == 0xA5
+
+    def test_decode_inverts_encode(self):
+        assert decode_address(0xA5) == (0xA, 0x5)
+
+    def test_encode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_address(16, 0)
+        with pytest.raises(ValueError):
+            encode_address(0, -1)
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_address(256)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_roundtrip_property(self, x, y):
+        assert decode_address(encode_address(x, y)) == (x, y)
+
+
+class TestWordSplitting:
+    def test_split_big_endian(self):
+        assert split_word(0xBEEF) == (0xBE, 0xEF)
+
+    def test_join_inverts_split(self):
+        assert join_word(0xDE, 0xAD) == 0xDEAD
+
+    def test_split_rejects_wide_values(self):
+        with pytest.raises(ValueError):
+            split_word(0x10000)
+
+    def test_join_rejects_wide_flits(self):
+        with pytest.raises(ValueError):
+            join_word(0x100, 0)
+
+    @given(st.integers(0, 0xFFFF))
+    def test_roundtrip_property(self, word):
+        assert join_word(*split_word(word)) == word
+
+    def test_words_to_flits_orders_pairs(self):
+        assert words_to_flits([0x1234, 0xABCD]) == [0x12, 0x34, 0xAB, 0xCD]
+
+    def test_flits_to_words_inverts(self):
+        assert flits_to_words([0x12, 0x34, 0xAB, 0xCD]) == [0x1234, 0xABCD]
+
+    def test_flits_to_words_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            flits_to_words([1, 2, 3])
+
+    @given(st.lists(st.integers(0, 0xFFFF), max_size=32))
+    def test_words_roundtrip_property(self, words):
+        assert flits_to_words(words_to_flits(words)) == words

@@ -1,0 +1,70 @@
+"""Structural tests for the mesh builder and handshake channels."""
+
+import pytest
+
+from repro.noc import HermesNetwork, Mesh, Port
+from repro.sim import HandshakeTx, make_channel
+
+
+class TestChannels:
+    def test_make_channel_wire_naming_and_widths(self):
+        ch = make_channel("lnk", data_width=8)
+        assert isinstance(ch, HandshakeTx)
+        assert ch.tx.name == "lnk.tx"
+        assert ch.data.width == 8
+        assert ch.ack.width == 1
+
+    def test_wires_tuple(self):
+        ch = make_channel("x")
+        assert len(ch.wires()) == 3
+
+
+class TestMeshStructure:
+    def test_neighbours_share_one_channel_per_direction(self):
+        mesh = Mesh(2, 2)
+        west = mesh.router((0, 0))
+        east = mesh.router((1, 0))
+        # the EAST output channel of (0,0) is the WEST input of (1,0)
+        assert west.out_ch[Port.EAST] is east.in_ch[Port.WEST]
+        assert east.out_ch[Port.WEST] is west.in_ch[Port.EAST]
+
+    def test_vertical_wiring(self):
+        mesh = Mesh(1, 3)
+        low = mesh.router((0, 0))
+        mid = mesh.router((0, 1))
+        assert low.out_ch[Port.NORTH] is mid.in_ch[Port.SOUTH]
+        assert mid.out_ch[Port.SOUTH] is low.in_ch[Port.NORTH]
+
+    def test_border_ports_unattached(self):
+        mesh = Mesh(2, 2)
+        corner = mesh.router((0, 0))
+        assert corner.in_ch[Port.WEST] is None
+        assert corner.out_ch[Port.SOUTH] is None
+        assert corner.in_ch[Port.LOCAL] is not None
+
+    def test_every_router_has_local_channels(self):
+        mesh = Mesh(3, 2)
+        for addr in mesh.addresses():
+            into, out = mesh.local_channels(addr)
+            router = mesh.router(addr)
+            assert router.in_ch[Port.LOCAL] is into
+            assert router.out_ch[Port.LOCAL] is out
+
+    def test_addresses_raster_order(self):
+        assert Mesh(2, 2).addresses() == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_each_wire_committed_exactly_once(self):
+        """No wire may be adopted by two components (double commit would
+        break two-phase semantics)."""
+        net = HermesNetwork(3, 3)
+        seen = {}
+        for component in net.iter_components():
+            for wire in component._wires:
+                assert wire.name not in seen, (
+                    f"wire {wire.name} owned by both "
+                    f"{seen[wire.name]} and {component.name}"
+                )
+                seen[wire.name] = component.name
+
+    def test_router_count(self):
+        assert len(Mesh(4, 3).routers) == 12

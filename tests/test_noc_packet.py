@@ -1,0 +1,67 @@
+"""Tests for the packet wire format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc import MAX_PAYLOAD_FLITS, Packet
+
+
+class TestWireFormat:
+    def test_header_then_size_then_payload(self):
+        p = Packet(target=(1, 2), payload=[9, 8, 7])
+        assert p.to_flits() == [0x12, 3, 9, 8, 7]
+
+    def test_empty_payload_allowed(self):
+        p = Packet(target=(0, 0), payload=[])
+        assert p.to_flits() == [0, 0]
+
+    def test_from_flits_parses_back(self):
+        p = Packet.from_flits([0x12, 3, 9, 8, 7])
+        assert p.target == (1, 2)
+        assert p.payload == [9, 8, 7]
+
+    def test_from_flits_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            Packet.from_flits([0x12, 5, 1, 2])
+
+    def test_from_flits_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            Packet.from_flits([0x12])
+
+    def test_payload_flit_range_checked(self):
+        with pytest.raises(ValueError):
+            Packet(target=(0, 0), payload=[256])
+
+    def test_target_range_checked(self):
+        with pytest.raises(ValueError):
+            Packet(target=(16, 0), payload=[])
+
+    def test_max_payload_enforced(self):
+        Packet(target=(0, 0), payload=[0] * MAX_PAYLOAD_FLITS)
+        with pytest.raises(ValueError):
+            Packet(target=(0, 0), payload=[0] * (MAX_PAYLOAD_FLITS + 1))
+
+    def test_size_flits_counts_header_and_size(self):
+        assert Packet(target=(0, 0), payload=[1, 2]).size_flits == 4
+
+    @given(
+        x=st.integers(0, 15),
+        y=st.integers(0, 15),
+        payload=st.lists(st.integers(0, 255), max_size=64),
+    )
+    def test_roundtrip_property(self, x, y, payload):
+        p = Packet(target=(x, y), payload=payload)
+        q = Packet.from_flits(p.to_flits())
+        assert q.target == p.target
+        assert q.payload == p.payload
+
+
+class TestLatencyStamps:
+    def test_latency_none_until_both_stamps(self):
+        p = Packet(target=(0, 0), payload=[])
+        assert p.latency is None
+        p.injected_cycle = 10
+        assert p.latency is None
+        p.delivered_cycle = 35
+        assert p.latency == 25

@@ -1,0 +1,135 @@
+"""Tests for the nine packet services (paper Section 2.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc import Packet, services
+from repro.noc.services import Service, ServiceError
+
+word = st.integers(0, 0xFFFF)
+addr = st.tuples(st.integers(0, 15), st.integers(0, 15))
+
+
+class TestEncodeDecodeRoundtrips:
+    def test_read(self):
+        p = services.encode_read((1, 1), reply_to=0x01, address=0x0123, count=5)
+        m = services.decode(p)
+        assert isinstance(m, services.ReadRequest)
+        assert (m.reply_to, m.address, m.count) == (0x01, 0x0123, 5)
+
+    def test_read_return(self):
+        p = services.encode_read_return((0, 1), 0x20, [0xDEAD, 0xBEEF])
+        m = services.decode(p)
+        assert isinstance(m, services.ReadReturn)
+        assert m.address == 0x20
+        assert m.words == [0xDEAD, 0xBEEF]
+
+    def test_write(self):
+        p = services.encode_write((1, 0), 0x40, [1, 2, 3])
+        m = services.decode(p)
+        assert isinstance(m, services.WriteRequest)
+        assert m.address == 0x40
+        assert m.words == [1, 2, 3]
+
+    def test_activate(self):
+        m = services.decode(services.encode_activate((0, 1)))
+        assert isinstance(m, services.Activate)
+
+    def test_printf(self):
+        p = services.encode_printf((0, 0), proc=2, words=[0xABCD])
+        m = services.decode(p)
+        assert isinstance(m, services.Printf)
+        assert (m.proc, m.words) == (2, [0xABCD])
+
+    def test_scanf(self):
+        m = services.decode(services.encode_scanf((0, 0), proc=1))
+        assert isinstance(m, services.Scanf)
+        assert m.proc == 1
+
+    def test_scanf_return(self):
+        m = services.decode(services.encode_scanf_return((0, 1), 0x1234))
+        assert isinstance(m, services.ScanfReturn)
+        assert m.value == 0x1234
+
+    def test_notify(self):
+        m = services.decode(services.encode_notify((1, 0), source=1))
+        assert isinstance(m, services.Notify)
+        assert m.source == 1
+
+    def test_wait(self):
+        m = services.decode(services.encode_wait((1, 0), source=2))
+        assert isinstance(m, services.Wait)
+        assert m.source == 2
+
+    def test_all_nine_services_have_distinct_command_bytes(self):
+        assert len({s.value for s in Service}) == 9
+
+
+class TestValidation:
+    def test_unknown_service_byte(self):
+        with pytest.raises(ServiceError):
+            services.decode(Packet((0, 0), [0x7F]))
+
+    def test_empty_payload(self):
+        with pytest.raises(ServiceError):
+            services.decode(Packet((0, 0), []))
+
+    def test_truncated_read(self):
+        with pytest.raises(ServiceError):
+            services.decode(Packet((0, 0), [Service.READ, 1, 1]))
+
+    def test_truncated_write_data(self):
+        # says 2 words but carries 1
+        with pytest.raises(ServiceError):
+            services.decode(Packet((0, 0), [Service.WRITE, 0, 0, 2, 0, 1]))
+
+    def test_read_count_bounds(self):
+        with pytest.raises(ServiceError):
+            services.encode_read((0, 0), 0, 0, count=0)
+        with pytest.raises(ServiceError):
+            services.encode_read((0, 0), 0, 0, count=256)
+
+    def test_write_needs_data(self):
+        with pytest.raises(ServiceError):
+            services.encode_write((0, 0), 0, [])
+
+    def test_targets_carried_on_packet(self):
+        assert services.encode_activate((1, 1)).target == (1, 1)
+
+
+class TestProperties:
+    @given(target=addr, reply_to=st.integers(0, 255), address=word,
+           count=st.integers(1, 255))
+    def test_read_roundtrip(self, target, reply_to, address, count):
+        m = services.decode(
+            services.encode_read(target, reply_to, address, count)
+        )
+        assert (m.reply_to, m.address, m.count) == (reply_to, address, count)
+
+    @given(target=addr, address=word,
+           words=st.lists(word, min_size=1, max_size=60))
+    def test_write_roundtrip(self, target, address, words):
+        m = services.decode(services.encode_write(target, address, words))
+        assert m.address == address
+        assert m.words == words
+
+    @given(target=addr, proc=st.integers(0, 255),
+           words=st.lists(word, max_size=60))
+    def test_printf_roundtrip(self, target, proc, words):
+        m = services.decode(services.encode_printf(target, proc, words))
+        assert (m.proc, m.words) == (proc, words)
+
+    @given(target=addr, address=word,
+           words=st.lists(word, max_size=60))
+    def test_read_return_roundtrip(self, target, address, words):
+        m = services.decode(services.encode_read_return(target, address, words))
+        assert (m.address, m.words) == (address, words)
+
+    @given(data=st.lists(st.integers(0, 255), min_size=1, max_size=40))
+    def test_decode_never_crashes_unexpectedly(self, data):
+        """Arbitrary payloads either decode or raise ServiceError."""
+        try:
+            services.decode(Packet((0, 0), data))
+        except ServiceError:
+            pass

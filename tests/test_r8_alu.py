@@ -1,0 +1,166 @@
+"""Tests for the ALU flag semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.r8 import alu
+from repro.r8.alu import Flags
+
+word = st.integers(0, 0xFFFF)
+
+
+def flags():
+    return Flags()
+
+
+class TestAdd:
+    def test_simple_add(self):
+        f = flags()
+        assert alu.add(2, 3, f) == 5
+        assert f.as_tuple() == (False, False, False, False)
+
+    def test_carry_out(self):
+        f = flags()
+        assert alu.add(0xFFFF, 1, f) == 0
+        assert f.c and f.z and not f.n
+
+    def test_signed_overflow_positive(self):
+        f = flags()
+        result = alu.add(0x7FFF, 1, f)
+        assert result == 0x8000
+        assert f.v and f.n and not f.c
+
+    def test_signed_overflow_negative(self):
+        f = flags()
+        result = alu.add(0x8000, 0x8000, f)
+        assert result == 0
+        assert f.v and f.c and f.z
+
+    def test_carry_in_propagates(self):
+        f = flags()
+        assert alu.add(5, 5, f, carry_in=1) == 11
+
+    @given(word, word)
+    def test_matches_wide_arithmetic(self, a, b):
+        f = flags()
+        result = alu.add(a, b, f)
+        assert result == (a + b) & 0xFFFF
+        assert f.c == (a + b > 0xFFFF)
+        assert f.z == (result == 0)
+        assert f.n == bool(result & 0x8000)
+
+
+class TestSub:
+    def test_simple_sub(self):
+        f = flags()
+        assert alu.sub(7, 3, f) == 4
+        assert not f.c
+
+    def test_borrow_flag(self):
+        f = flags()
+        assert alu.sub(3, 7, f) == 0xFFFC
+        assert f.c and f.n  # C is the borrow
+
+    def test_zero_result(self):
+        f = flags()
+        alu.sub(5, 5, f)
+        assert f.z and not f.c
+
+    def test_signed_overflow(self):
+        f = flags()
+        result = alu.sub(0x8000, 1, f)  # -32768 - 1 overflows
+        assert result == 0x7FFF
+        assert f.v and not f.n
+
+    def test_borrow_in(self):
+        f = flags()
+        assert alu.sub(10, 3, f, borrow_in=1) == 6
+
+    @given(word, word)
+    def test_matches_wide_arithmetic(self, a, b):
+        f = flags()
+        result = alu.sub(a, b, f)
+        assert result == (a - b) & 0xFFFF
+        assert f.c == (a < b)
+
+    @given(word, word)
+    def test_sub_then_add_roundtrip(self, a, b):
+        f = flags()
+        assert alu.add(alu.sub(a, b, f), b, f) == a
+
+
+class TestLogic:
+    def test_and_or_xor_not(self):
+        f = flags()
+        assert alu.logic_and(0xF0F0, 0xFF00, f) == 0xF000
+        assert alu.logic_or(0xF0F0, 0x0F0F, f) == 0xFFFF
+        assert alu.logic_xor(0xAAAA, 0xFFFF, f) == 0x5555
+        assert alu.logic_not(0x00FF, f) == 0xFF00
+
+    def test_logic_sets_n_and_z_only(self):
+        f = flags()
+        f.c = True
+        f.v = True
+        alu.logic_and(0, 0xFFFF, f)
+        assert f.z and not f.n
+        assert f.c and f.v  # untouched
+
+    @given(word)
+    def test_not_involution(self, a):
+        f = flags()
+        assert alu.logic_not(alu.logic_not(a, f), f) == a
+
+    @given(word, word)
+    def test_xor_self_inverse(self, a, b):
+        f = flags()
+        assert alu.logic_xor(alu.logic_xor(a, b, f), b, f) == a
+
+
+class TestShifts:
+    def test_sl0_inserts_zero(self):
+        f = flags()
+        assert alu.shift_left(0x0001, 0, f) == 0x0002
+        assert not f.c
+
+    def test_sl1_inserts_one(self):
+        f = flags()
+        assert alu.shift_left(0x0000, 1, f) == 0x0001
+
+    def test_sl_carry_gets_msb(self):
+        f = flags()
+        alu.shift_left(0x8000, 0, f)
+        assert f.c and f.z
+
+    def test_sr0_inserts_zero_msb(self):
+        f = flags()
+        assert alu.shift_right(0x8000, 0, f) == 0x4000
+
+    def test_sr1_inserts_one_msb(self):
+        f = flags()
+        assert alu.shift_right(0x0000, 1, f) == 0x8000
+
+    def test_sr_carry_gets_lsb(self):
+        f = flags()
+        alu.shift_right(0x0001, 0, f)
+        assert f.c and f.z
+
+    @given(word)
+    def test_shift_left_is_times_two(self, a):
+        f = flags()
+        assert alu.shift_left(a, 0, f) == (a * 2) & 0xFFFF
+
+    @given(word)
+    def test_shift_right_is_div_two(self, a):
+        f = flags()
+        assert alu.shift_right(a, 0, f) == a // 2
+
+
+class TestFlags:
+    def test_copy_is_independent(self):
+        f = Flags(n=True, c=True)
+        g = f.copy()
+        g.n = False
+        assert f.n
+
+    def test_str_format(self):
+        assert str(Flags(n=True, z=False, c=True, v=False)) == "n-c-"

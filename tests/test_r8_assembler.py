@@ -1,0 +1,210 @@
+"""Tests for the two-pass assembler and object-file format."""
+
+import pytest
+
+from repro.r8 import assemble, disassemble_word, isa
+from repro.r8.assembler import AsmError, ObjectCode
+
+
+def words(source):
+    return assemble(source).memory_image(64)
+
+
+class TestInstructions:
+    def test_rrr_operand_order(self):
+        assert words("ADD R1, R2, R3")[0] == 0x0123
+
+    def test_st_paper_operand_order(self):
+        """Paper: "ST R3, R1, R2" stores R3 at address R1+R2."""
+        w = words("ST R3, R1, R2")[0]
+        i = isa.decode(w)
+        assert (i.mnemonic, i.rt, i.rs1, i.rs2) == ("ST", 3, 1, 2)
+
+    def test_immediate_forms(self):
+        assert words("LDL R2, 0x34")[0] == 0x9234
+        assert words("LDH R2, 0x12")[0] == 0xA212
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(AsmError):
+            assemble("LDL R0, 256")
+        with pytest.raises(AsmError):
+            assemble("LDL R0, -129")
+
+    def test_char_literal_immediate(self):
+        assert words("LDL R0, 'A'")[0] & 0xFF == 65
+
+    def test_single_register_forms(self):
+        assert isa.decode(words("PUSH R5")[0]).rs1 == 5
+        assert isa.decode(words("POP R6")[0]).rt == 6
+        assert isa.decode(words("JMPR R7")[0]).rs1 == 7
+
+    def test_no_operand_forms(self):
+        assert isa.decode(words("NOP")[0]).mnemonic == "NOP"
+        assert isa.decode(words("HALT")[0]).mnemonic == "HALT"
+        assert isa.decode(words("RTS")[0]).mnemonic == "RTS"
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AsmError):
+            assemble("ADD R1, R2")
+        with pytest.raises(AsmError):
+            assemble("NOP R1")
+
+    def test_register_operand_type_checked(self):
+        with pytest.raises(AsmError):
+            assemble("ADD R1, R2, 3")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble("FNORD R1")
+
+
+class TestLabelsAndJumps:
+    def test_backward_displacement(self):
+        image = words("top: NOP\nJMPD top")
+        i = isa.decode(image[1])
+        assert i.disp == -2  # from address 2 back to 0
+
+    def test_forward_displacement(self):
+        image = words("JMPZD skip\nNOP\nskip: HALT")
+        assert isa.decode(image[0]).disp == 1
+
+    def test_jmp_pseudo_resolves_label(self):
+        image = words("start: NOP\nJMP start")
+        assert isa.decode(image[1]).mnemonic == "JMPD"
+
+    def test_displacement_out_of_range(self):
+        source = "JMPD far\n" + "NOP\n" * 200 + "far: HALT"
+        with pytest.raises(AsmError):
+            assemble(source)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("a: NOP\na: NOP")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("JMPD nowhere")
+
+    def test_label_alone_on_line(self):
+        obj = assemble("lonely:\n    HALT")
+        assert obj.symbols["lonely"] == 0
+
+    def test_multiple_labels_same_address(self):
+        obj = assemble("a:\nb: HALT")
+        assert obj.symbols["a"] == obj.symbols["b"] == 0
+
+
+class TestDirectives:
+    def test_org_sets_location(self):
+        obj = assemble(".org 0x10\nentry: HALT")
+        assert obj.symbols["entry"] == 0x10
+        assert obj.segments[0][0] == 0x10
+
+    def test_word_emits_values(self):
+        image = words(".word 1, 2, 0xFFFF")
+        assert image[:3] == [1, 2, 0xFFFF]
+
+    def test_word_accepts_symbols(self):
+        image = words("x: .word 5\ny: .word x")
+        assert image[1] == 0
+
+    def test_space_reserves_zeroes(self):
+        obj = assemble("a: .space 3\nb: HALT")
+        assert obj.symbols["b"] == 3
+
+    def test_string_nul_terminated(self):
+        image = words('.string "Hi"')
+        assert image[:3] == [ord("H"), ord("i"), 0]
+
+    def test_equ_defines_constant(self):
+        image = words(".equ N, 42\nLDL R0, N")
+        assert image[0] & 0xFF == 42
+
+    def test_equ_duplicate_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".equ N, 1\n.equ N, 2")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmError):
+            assemble(".bogus 1")
+
+    def test_expressions_with_offsets(self):
+        image = words(".equ BASE, 0x100\nLDI R0, BASE+5\nLDI R1, BASE-1")
+        # LDI expands to LDH/LDL
+        assert (image[0] & 0xFF, image[1] & 0xFF) == (0x01, 0x05)
+        assert (image[2] & 0xFF, image[3] & 0xFF) == (0x00, 0xFF)
+
+
+class TestPseudoInstructions:
+    def test_ldi_expands_to_ldh_ldl(self):
+        image = words("LDI R3, 0x1234")
+        assert isa.decode(image[0]).mnemonic == "LDH"
+        assert isa.decode(image[1]).mnemonic == "LDL"
+        assert image[0] & 0xFF == 0x12
+        assert image[1] & 0xFF == 0x34
+
+    def test_ldi_with_label(self):
+        obj = assemble("LDI R0, data\nHALT\ndata: .word 7")
+        assert obj.symbols["data"] == 3
+
+    def test_clr_is_xor_self(self):
+        i = isa.decode(words("CLR R4")[0])
+        assert (i.mnemonic, i.rt, i.rs1, i.rs2) == ("XOR", 4, 4, 4)
+
+
+class TestComments:
+    def test_semicolon_and_slashes(self):
+        obj = assemble("; full line\nNOP ; trailing\n// c++ style\nHALT")
+        assert obj.size_words == 2
+
+
+class TestObjectFile:
+    def test_text_roundtrip(self):
+        obj = assemble(".org 4\nstart: LDI R0, 7\nHALT\n.org 0x20\n.word 9")
+        text = obj.to_text()
+        back = ObjectCode.from_text(text)
+        assert back.segments == obj.segments
+        assert back.symbols == obj.symbols
+
+    def test_memory_image_fills_segments(self):
+        obj = assemble(".org 2\n.word 5, 6")
+        image = obj.memory_image(8)
+        assert image == [0, 0, 5, 6, 0, 0, 0, 0]
+
+    def test_memory_image_overflow_rejected(self):
+        obj = assemble(".org 7\n.word 1, 2")
+        with pytest.raises(ValueError):
+            obj.memory_image(8)
+
+    def test_word_records_in_load_order(self):
+        obj = assemble(".org 1\n.word 10, 11")
+        assert obj.word_records() == [(1, 10), (2, 11)]
+
+    def test_listing_contains_addresses_and_source(self):
+        obj = assemble("start: LDL R0, 1")
+        assert any("LDL" in line for line in obj.listing)
+
+    def test_from_text_rejects_wide_words(self):
+        with pytest.raises(ValueError):
+            ObjectCode.from_text("@0000\n12345")
+
+
+class TestDisassembler:
+    def test_roundtrip_through_assembler(self):
+        source_lines = [
+            "ADD R1, R2, R3",
+            "LDL R5, 0xab",
+            "NOT R1, R2",
+            "PUSH R3",
+            "JMPR R4",
+            "RTS",
+            "HALT",
+        ]
+        for line in source_lines:
+            word = assemble(line).memory_image(4)[0]
+            text = disassemble_word(word)
+            again = assemble(text).memory_image(4)[0]
+            assert again == word, f"{line} -> {text}"
+
+    def test_undecodable_word_renders_as_data(self):
+        assert disassemble_word(0xBF00).startswith(".word")

@@ -1,0 +1,114 @@
+"""Tests for the R8 debugger command interface."""
+
+import pytest
+
+from repro.r8 import assemble
+from repro.r8.debugger import Debugger, DebuggerError
+
+PROGRAM = """
+start:  CLR  R0
+        LDI  R1, 10
+        LDI  R2, 0x40
+loop:   ST   R1, R2, R0
+        LDL  R3, 1
+        SUB  R1, R1, R3
+        JMPZD done
+        JMP  loop
+done:   HALT
+result: .word 0
+"""
+
+
+@pytest.fixture
+def dbg():
+    debugger = Debugger()
+    debugger.load_object(assemble(PROGRAM))
+    return debugger
+
+
+class TestCommands:
+    def test_step_reports_pc_and_state(self, dbg):
+        out = dbg.execute("step")
+        assert "0000" in out
+        assert "start" in out
+
+    def test_step_n(self, dbg):
+        dbg.execute("step 5")
+        assert dbg.sim.instructions == 5
+
+    def test_run_to_halt(self, dbg):
+        out = dbg.execute("run")
+        assert "HALT" in out
+        assert dbg.sim.state.halted
+
+    def test_regs(self, dbg):
+        dbg.execute("run")
+        out = dbg.execute("regs")
+        assert "PC=" in out and "SP=" in out
+
+    def test_mem_dump_with_symbol(self, dbg):
+        dbg.execute("run")
+        out = dbg.execute("mem 0x40 2")
+        assert out.startswith("0040:")
+        assert "0001" in out  # the loop's final store
+
+    def test_dis(self, dbg):
+        out = dbg.execute("dis start 3")
+        assert "XOR" in out or "LDH" in out
+
+    def test_breakpoint_by_symbol(self, dbg):
+        dbg.execute("break done")
+        out = dbg.execute("run")
+        assert "breakpoint" in out
+        assert dbg.sim.state.pc == dbg.symbols["done"]
+        assert not dbg.sim.state.halted
+
+    def test_unbreak(self, dbg):
+        dbg.execute("break done")
+        dbg.execute("unbreak done")
+        dbg.execute("run")
+        assert dbg.sim.state.halted
+
+    def test_watch(self, dbg):
+        dbg.execute("watch 0x40")
+        dbg.execute("run")
+        assert dbg.sim.watch_hits
+        assert dbg.sim.watch_hits[0][0] == "write"
+
+    def test_where_marks_pc(self, dbg):
+        dbg.execute("step 2")
+        out = dbg.execute("where")
+        assert "->" in out
+
+    def test_reset(self, dbg):
+        dbg.execute("run")
+        out = dbg.execute("reset")
+        assert "PC=0000" in out
+        assert not dbg.sim.state.halted
+
+    def test_unknown_command(self, dbg):
+        with pytest.raises(DebuggerError):
+            dbg.execute("frobnicate")
+
+    def test_bad_address(self, dbg):
+        with pytest.raises(DebuggerError):
+            dbg.execute("mem nowhere")
+
+    def test_empty_line_is_noop(self, dbg):
+        assert dbg.execute("") == ""
+
+    def test_script_execution(self, dbg):
+        outputs = dbg.run_script(
+            """
+            # comments are skipped
+            break done
+            run
+            regs
+            """
+        )
+        assert len(outputs) == 3
+
+    def test_resolve_numeric_forms(self, dbg):
+        assert dbg.resolve("16") == 16
+        assert dbg.resolve("0x10") == 16
+        assert dbg.resolve("done") == dbg.symbols["done"]

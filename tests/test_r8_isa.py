@@ -1,0 +1,132 @@
+"""Tests for R8 instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.r8 import isa
+
+
+class TestSpecTable:
+    def test_exactly_36_instructions(self):
+        assert len(isa.SPECS) == 36  # the paper's count
+
+    def test_cpi_range_is_2_to_4(self):
+        cycles = {spec.cycles for spec in isa.SPECS.values()}
+        assert min(cycles) == 2
+        assert max(cycles) == 4
+
+    def test_memory_flags_consistent(self):
+        for spec in isa.SPECS.values():
+            assert not (spec.reads_mem and spec.writes_mem)
+        assert isa.spec("LD").reads_mem
+        assert isa.spec("ST").writes_mem
+        assert isa.spec("RTS").reads_mem
+        assert isa.spec("JSRD").writes_mem
+
+    def test_spec_lookup_case_insensitive(self):
+        assert isa.spec("add") is isa.spec("ADD")
+
+    def test_spec_lookup_unknown_raises(self):
+        with pytest.raises(isa.DecodeError):
+            isa.spec("FROB")
+
+
+class TestEncoding:
+    def test_known_encodings(self):
+        add = isa.Instruction(isa.spec("ADD"), rt=1, rs1=2, rs2=3)
+        assert isa.encode(add) == 0x0123
+        ldl = isa.Instruction(isa.spec("LDL"), rt=5, imm=0xAB)
+        assert isa.encode(ldl) == 0x95AB
+        halt = isa.Instruction(isa.spec("HALT"))
+        assert isa.encode(halt) == 0xF100
+        nop = isa.Instruction(isa.spec("NOP"))
+        assert isa.encode(nop) == 0xF000
+
+    def test_decode_known_words(self):
+        i = isa.decode(0x0123)
+        assert (i.mnemonic, i.rt, i.rs1, i.rs2) == ("ADD", 1, 2, 3)
+        i = isa.decode(0x95AB)
+        assert (i.mnemonic, i.rt, i.imm) == ("LDL", 5, 0xAB)
+
+    def test_decode_rejects_bad_subopcodes(self):
+        with pytest.raises(isa.DecodeError):
+            isa.decode(0xBF00)  # RR group sub-op 0xF unused
+        with pytest.raises(isa.DecodeError):
+            isa.decode(0xC900)  # jump condition 9 unused
+        with pytest.raises(isa.DecodeError):
+            isa.decode(0xF900)  # misc sub-op 9 unused
+
+    def test_decode_rejects_out_of_range_word(self):
+        with pytest.raises(isa.DecodeError):
+            isa.decode(0x10000)
+        with pytest.raises(isa.DecodeError):
+            isa.decode(-1)
+
+    def test_disp_sign_interpretation(self):
+        fwd = isa.Instruction(isa.spec("JMPD"), imm=0x05)
+        back = isa.Instruction(isa.spec("JMPD"), imm=0xFB)
+        assert fwd.disp == 5
+        assert back.disp == -5
+
+    def _random_instruction(self, spec, rng):
+        import random
+
+    @given(st.data())
+    def test_encode_decode_roundtrip_all_formats(self, data):
+        """Every instruction round-trips through its 16-bit word."""
+        mnemonic = data.draw(st.sampled_from(sorted(isa.SPECS)))
+        spec = isa.SPECS[mnemonic]
+        reg = st.integers(0, 15)
+        imm = st.integers(0, 255)
+        if spec.fmt == isa.Fmt.RRR:
+            instr = isa.Instruction(
+                spec, rt=data.draw(reg), rs1=data.draw(reg), rs2=data.draw(reg)
+            )
+        elif spec.fmt == isa.Fmt.RI:
+            instr = isa.Instruction(spec, rt=data.draw(reg), imm=data.draw(imm))
+        elif spec.fmt == isa.Fmt.RR:
+            instr = isa.Instruction(spec, rt=data.draw(reg), rs1=data.draw(reg))
+        elif spec.fmt == isa.Fmt.JR:
+            instr = isa.Instruction(spec, rs1=data.draw(reg))
+        elif spec.fmt == isa.Fmt.JD:
+            instr = isa.Instruction(spec, imm=data.draw(imm))
+        elif spec.fmt == isa.Fmt.SUBR:
+            if mnemonic == "JSRR":
+                instr = isa.Instruction(spec, rs1=data.draw(reg))
+            elif mnemonic == "JSRD":
+                instr = isa.Instruction(spec, imm=data.draw(imm))
+            else:
+                instr = isa.Instruction(spec)
+        else:
+            instr = isa.Instruction(spec)
+        decoded = isa.decode(isa.encode(instr))
+        assert decoded.spec is instr.spec
+        if spec.fmt == isa.Fmt.RRR:
+            assert (decoded.rt, decoded.rs1, decoded.rs2) == (
+                instr.rt, instr.rs1, instr.rs2,
+            )
+        elif spec.fmt in (isa.Fmt.RI, isa.Fmt.JD):
+            assert decoded.imm == instr.imm
+        elif spec.fmt == isa.Fmt.RR:
+            assert (decoded.rt, decoded.rs1) == (instr.rt, instr.rs1)
+
+    @given(st.integers(0, 0xFFFF))
+    def test_decode_is_total_or_raises(self, word):
+        """Any 16-bit word either decodes or raises DecodeError."""
+        try:
+            instr = isa.decode(word)
+        except isa.DecodeError:
+            return
+        assert instr.mnemonic in isa.SPECS
+
+    @given(st.integers(0, 0xFFFF))
+    def test_decode_encode_is_identity_when_defined(self, word):
+        """decode(word) re-encodes to a word that decodes identically
+        (unused fields may be normalised)."""
+        try:
+            instr = isa.decode(word)
+        except isa.DecodeError:
+            return
+        again = isa.decode(isa.encode(instr))
+        assert again == instr

@@ -1,0 +1,149 @@
+"""Tests for the multi-module linker."""
+
+import pytest
+
+from repro.r8 import R8Simulator
+from repro.r8.assembler import AsmError, Module, link
+
+
+def run(modules, **kw):
+    sim = R8Simulator()
+    sim.load(link(modules))
+    sim.activate()
+    sim.run(**kw)
+    return sim
+
+
+MAIN = Module("main", """
+        .extern double
+        CLR  R0
+        LDI  R1, 21
+        LDI  R15, double
+        JSRR R15
+        LDI  R2, 0xFFFF
+        ST   R1, R2, R0
+        HALT
+""")
+
+LIB = Module("lib", """
+        .global double
+double: ADD  R1, R1, R1
+        RTS
+""")
+
+
+class TestLinking:
+    def test_cross_module_call(self):
+        assert run([MAIN, LIB]).printed == [42]
+
+    def test_first_module_runs_first(self):
+        obj = link([MAIN, LIB])
+        # main's first instruction (CLR R0 = XOR) sits at address 0
+        assert obj.memory_image()[0] == 0x6000
+
+    def test_private_labels_do_not_clash(self):
+        a = Module("a", """
+                .extern entry_b
+                LDI  R15, entry_b
+                JSRR R15
+                HALT
+        here:   NOP
+        """)
+        b = Module("b", """
+                .global entry_b
+        here:   NOP
+        entry_b:
+                LDI  R1, 9
+                RTS
+        """)
+        sim = run([a, b])
+        assert sim.state.regs[1] == 9
+
+    def test_global_equ_constants_shared(self):
+        config = Module("config", ".global LIMIT\n.equ LIMIT, 0x123\n")
+        user = Module("user", "LDI R1, LIMIT\nHALT\n")
+        sim = run([config, user] if False else [user, config])
+        assert sim.state.regs[1] == 0x123
+
+    def test_undefined_symbol_names_module(self):
+        broken = Module("broken", "LDI R1, missing\nHALT\n")
+        with pytest.raises(AsmError) as err:
+            link([broken])
+        assert "broken" in str(err.value)
+        assert "missing" in str(err.value)
+
+    def test_duplicate_global_rejected(self):
+        a = Module("a", ".global f\nf: RTS\n")
+        b = Module("b", ".global f\nf: RTS\n")
+        with pytest.raises(AsmError):
+            link([a, b])
+
+    def test_global_without_definition_rejected(self):
+        a = Module("a", ".global ghost\nHALT\n")
+        with pytest.raises(AsmError):
+            link([a])
+
+    def test_duplicate_module_names_rejected(self):
+        with pytest.raises(AsmError):
+            link([Module("m", "HALT\n"), Module("m", "NOP\n")])
+
+    def test_empty_link_rejected(self):
+        with pytest.raises(AsmError):
+            link([])
+
+    def test_extern_declaration_optional(self):
+        """Referencing another module's global works without .extern."""
+        a = Module("a", "LDI R15, f\nJSRR R15\nHALT\n")
+        b = Module("b", ".global f\nf: LDI R1, 4\nRTS\n")
+        assert run([a, b]).state.regs[1] == 4
+
+    def test_macros_inside_modules(self):
+        a = Module("a", """
+            .macro SET, rd, v
+                    LDI  rd, v
+            .endm
+                    SET  R1, 5
+                    LDI  R15, add_one
+                    JSRR R15
+                    HALT
+        """)
+        b = Module("b", """
+            .global add_one
+            add_one:
+                    LDL  R15, 1
+                    ADD  R1, R1, R15
+                    RTS
+        """)
+        assert run([a, b]).state.regs[1] == 6
+
+    def test_three_module_program(self):
+        mathlib = Module("mathlib", """
+                .global square
+        square: ; R1 = R1 * R1 by repeated addition (clobbers R3, R4)
+                MOV  R3, R1
+                CLR  R4
+                LDL  R15, 1
+        again:  OR   R3, R3, R3
+                JMPZD out
+                ADD  R4, R4, R1
+                SUB  R3, R3, R15
+                JMP  again
+        out:    MOV  R1, R4
+                RTS
+        """)
+        iolib = Module("iolib", """
+                .global print
+        print:  CLR  R0
+                LDI  R14, 0xFFFF
+                ST   R1, R14, R0
+                RTS
+        """)
+        main = Module("main", """
+                LDI  R1, 12
+                LDI  R15, square
+                JSRR R15
+                LDI  R15, print
+                JSRR R15
+                HALT
+        """)
+        assert run([main, mathlib, iolib]).printed == [144]

@@ -1,0 +1,164 @@
+"""Tests for assembler macros and file inclusion."""
+
+import pytest
+
+from repro.r8 import R8Simulator, assemble
+from repro.r8.assembler import AsmError, Assembler
+
+
+def run(source, **kw):
+    sim = R8Simulator()
+    sim.load(assemble(source))
+    sim.activate()
+    sim.run(**kw)
+    return sim
+
+
+class TestMacros:
+    def test_simple_expansion(self):
+        sim = run("""
+            .macro ADDI, rd, rs, value
+                    LDI  R15, value
+                    ADD  rd, rs, R15
+            .endm
+                    CLR  R1
+                    ADDI R2, R1, 1000
+                    ADDI R3, R2, 234
+                    HALT
+        """)
+        assert sim.state.regs[2] == 1000
+        assert sim.state.regs[3] == 1234
+
+    def test_register_and_expression_arguments(self):
+        sim = run("""
+            .equ BASE, 0x80
+            .macro STORE, rv, offset
+                    LDI  R14, BASE+offset
+                    CLR  R13
+                    ST   rv, R14, R13
+            .endm
+                    LDI  R1, 77
+                    STORE R1, 4
+                    HALT
+        """)
+        assert sim.memory[0x84] == 77
+
+    def test_local_labels_unique_per_expansion(self):
+        """A loop inside a macro must work when expanded twice."""
+        sim = run("""
+            .macro COUNTDOWN, rd, start
+                    LDI  rd, start
+                    LDI  R15, 1
+            again:  SUB  rd, rd, R15
+                    JMPZD done
+                    JMP  again
+            done:
+            .endm
+                    COUNTDOWN R1, 5
+                    COUNTDOWN R2, 9
+                    HALT
+        """)
+        assert sim.state.regs[1] == 0
+        assert sim.state.regs[2] == 0
+
+    def test_labels_on_invocation_line(self):
+        obj = assemble("""
+            .macro NADA
+                    NOP
+            .endm
+            entry:  NADA
+                    HALT
+        """)
+        assert obj.symbols["entry"] == 0
+
+    def test_macro_invoking_macro(self):
+        sim = run("""
+            .macro ONE, rd
+                    LDI  rd, 1
+            .endm
+            .macro TWO, rd
+                    ONE  rd
+                    ADD  rd, rd, rd
+            .endm
+                    TWO  R4
+                    HALT
+        """)
+        assert sim.state.regs[4] == 2
+
+    def test_wrong_argument_count(self):
+        with pytest.raises(AsmError):
+            assemble(".macro M, a\nNOP\n.endm\nM R1, R2\nHALT")
+
+    def test_missing_endm(self):
+        with pytest.raises(AsmError):
+            assemble(".macro M\nNOP")
+
+    def test_endm_without_macro(self):
+        with pytest.raises(AsmError):
+            assemble(".endm")
+
+    def test_nested_definition_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".macro A\n.macro B\n.endm\n.endm")
+
+    def test_recursive_macro_detected(self):
+        with pytest.raises(AsmError):
+            assemble(".macro LOOPY\nLOOPY\n.endm\nLOOPY\nHALT")
+
+    def test_register_param_in_expression_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("""
+                .macro BAD, p
+                        LDI R1, p+1
+                .endm
+                        BAD R2
+                        HALT
+            """)
+
+
+class TestInclude:
+    def test_include_splices_file(self, tmp_path):
+        lib = tmp_path / "lib.asm"
+        lib.write_text(".equ ANSWER, 42\n")
+        main = tmp_path / "main.asm"
+        main.write_text('.include "lib.asm"\nLDI R1, ANSWER\nHALT\n')
+        obj = Assembler(str(main)).assemble(main.read_text())
+        sim = R8Simulator()
+        sim.load(obj)
+        sim.activate()
+        sim.run()
+        assert sim.state.regs[1] == 42
+
+    def test_nested_includes(self, tmp_path):
+        (tmp_path / "a.asm").write_text('.include "b.asm"\n')
+        (tmp_path / "b.asm").write_text(".equ N, 7\n")
+        main = tmp_path / "main.asm"
+        main.write_text('.include "a.asm"\nLDI R1, N\nHALT\n')
+        obj = Assembler(str(main)).assemble(main.read_text())
+        assert obj.symbols["N"] == 7
+
+    def test_circular_include_detected(self, tmp_path):
+        (tmp_path / "a.asm").write_text('.include "b.asm"\n')
+        (tmp_path / "b.asm").write_text('.include "a.asm"\n')
+        main = tmp_path / "main.asm"
+        main.write_text('.include "a.asm"\nHALT\n')
+        with pytest.raises(AsmError):
+            Assembler(str(main)).assemble(main.read_text())
+
+    def test_missing_include_reported(self, tmp_path):
+        main = tmp_path / "main.asm"
+        main.write_text('.include "nope.asm"\nHALT\n')
+        with pytest.raises(AsmError):
+            Assembler(str(main)).assemble(main.read_text())
+
+    def test_macros_from_included_file(self, tmp_path):
+        lib = tmp_path / "macros.asm"
+        lib.write_text(".macro SIX, rd\nLDI rd, 6\n.endm\n")
+        main = tmp_path / "main.asm"
+        main.write_text('.include "macros.asm"\nSIX R3\nHALT\n')
+        obj = Assembler(str(main)).assemble(main.read_text())
+        sim = R8Simulator()
+        sim.load(obj)
+        sim.activate()
+        sim.run()
+        assert sim.state.regs[3] == 6

@@ -1,0 +1,102 @@
+"""Property-based tests for dynamic reconfiguration.
+
+Hypothesis drives random sequences of relocations and swaps on a live
+platform; memory contents and system functionality must survive every
+sequence.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MultiNoCPlatform
+from repro.system import ReconfigError, ReconfigurationManager
+
+MESH = (3, 3)
+NODES = [(x, y) for y in range(3) for x in range(3)]
+
+
+@st.composite
+def reconfig_sequence(draw):
+    ops = []
+    n_ops = draw(st.integers(1, 6))
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["relocate_mem", "relocate_proc", "swap"]))
+        if kind == "swap":
+            ops.append(("swap", draw(st.sampled_from(["proc1", "mem0"])),
+                        draw(st.sampled_from(["proc2", "mem0"]))))
+        elif kind == "relocate_mem":
+            ops.append(("relocate", "mem0", draw(st.sampled_from(NODES))))
+        else:
+            pid = draw(st.sampled_from([1, 2]))
+            ops.append(("relocate", f"proc{pid}", draw(st.sampled_from(NODES))))
+    return ops
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(reconfig_sequence())
+def test_memory_and_function_survive_any_reconfig_sequence(ops):
+    session = MultiNoCPlatform(
+        mesh=MESH, n_processors=2, n_memories=1
+    ).launch()
+    session.host.sync()
+    session.write("mem0", 0, [0x1234, 0x5678])
+    mgr = ReconfigurationManager(session.system)
+
+    for op in ops:
+        try:
+            if op[0] == "swap":
+                mgr.swap(op[1], op[2])
+            else:
+                mgr.relocate(op[1], op[2])
+        except ReconfigError:
+            continue  # illegal moves (occupied/self targets) are fine
+
+    # invariant 1: remote memory contents intact wherever it lives now
+    assert session.read("mem0", 0, 2) == [0x1234, 0x5678]
+    # invariant 2: both processors still run programs and printf
+    for pid in (1, 2):
+        session.run(pid, f"""
+            CLR R0
+            LDI R1, {pid * 11}
+            LDI R2, 0xFFFF
+            ST R1, R2, R0
+            HALT
+        """)
+        assert session.host.monitor(pid).printf_values[-1] == pid * 11
+    # invariant 3: the config table matches where the NIs actually sit
+    for pid, proc in session.system.processors.items():
+        assert session.system.config.processors[pid] == proc.noc_address
+    assert (
+        session.system.config.memories[0]
+        == session.system.memories[0].noc_address
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.sampled_from(NODES), min_size=1, max_size=5))
+def test_repeated_memory_relocation_preserves_numa_access(targets):
+    session = MultiNoCPlatform(
+        mesh=MESH, n_processors=1, n_memories=1
+    ).launch()
+    session.host.sync()
+    session.write("mem0", 3, [777])
+    mgr = ReconfigurationManager(session.system)
+    for target in targets:
+        try:
+            mgr.relocate("mem0", target)
+        except ReconfigError:
+            pass
+    # the processor's NUMA window follows the memory around
+    session.run(1, """
+        CLR R0
+        LDI R2, 1027
+        LD  R1, R2, R0
+        LDI R2, 0xFFFF
+        ST  R1, R2, R0
+        HALT
+    """)
+    assert session.host.monitor(1).printf_values == [777]

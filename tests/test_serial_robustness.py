@@ -1,0 +1,116 @@
+"""Fault-injection tests for the serial path: glitches, framing errors,
+mid-frame interruptions."""
+
+import pytest
+
+from repro.serial import AutoBaudUartRx, UartRx, UartTx, protocol
+from repro.sim import Component, Simulator, Wire
+
+
+class GlitchyLine(Component):
+    """Forwards a source wire onto a destination wire, with scheduled
+    single-cycle inversions (line noise)."""
+
+    def __init__(self, src: Wire, dst: Wire, glitch_cycles=()):
+        super().__init__("glitch")
+        self.src = src
+        self.dst = dst
+        self.adopt_wires([dst])
+        self.glitch_cycles = set(glitch_cycles)
+
+    def eval(self, cycle):
+        value = self.src.value
+        if cycle in self.glitch_cycles:
+            value ^= 1
+        self.dst.drive(value)
+
+
+def noisy_pair(glitch_cycles, divisor=4):
+    raw = Wire("raw", reset=1, width=1)
+    line = Wire("line", reset=1, width=1)
+    tx = UartTx("tx", raw, divisor=divisor)
+    glitch = GlitchyLine(raw, line, glitch_cycles)
+    rx = UartRx("rx", line, divisor=divisor)
+    top = Component("top")
+    for c in (tx, glitch, rx):
+        top.add_child(c)
+    sim = Simulator()
+    sim.add(top)
+    return sim, tx, rx
+
+
+class TestFramingErrors:
+    def test_clean_line_no_errors(self):
+        sim, tx, rx = noisy_pair([])
+        tx.send_bytes([0x12, 0x34])
+        sim.step(200)
+        assert rx.framing_errors == 0
+        assert list(rx.received) == [0x12, 0x34]
+
+    def test_glitched_stop_bit_is_framing_error(self):
+        sim, tx, rx = noisy_pair([])
+        tx.send_byte(0xFF)
+        # stop bit of the frame spans cycles ~38-41 (divisor 4, start at 2);
+        # glitch right at its sample point
+        sim2, tx2, rx2 = noisy_pair(range(38, 42))
+        tx2.send_byte(0xFF)
+        sim2.step(100)
+        assert rx2.framing_errors == 1
+        assert list(rx2.received) == []
+
+    def test_recovers_after_corrupted_frame(self):
+        """A corrupted frame is dropped; subsequent frames decode."""
+        sim, tx, rx = noisy_pair(range(38, 42))
+        tx.send_bytes([0xFF, 0xA5])
+        sim.step(300)
+        assert rx.framing_errors == 1
+        assert list(rx.received) == [0xA5]
+
+    def test_false_start_bit_rejected(self):
+        """A glitch on the idle line must not produce a byte."""
+        sim, tx, rx = noisy_pair([10])
+        sim.step(100)
+        assert list(rx.received) == []
+        assert rx.framing_errors == 0
+
+    def test_data_bit_corruption_changes_byte_not_framing(self):
+        # corrupt one data bit mid-frame: wrong byte, valid framing
+        sim, tx, rx = noisy_pair(range(8, 12))  # bit 1's span
+        tx.send_byte(0x00)
+        sim.step(100)
+        assert rx.framing_errors == 0
+        assert list(rx.received) == [0x02]
+
+
+class TestAutoBaudRobustness:
+    def test_autobaud_unaffected_by_later_traffic_rate(self):
+        """Once locked, the divisor stays locked."""
+        raw = Wire("raw", reset=1, width=1)
+        tx = UartTx("tx", raw, divisor=6)
+        rx = AutoBaudUartRx("rx", raw)
+        top = Component("top")
+        top.add_child(tx)
+        top.add_child(rx)
+        sim = Simulator()
+        sim.add(top)
+        tx.send_byte(protocol.SYNC_BYTE)
+        sim.run_until(lambda: rx.synced, max_cycles=1000)
+        locked = rx.divisor
+        tx.send_bytes([0x01, 0xFE])
+        sim.step(400)
+        assert rx.divisor == locked
+        assert list(rx.received) == [0x01, 0xFE]
+
+    def test_sync_works_after_long_idle(self):
+        raw = Wire("raw", reset=1, width=1)
+        tx = UartTx("tx", raw, divisor=5)
+        rx = AutoBaudUartRx("rx", raw)
+        top = Component("top")
+        top.add_child(tx)
+        top.add_child(rx)
+        sim = Simulator()
+        sim.add(top)
+        sim.step(500)  # long idle before the host shows up
+        tx.send_byte(protocol.SYNC_BYTE)
+        sim.run_until(lambda: rx.synced, max_cycles=1000)
+        assert rx.divisor == 5

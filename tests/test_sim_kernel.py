@@ -1,0 +1,206 @@
+"""Tests for the two-phase simulation kernel."""
+
+import pytest
+
+from repro.sim import Component, SimulationTimeout, Simulator, Tracer, Wire
+
+
+class Counter(Component):
+    """Increments an output wire every cycle."""
+
+    def __init__(self, name="counter"):
+        super().__init__(name)
+        self.out = self.wire("out", reset=0)
+
+    def eval(self, cycle):
+        self.out.drive(self.out.value + 1)
+
+
+class Follower(Component):
+    """Copies another wire with one cycle of latency."""
+
+    def __init__(self, source, name="follower"):
+        super().__init__(name)
+        self.source = source
+        self.out = self.wire("out", reset=0)
+
+    def eval(self, cycle):
+        self.out.drive(self.source.value)
+
+
+class TestWire:
+    def test_initial_value_is_reset(self):
+        w = Wire("w", reset=7)
+        assert w.value == 7
+
+    def test_drive_is_invisible_until_commit(self):
+        w = Wire("w", reset=0)
+        w.drive(5)
+        assert w.value == 0
+        w.commit()
+        assert w.value == 5
+
+    def test_reset_clears_pending_drive(self):
+        w = Wire("w", reset=3)
+        w.drive(9)
+        w.reset()
+        w.commit()
+        assert w.value == 3
+
+    def test_width_check_accepts_in_range(self):
+        w = Wire("w", width=4)
+        w.drive(15)
+        w.commit()
+        assert w.value == 15
+
+    def test_width_check_rejects_too_large(self):
+        w = Wire("w", width=4)
+        with pytest.raises(ValueError):
+            w.drive(16)
+
+    def test_width_check_rejects_negative(self):
+        w = Wire("w", width=4)
+        with pytest.raises(ValueError):
+            w.drive(-1)
+
+    def test_width_check_rejects_non_int(self):
+        w = Wire("w", width=4)
+        with pytest.raises(ValueError):
+            w.drive("x")
+
+    def test_unwidthed_wire_accepts_any_value(self):
+        w = Wire("w")
+        w.drive(("tuple", 1))
+        w.commit()
+        assert w.value == ("tuple", 1)
+
+
+class TestComponent:
+    def test_owned_wires_commit_through_component(self):
+        c = Counter()
+        c.eval(0)
+        c.commit()
+        assert c.out.value == 1
+
+    def test_children_evaluated_by_default_eval(self):
+        parent = Component("parent")
+        child = Counter("child")
+        parent.add_child(child)
+        parent.eval(0)
+        parent.commit()
+        assert child.out.value == 1
+
+    def test_reset_recurses(self):
+        parent = Component("parent")
+        child = Counter("child")
+        parent.add_child(child)
+        parent.eval(0)
+        parent.commit()
+        parent.reset()
+        assert child.out.value == 0
+
+    def test_iter_components_preorder(self):
+        parent = Component("a")
+        b = parent.add_child(Component("b"))
+        b.add_child(Component("c"))
+        names = [c.name for c in parent.iter_components()]
+        assert names == ["a", "b", "c"]
+
+
+class TestSimulator:
+    def test_step_advances_cycle_count(self):
+        sim = Simulator()
+        sim.step(5)
+        assert sim.cycle == 5
+
+    def test_counter_counts_cycles(self):
+        sim = Simulator()
+        c = sim.add(Counter())
+        sim.step(10)
+        assert c.out.value == 10
+
+    def test_two_phase_gives_one_cycle_latency(self):
+        sim = Simulator()
+        c = sim.add(Counter())
+        f = sim.add(Follower(c.out))
+        sim.step(5)
+        # follower lags the counter by exactly one clock
+        assert f.out.value == c.out.value - 1
+
+    def test_order_independence(self):
+        """Evaluation order must not change results (two-phase)."""
+        sim1 = Simulator()
+        c1 = sim1.add(Counter())
+        f1 = sim1.add(Follower(c1.out))
+        sim2 = Simulator()
+        f2 = Follower(None)  # placeholder, fixed below
+        c2 = Counter()
+        f2.source = c2.out
+        sim2.add(f2)
+        sim2.add(c2)
+        sim1.step(7)
+        sim2.step(7)
+        assert (c1.out.value, f1.out.value) == (c2.out.value, f2.out.value)
+
+    def test_double_add_is_ignored(self):
+        sim = Simulator()
+        c = Counter()
+        sim.add(c)
+        sim.add(c)
+        sim.step(3)
+        assert c.out.value == 3  # would be 6 if evaluated twice
+
+    def test_run_until_stops_on_predicate(self):
+        sim = Simulator()
+        c = sim.add(Counter())
+        spent = sim.run_until(lambda: c.out.value >= 4)
+        assert c.out.value == 4
+        assert spent == 4
+
+    def test_run_until_times_out(self):
+        sim = Simulator()
+        sim.add(Counter())
+        with pytest.raises(SimulationTimeout):
+            sim.run_until(lambda: False, max_cycles=10)
+
+    def test_reset_restores_cycle_zero(self):
+        sim = Simulator()
+        c = sim.add(Counter())
+        sim.step(5)
+        sim.reset()
+        assert sim.cycle == 0
+        assert c.out.value == 0
+
+    def test_elapsed_seconds_uses_clock(self):
+        sim = Simulator(clock_hz=1000.0)
+        sim.step(500)
+        assert sim.elapsed_seconds() == pytest.approx(0.5)
+
+    def test_watcher_called_each_cycle(self):
+        sim = Simulator()
+        seen = []
+        sim.add_watcher(seen.append)
+        sim.step(3)
+        assert seen == [1, 2, 3]
+
+
+class TestTracer:
+    def test_records_only_changes(self):
+        sim = Simulator()
+        c = sim.add(Counter())
+        w = Wire("static", reset=0)
+        tracer = Tracer([c.out, w])
+        sim.add_watcher(tracer.sample)
+        sim.step(3)
+        assert len(tracer.changes("counter.out")) == 3
+        assert tracer.changes("static") == []
+
+    def test_as_text_lists_events(self):
+        sim = Simulator()
+        c = sim.add(Counter())
+        tracer = Tracer([c.out])
+        sim.add_watcher(tracer.sample)
+        sim.step(2)
+        text = tracer.as_text()
+        assert "counter.out" in text
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,83 @@
+"""Tests for the Figure 6 address decoder."""
+
+import pytest
+
+from repro.system import AccessKind, AddressMap, standard_map
+from repro.system.address_map import IO_ADDRESS, NOTIFY_ADDRESS, WAIT_ADDRESS
+
+
+@pytest.fixture
+def paper_map():
+    # processor 1's view: other processor at flit 0x10, memory at 0x11
+    return standard_map(other_proc_flit=0x10, remote_mem_flit=0x11)
+
+
+class TestFigure6Ranges:
+    def test_local_range(self, paper_map):
+        for addr in (0, 512, 1023):
+            access = paper_map.classify(addr)
+            assert access.kind == AccessKind.LOCAL
+            assert access.offset == addr
+
+    def test_other_processor_range(self, paper_map):
+        access = paper_map.classify(1024)
+        assert access.kind == AccessKind.REMOTE
+        assert access.offset == 0
+        assert access.target_flit == 0x10
+        access = paper_map.classify(2047)
+        assert access.offset == 1023
+
+    def test_remote_memory_range(self, paper_map):
+        access = paper_map.classify(2048 + 5)
+        assert access.kind == AccessKind.REMOTE
+        assert access.offset == 5
+        assert access.target_flit == 0x11
+
+    def test_io_wait_notify_cells(self, paper_map):
+        assert paper_map.classify(IO_ADDRESS).kind == AccessKind.IO
+        assert paper_map.classify(WAIT_ADDRESS).kind == AccessKind.WAIT
+        assert paper_map.classify(NOTIFY_ADDRESS).kind == AccessKind.NOTIFY
+        assert IO_ADDRESS == 0xFFFF
+        assert WAIT_ADDRESS == 0xFFFE
+        assert NOTIFY_ADDRESS == 0xFFFD
+
+    def test_unmapped_is_invalid(self, paper_map):
+        assert paper_map.classify(3072).kind == AccessKind.INVALID
+        assert paper_map.classify(0x8000).kind == AccessKind.INVALID
+
+    def test_out_of_range_address_rejected(self, paper_map):
+        with pytest.raises(ValueError):
+            paper_map.classify(0x10000)
+        with pytest.raises(ValueError):
+            paper_map.classify(-1)
+
+
+class TestWindowManagement:
+    def test_overlapping_windows_rejected(self):
+        amap = AddressMap()
+        amap.add_window(1024, 1024, 0x10)
+        with pytest.raises(ValueError):
+            amap.add_window(2000, 100, 0x11)
+
+    def test_window_below_local_rejected(self):
+        amap = AddressMap()
+        with pytest.raises(ValueError):
+            amap.add_window(512, 100, 0x10)
+
+    def test_adjacent_windows_allowed(self):
+        amap = AddressMap()
+        amap.add_window(1024, 1024, 0x10)
+        amap.add_window(2048, 1024, 0x11)
+        assert amap.classify(2048).target_flit == 0x11
+
+    def test_custom_local_size(self):
+        amap = AddressMap(local_size=256)
+        amap.add_window(256, 256, 0x01)
+        assert amap.classify(255).kind == AccessKind.LOCAL
+        assert amap.classify(256).kind == AccessKind.REMOTE
+
+    def test_every_address_classifies(self, paper_map):
+        """Total function over the 16-bit space (sampled)."""
+        for addr in range(0, 0x10000, 97):
+            paper_map.classify(addr)
+        paper_map.classify(0xFFFF)

@@ -1,0 +1,94 @@
+"""Additional configuration and platform edge-case tests."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MultiNoCPlatform
+from repro.system import MultiNoC, SystemConfig
+
+
+class TestConfigEdgeCases:
+    def test_minimal_system_serial_plus_one_memory(self):
+        """A MultiNoC with no processors at all is a valid (if dull)
+        storage appliance: host <-> memory over the NoC."""
+        config = SystemConfig(
+            mesh=(2, 1), serial=(0, 0), processors={}, memories=[(1, 0)]
+        )
+        system = MultiNoC(config)
+        from repro.host import SerialSoftware
+
+        sim = system.make_simulator()
+        host = SerialSoftware(system).connect(sim)
+        host.sync()
+        host.write_memory((1, 0), 0, [5])
+        assert host.read_memory((1, 0), 0, 1) == [5]
+
+    def test_single_processor_no_memory(self):
+        config = SystemConfig(
+            mesh=(2, 1), serial=(0, 0), processors={1: (1, 0)}, memories=[]
+        )
+        system = MultiNoC(config)
+        # the processor's address map has no remote windows at all
+        amap = system.processor(1).address_map
+        assert amap.windows == []
+
+    def test_sparse_mesh_leaves_empty_nodes(self):
+        config = SystemConfig(
+            mesh=(3, 3),
+            serial=(0, 0),
+            processors={1: (2, 2)},
+            memories=[],
+        )
+        system = MultiNoC(config)
+        from repro.host import SerialSoftware
+
+        sim = system.make_simulator()
+        host = SerialSoftware(system).connect(sim)
+        host.run_program((2, 2), 1, __import__("repro.r8", fromlist=["assemble"]).assemble(
+            "CLR R0\nLDI R1, 8\nLDI R2, 0xFFFF\nST R1, R2, R0\nHALT"
+        ))
+        assert host.monitor(1).printf_values == [8]
+
+    def test_non_square_meshes(self):
+        for mesh in [(4, 1), (1, 4), (5, 2)]:
+            platform = MultiNoCPlatform(mesh=mesh, n_processors=1)
+            session = platform.launch()
+            session.host.sync()
+            session.run(1, "CLR R0\nLDI R1, 1\nLDI R2, 0xFFFF\nST R1, R2, R0\nHALT")
+            assert session.host.monitor(1).printf_values == [1], mesh
+
+    def test_custom_local_memory_size(self):
+        platform = MultiNoCPlatform.standard(local_words=512)
+        session = platform.launch()
+        session.host.sync()
+        session.write(1, 500, [9])
+        assert session.read(1, 500, 1) == [9]
+
+    def test_uart_divisor_override(self):
+        platform = MultiNoCPlatform.standard(uart_divisor=8)
+        system = platform.build()
+        assert system.serial.uart_tx.divisor == 8
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        width=st.integers(2, 4),
+        height=st.integers(2, 4),
+        data=st.data(),
+    )
+    def test_any_valid_placement_builds_and_syncs(self, width, height, data):
+        nodes = [(x, y) for x in range(width) for y in range(height)]
+        serial = data.draw(st.sampled_from(nodes))
+        rest = [n for n in nodes if n != serial]
+        n_procs = data.draw(st.integers(1, min(3, len(rest))))
+        procs = {i + 1: rest[i] for i in range(n_procs)}
+        config = SystemConfig(
+            mesh=(width, height), serial=serial, processors=procs, memories=[]
+        )
+        system = MultiNoC(config)
+        from repro.host import SerialSoftware
+
+        sim = system.make_simulator()
+        host = SerialSoftware(system).connect(sim)
+        host.sync()
+        assert system.serial.synced
