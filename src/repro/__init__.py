@@ -24,14 +24,18 @@ Quick start::
 
 from .core import MultiNoCPlatform, PlatformSession, Program
 from .system import MultiNoC, SystemConfig
+from .telemetry import KernelProfiler, MetricsRegistry, TelemetrySink
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "KernelProfiler",
+    "MetricsRegistry",
     "MultiNoC",
     "MultiNoCPlatform",
     "PlatformSession",
     "Program",
     "SystemConfig",
+    "TelemetrySink",
     "__version__",
 ]

@@ -54,12 +54,20 @@ def cmd_dis(args) -> int:
 
 
 def cmd_run(args) -> int:
+    from .r8.simulator import SimulatorError
+
     scanf_values = [int(v, 0) for v in args.scanf.split(",")] if args.scanf else []
     values = list(scanf_values)
     sim = R8Simulator(on_scanf=(lambda: values.pop(0)) if values else None)
     sim.load(_load_program(args.file))
     sim.activate()
-    sim.run(max_instructions=args.max_instructions)
+    try:
+        sim.run(max_instructions=args.max_instructions)
+    except SimulatorError as exc:
+        for value in sim.printed:
+            print(f"printf: {value} ({value:#06x})")
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     for value in sim.printed:
         print(f"printf: {value} ({value:#06x})")
     print(
@@ -101,7 +109,17 @@ def cmd_cc(args) -> int:
 def cmd_system(args) -> int:
     from .core import MultiNoCPlatform
 
-    session = MultiNoCPlatform.standard().launch()
+    telemetry = None
+    if args.trace or args.trace_jsonl or args.metrics:
+        from .telemetry import TelemetrySink
+
+        telemetry = TelemetrySink()
+    session = MultiNoCPlatform.standard().launch(telemetry=telemetry)
+    profiler = None
+    if args.profile:
+        from .telemetry import KernelProfiler
+
+        profiler = KernelProfiler().attach(session.sim)
     vcd = None
     if args.vcd:
         from .sim import VcdWriter
@@ -128,9 +146,50 @@ def cmd_system(args) -> int:
         f"halted at cycle {session.sim.cycle} "
         f"({session.sim.elapsed_seconds() * 1e3:.2f} ms at 25 MHz)"
     )
-    if vcd is not None:
-        print(f"serial-line waveform -> {vcd.write(args.vcd)}")
+    if args.stats:
+        _print_system_stats(session)
+    if args.metrics:
+        print(session.system.stats.registry.prometheus_text(), end="")
+    try:
+        if telemetry is not None and args.trace:
+            from .telemetry import write_chrome_trace
+
+            path = write_chrome_trace(
+                telemetry, args.trace, clock_hz=session.system.config.clock_hz
+            )
+            print(f"chrome trace ({len(telemetry)} events) -> {path}")
+        if telemetry is not None and args.trace_jsonl:
+            from .telemetry import write_jsonl
+
+            print(f"event log -> {write_jsonl(telemetry, args.trace_jsonl)}")
+        if vcd is not None:
+            print(f"serial-line waveform -> {vcd.write(args.vcd)}")
+    except OSError as exc:
+        print(f"error: cannot write export file: {exc}", file=sys.stderr)
+        return 1
+    if profiler is not None:
+        print(profiler.report())
     return 0
+
+
+def _print_system_stats(session) -> None:
+    """The --stats report: latency percentiles + mesh utilisation map."""
+    stats = session.system.stats
+    summary = stats.latency_summary()
+    print(
+        f"packets: {stats.packets_injected} injected, "
+        f"{stats.packets_delivered} delivered, "
+        f"{stats.in_flight_count} in flight"
+    )
+    print(
+        "latency (cycles): "
+        f"mean {summary['mean']:.1f}  p50 {summary['p50']:.0f}  "
+        f"p90 {summary['p90']:.0f}  p99 {summary['p99']:.0f}  "
+        f"max {summary['max']:.0f}"
+    )
+    width, height = session.system.config.mesh
+    print("mesh utilisation (top row = highest y):")
+    print(stats.heatmap(width, height, session.sim.cycle))
 
 
 def cmd_prototype(args) -> int:
@@ -179,6 +238,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scanf", help="comma-separated scanf answers")
     p.add_argument("--max-cycles", type=int, default=5_000_000)
     p.add_argument("--vcd", help="dump the serial lines to a VCD file")
+    p.add_argument(
+        "--trace", help="write a Chrome/Perfetto trace-event JSON file"
+    )
+    p.add_argument("--trace-jsonl", help="write the raw event log as JSONL")
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry as Prometheus text",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the latency summary and mesh utilisation heatmap",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile kernel wall-clock time per component",
+    )
     p.set_defaults(fn=cmd_system)
 
     p = sub.add_parser("prototype", help="Section 3 implementation report")

@@ -79,16 +79,28 @@ class MultiNoCPlatform:
         platform.config.validate()
         return platform
 
-    def build(self) -> MultiNoC:
+    def build(self, telemetry=None) -> MultiNoC:
         """Instantiate the hardware model only."""
-        return MultiNoC(self.config)
+        return MultiNoC(self.config, telemetry=telemetry)
 
-    def launch(self, baud_divisor: int = 4) -> "PlatformSession":
-        """Build the system, a simulator and a connected host."""
-        system = self.build()
+    def launch(self, baud_divisor: int = 4, telemetry=None) -> "PlatformSession":
+        """Build the system, a simulator and a connected host.
+
+        Pass ``telemetry=True`` (or a configured
+        :class:`~repro.telemetry.TelemetrySink`) to record structured
+        events across the NoC, the R8 cores and the host link; the sink
+        is available as ``session.telemetry`` afterwards.
+        """
+        if telemetry is True:
+            from ..telemetry import TelemetrySink
+
+            telemetry = TelemetrySink()
+        system = self.build(telemetry=telemetry)
         sim = system.make_simulator()
         host = SerialSoftware(system, baud_divisor=baud_divisor).connect(sim)
-        return PlatformSession(self, system, sim, host)
+        if telemetry is not None:
+            host.attach_telemetry(telemetry)
+        return PlatformSession(self, system, sim, host, telemetry=telemetry)
 
 
 @dataclass
@@ -99,6 +111,7 @@ class PlatformSession:
     system: MultiNoC
     sim: Simulator
     host: SerialSoftware
+    telemetry: Optional[object] = None
 
     def processor_address(self, pid: int) -> Address:
         return self.system.config.processors[pid]

@@ -67,6 +67,13 @@ class SerialSoftware(Component):
         self._sim: Optional[Simulator] = None
         self._cycle = 0
         self.synced = False
+        #: optional TelemetrySink; hooks are behind one None-check each
+        self.sink = None
+
+    def attach_telemetry(self, sink) -> None:
+        """Register the host as a track; transactions become spans."""
+        self.sink = sink
+        sink.track(self.name, process="host")
 
     # -- wiring ---------------------------------------------------------------
 
@@ -105,8 +112,20 @@ class SerialSoftware(Component):
             mon = self.monitor(message.proc)
             for word in message.words:
                 mon.log_printf(self._cycle, word)
+            if self.sink is not None:
+                self.sink.instant(
+                    self.name,
+                    "printf",
+                    self._cycle,
+                    proc=message.proc,
+                    words=list(message.words),
+                )
         elif isinstance(message, protocol.ScanfFrame):
             self.monitor(message.proc).log_scanf_request(self._cycle)
+            if self.sink is not None:
+                self.sink.instant(
+                    self.name, "scanf_request", self._cycle, proc=message.proc
+                )
             handler = self.scanf_handlers.get(message.proc)
             if handler is not None:
                 value = handler() & 0xFFFF
@@ -135,13 +154,23 @@ class SerialSoftware(Component):
 
     # -- the four host commands ---------------------------------------------------
 
+    def _span_start(self) -> int:
+        return self._require_sim().cycle
+
+    def _span_end(self, name: str, start: int, **args) -> None:
+        sim = self._require_sim()
+        self.sink.complete(self.name, name, start, sim.cycle - start, **args)
+
     def sync(self, max_cycles: int = 10_000) -> None:
         """Send the 0x55 baud-rate byte and wait for the board to lock."""
+        start = self._span_start() if self.sink is not None else 0
         self.uart_tx.send_byte(protocol.SYNC_BYTE)
         self._run_until(
             lambda: self.system.serial.synced, max_cycles, "baud sync"
         )
         self.synced = True
+        if self.sink is not None:
+            self._span_end("sync", start)
 
     def write_memory(
         self,
@@ -151,6 +180,7 @@ class SerialSoftware(Component):
         max_cycles: int = 2_000_000,
     ) -> None:
         """Write *words* into the target IP's memory, chunked as needed."""
+        start = self._span_start() if self.sink is not None else 0
         flit = _flit(target)
         offset = 0
         while offset < len(words):
@@ -164,6 +194,10 @@ class SerialSoftware(Component):
             max_cycles,
             "memory write drain",
         )
+        if self.sink is not None:
+            self._span_end(
+                "write_memory", start, address=address, words=len(words)
+            )
 
     def read_memory(
         self,
@@ -173,6 +207,7 @@ class SerialSoftware(Component):
         max_cycles: int = 2_000_000,
     ) -> List[int]:
         """Read *count* words from the target IP's memory."""
+        start = self._span_start() if self.sink is not None else 0
         flit = _flit(target)
         words: List[int] = []
         offset = 0
@@ -195,16 +230,21 @@ class SerialSoftware(Component):
                 )
             words.extend(reply.words)
             offset += chunk
+        if self.sink is not None:
+            self._span_end("read_memory", start, address=address, words=count)
         return words
 
     def activate(self, target: Target, max_cycles: int = 100_000) -> None:
         """Send the activate-processor command and let it land."""
+        start = self._span_start() if self.sink is not None else 0
         self.uart_tx.send_bytes(protocol.frame_activate(_flit(target)))
         self._run_until(
             lambda: not self.uart_tx.busy and self.system.idle,
             max_cycles,
             "activate",
         )
+        if self.sink is not None:
+            self._span_end("activate", start)
 
     def answer_scanf(self, value: int) -> None:
         """Answer the oldest pending scanf request manually."""

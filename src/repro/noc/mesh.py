@@ -86,6 +86,14 @@ class Mesh(Component):
             router.attach_output(Port.LOCAL, out)
             self.local_ports[(x, y)] = (into, out)
 
+    # -- telemetry -----------------------------------------------------------
+
+    def attach_telemetry(self, sink) -> None:
+        """Register every router as a track and enable its event hooks."""
+        for router in self.routers.values():
+            sink.track(router.name, process="noc")
+            router.sink = sink
+
     # -- queries ------------------------------------------------------------
 
     def router(self, address: Address) -> HermesRouter:

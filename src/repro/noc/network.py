@@ -29,9 +29,13 @@ class HermesNetwork(Component):
         buffer_depth: int = 2,
         routing_cycles: int = 7,
         stats: Optional[NetworkStats] = None,
+        telemetry=None,
     ):
         super().__init__(f"hermes{width}x{height}")
-        self.stats = stats if stats is not None else NetworkStats()
+        if stats is None:
+            registry = telemetry.metrics if telemetry is not None else None
+            stats = NetworkStats(registry=registry)
+        self.stats = stats
         self.mesh = Mesh(
             width,
             height,
@@ -47,6 +51,19 @@ class HermesNetwork(Component):
             ni.attach(to_router=into, from_router=out)
             self.interfaces[addr] = ni
             self.add_child(ni)
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def attach_telemetry(self, sink) -> None:
+        """Enable event hooks on every router and network interface."""
+        self.telemetry = sink
+        self.mesh.attach_telemetry(sink)
+        for ni in self.interfaces.values():
+            sink.track(ni.name, process="noc")
+            ni.sink = sink
 
     # -- convenience -------------------------------------------------------
 

@@ -29,6 +29,8 @@ class NetworkInterface(Component):
         super().__init__(name)
         self.address = address
         self.stats = stats
+        #: optional TelemetrySink; hooks are behind one None-check each
+        self.sink = None
         self.to_router: Optional[HandshakeTx] = None
         self.from_router: Optional[HandshakeTx] = None
 
@@ -134,6 +136,17 @@ class NetworkInterface(Component):
                 if self._tx_index >= len(self._tx_flits):
                     if self.stats is not None:
                         self.stats.packet_injected(self._tx_packet)
+                    if self.sink is not None:
+                        start = self._tx_packet.injected_cycle
+                        self.sink.complete(
+                            self.name,
+                            "inject",
+                            start if start is not None else cycle,
+                            cycle - start if start is not None else 0,
+                            target=f"{self._tx_packet.target[0]},"
+                            f"{self._tx_packet.target[1]}",
+                            flits=len(self._tx_flits),
+                        )
                     self._tx_packet = None
                     self._tx_in_flight = False
                     ch.tx.drive(0)
@@ -189,5 +202,18 @@ class NetworkInterface(Component):
         self.received.append(packet)
         if self.stats is not None:
             self.stats.packet_delivered(packet, self.address)
+        if self.sink is not None:
+            # stats matching (above) recovered the injection stamp, so
+            # the whole inject->deliver lifetime renders as one span
+            if packet.latency is not None:
+                self.sink.complete(
+                    self.name,
+                    "packet",
+                    packet.injected_cycle,
+                    packet.latency,
+                    flits=packet.size_flits,
+                )
+            else:
+                self.sink.instant(self.name, "deliver", cycle)
         self._rx_state = _RX_HEADER
         self._rx_flits = []

@@ -71,6 +71,10 @@ class HermesRouter(Component):
         self.buffer_depth = buffer_depth
         self.routing_cycles = routing_cycles
         self.stats = stats
+        #: optional TelemetrySink; every hook is behind one None-check
+        self.sink = None
+        self._now = 0
+        self._conn_opened = [0] * self.N_PORTS
 
         self.in_ch: List[Optional[HandshakeTx]] = [None] * self.N_PORTS
         self.out_ch: List[Optional[HandshakeTx]] = [None] * self.N_PORTS
@@ -104,6 +108,8 @@ class HermesRouter(Component):
     # -- simulation ----------------------------------------------------------
 
     def eval(self, cycle: int) -> None:
+        if self.sink is not None:
+            self._now = cycle
         self._eval_senders()
         self._eval_control()
         self._eval_receivers()
@@ -180,6 +186,15 @@ class HermesRouter(Component):
         self._in_flight[out_port] = False
         if self.stats is not None:
             self.stats.connection_closed(self.address)
+        if self.sink is not None:
+            opened = self._conn_opened[out_port]
+            self.sink.complete(
+                self.name,
+                f"hop>{Port(out_port).name}",
+                opened,
+                self._now - opened,
+                in_port=Port(in_port).name,
+            )
 
     # -- control logic (arbitration + XY routing) ---------------------------
 
@@ -218,8 +233,25 @@ class HermesRouter(Component):
                 self.out_owner[out_port] = in_port
                 if self.stats is not None:
                     self.stats.connection_opened(self.address)
-            elif self.stats is not None:
-                self.stats.routing_blocked(self.address)
+                if self.sink is not None:
+                    self._conn_opened[out_port] = self._now
+                    self.sink.instant(
+                        self.name,
+                        "route",
+                        self._now,
+                        target=f"{target[0]},{target[1]}",
+                        out=Port(out_port).name,
+                    )
+            else:
+                if self.stats is not None:
+                    self.stats.routing_blocked(self.address)
+                if self.sink is not None:
+                    self.sink.instant(
+                        self.name,
+                        "route_blocked",
+                        self._now,
+                        out=Port(out_port).name,
+                    )
 
     # -- input ports (handshake receivers) -----------------------------------
 

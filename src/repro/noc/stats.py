@@ -3,47 +3,77 @@
 Routers and network interfaces call into a shared :class:`NetworkStats`
 instance; benchmarks read the aggregates (latency distribution, accepted
 throughput, blocking) from it.
+
+Since the telemetry refactor the counters live in a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, so the NoC aggregates
+share an export path (Prometheus text, JSON snapshot) with any metric a
+component registers ad hoc.  The benchmark-facing API is unchanged: the
+per-flit hook sites still mutate plain dicts (aliased from the
+registry's counters), so the hot path costs exactly what it did before.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..telemetry.metrics import MetricsRegistry
 from .flit import FLIT_BITS
 from .packet import Packet
 
 Address = Tuple[int, int]
 
 
-@dataclass
 class NetworkStats:
     """Counters shared across routers and network interfaces."""
 
-    flits_received: Dict[Tuple[Address, int], int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
-    flits_sent: Dict[Tuple[Address, int], int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
-    stall_cycles: Dict[Tuple[Address, int], int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
-    blocked_routings: Dict[Address, int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
-    connections_opened: Dict[Address, int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
-    connections_closed: Dict[Address, int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
-    packets_injected: int = 0
-    packets_delivered: int = 0
-    latencies: List[int] = field(default_factory=list)
-    delivered_flits: int = 0
-    _in_flight: Dict[tuple, list] = field(default_factory=lambda: defaultdict(list))
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        # Per-flit hooks run on every handshake, so the hook methods
+        # mutate the counters' label dicts directly (zero extra cost).
+        self.flits_received = r.counter(
+            "noc_flits_received_total", "flits accepted per (router, port)"
+        ).samples
+        self.flits_sent = r.counter(
+            "noc_flits_sent_total", "flits emitted per (router, port)"
+        ).samples
+        self.stall_cycles = r.counter(
+            "noc_stall_cycles_total", "cycles a full buffer refused a flit"
+        ).samples
+        self.blocked_routings = r.counter(
+            "noc_routing_blocked_total", "arbitration rounds lost to a busy port"
+        ).samples
+        self.connections_opened = r.counter(
+            "noc_connections_opened_total", "wormhole connections established"
+        ).samples
+        self.connections_closed = r.counter(
+            "noc_connections_closed_total", "wormhole connections torn down"
+        ).samples
+        self._packets_injected = r.counter(
+            "noc_packets_injected_total", "packets fully injected by NIs"
+        )
+        self._packets_delivered = r.counter(
+            "noc_packets_delivered_total", "packets fully reassembled by NIs"
+        )
+        self._delivered_flits = r.counter(
+            "noc_delivered_flits_total", "on-wire flits of delivered packets"
+        )
+        self._unmatched = r.counter(
+            "noc_unmatched_deliveries_total",
+            "deliveries with no matching injection stamp",
+        )
+        self._pruned = r.counter(
+            "noc_packets_pruned_total",
+            "in-flight stamps dropped as undeliverable",
+        )
+        self._latency = r.histogram(
+            "noc_packet_latency_cycles", "injection-to-delivery latency"
+        )
+        self.latencies: List[int] = self._latency.values
+        self._in_flight: Dict[tuple, list] = {}
+        r.gauge(
+            "noc_packets_in_flight", "injected packets not yet delivered"
+        ).set_function(lambda: self.in_flight_count)
 
     # -- hooks called by the models ---------------------------------------
 
@@ -73,32 +103,92 @@ class NetworkStats:
         (target, payload) — identical concurrent packets are
         interchangeable for latency purposes.
         """
-        self.packets_injected += 1
+        self._packets_injected.inc()
         key = (packet.target, tuple(packet.payload))
-        self._in_flight[key].append(packet.injected_cycle)
+        self._in_flight.setdefault(key, []).append(packet.injected_cycle)
 
     def packet_delivered(self, packet: Packet, at: Address) -> None:
-        self.packets_delivered += 1
-        self.delivered_flits += packet.size_flits
+        self._packets_delivered.inc()
+        self._delivered_flits.inc(packet.size_flits)
         key = (packet.target, tuple(packet.payload))
         pending = self._in_flight.get(key)
         if pending:
             packet.injected_cycle = pending.pop(0)
+            if not pending:
+                # drop the empty list: long runs with many distinct
+                # payloads must not accumulate dead keys
+                del self._in_flight[key]
+        else:
+            self._unmatched.inc()
         if packet.latency is not None:
-            self.latencies.append(packet.latency)
+            self._latency.record(packet.latency)
+
+    # -- in-flight bookkeeping ---------------------------------------------
+
+    @property
+    def in_flight_count(self) -> int:
+        """Injected packets whose delivery has not (yet) been matched."""
+        return sum(len(stamps) for stamps in self._in_flight.values())
+
+    @property
+    def packets_dropped(self) -> int:
+        """Stamps pruned as undeliverable (lost regions, dead endpoints)."""
+        return self._pruned.value
+
+    @property
+    def unmatched_deliveries(self) -> int:
+        """Deliveries that found no injection stamp to pair with."""
+        return self._unmatched.value
+
+    def prune_in_flight(self, older_than_cycle: int) -> int:
+        """Drop stamps injected before *older_than_cycle*; returns count.
+
+        Packets that will never be delivered (their target detached, the
+        payload lost to reconfiguration) would otherwise pin their
+        injection stamps forever.  Stress harnesses call this
+        periodically with a horizon well past the worst-case latency.
+        """
+        dropped = 0
+        for key in list(self._in_flight):
+            stamps = self._in_flight[key]
+            kept = [
+                s for s in stamps if s is None or s >= older_than_cycle
+            ]
+            dropped += len(stamps) - len(kept)
+            if kept:
+                self._in_flight[key] = kept
+            else:
+                del self._in_flight[key]
+        if dropped:
+            self._pruned.inc(dropped)
+        return dropped
 
     # -- aggregates ---------------------------------------------------------
 
     @property
+    def packets_injected(self) -> int:
+        return self._packets_injected.value
+
+    @property
+    def packets_delivered(self) -> int:
+        return self._packets_delivered.value
+
+    @property
+    def delivered_flits(self) -> int:
+        return self._delivered_flits.value
+
+    @property
     def average_latency(self) -> float:
         """Mean injection-to-delivery latency in clock cycles."""
-        if not self.latencies:
-            return 0.0
-        return sum(self.latencies) / len(self.latencies)
+        return self._latency.mean
 
     @property
     def max_latency(self) -> int:
-        return max(self.latencies) if self.latencies else 0
+        return int(self._latency.max)
+
+    def latency_summary(self) -> Dict[str, float]:
+        """count/mean/min/max/p50/p90/p99 of the latency distribution."""
+        return self._latency.summary()
 
     def router_flits_sent(self, router: Address) -> int:
         """Total flits a router pushed out across all its ports."""

@@ -70,6 +70,12 @@ class R8Cpu(Component):
         self.cycles_active = 0
         self.cycles_stalled = 0
         self.instructions_retired = 0
+        #: optional TelemetrySink; one None-check per active cycle
+        self.sink = None
+        self._now = 0
+        self._burst_start: Optional[int] = None
+        self._burst_base = 0
+        self._stall_start: Optional[int] = None
 
     # -- control ------------------------------------------------------------
 
@@ -117,11 +123,15 @@ class R8Cpu(Component):
         self.cycles_active = 0
         self.cycles_stalled = 0
         self.instructions_retired = 0
+        self._burst_start = None
+        self._stall_start = None
 
     def eval(self, cycle: int) -> None:
         if self._fsm == S_HALT:
             return
         self.cycles_active += 1
+        if self.sink is not None:
+            self._telemetry_tick(cycle)
         if self._fsm == S_FETCH:
             if self.paused:
                 self.cycles_stalled += 1
@@ -147,6 +157,43 @@ class R8Cpu(Component):
         self._instr = None
         self._txn = None
         self._fsm = next_state
+        if next_state == S_HALT and self.sink is not None:
+            self._end_burst()
+
+    # -- telemetry (all under a single `if self.sink` in eval) ---------------
+
+    def _telemetry_tick(self, cycle: int) -> None:
+        """Track execution bursts and stall spans; runs once per active
+        cycle, only while a sink is attached."""
+        self._now = cycle
+        if self._burst_start is None:
+            self._burst_start = cycle
+            self._burst_base = self.instructions_retired
+            self.sink.instant(self.name, "activate", cycle)
+        stalled = self.stalled or (self.paused and self._fsm == S_FETCH)
+        if stalled:
+            if self._stall_start is None:
+                self._stall_start = cycle
+        elif self._stall_start is not None:
+            self.sink.complete(
+                self.name,
+                "stall",
+                self._stall_start,
+                cycle - self._stall_start,
+            )
+            self._stall_start = None
+
+    def _end_burst(self) -> None:
+        if self._burst_start is None:
+            return
+        self.sink.complete(
+            self.name,
+            "exec",
+            self._burst_start,
+            self._now + 1 - self._burst_start,
+            retired=self.instructions_retired - self._burst_base,
+        )
+        self._burst_start = None
 
     def _do_exec(self) -> None:
         instr = self._instr

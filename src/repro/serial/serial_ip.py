@@ -50,6 +50,16 @@ class SerialIp(Component):
         self._frame: List[int] = []
         self.frames_processed = 0
         self.dropped_packets: List[Packet] = []
+        #: optional TelemetrySink; hooks are behind one None-check each
+        self.sink = None
+        self._now = 0
+
+    def attach_telemetry(self, sink) -> None:
+        """Register this IP (and its NI) as tracks; enable hooks."""
+        self.sink = sink
+        sink.track(self.name, process="serial")
+        sink.track(self.ni.name, process="noc")
+        self.ni.sink = sink
 
     @property
     def synced(self) -> bool:
@@ -66,6 +76,8 @@ class SerialIp(Component):
         )
 
     def eval(self, cycle: int) -> None:
+        if self.sink is not None:
+            self._now = cycle
         super().eval(cycle)
         if self.uart_rx.synced:
             # Match the board UART transmit rate to the learned baud rate.
@@ -113,6 +125,14 @@ class SerialIp(Component):
             raise protocol.ProtocolError(f"unknown command {cmd:#04x}")
         self.ni.send_packet(packet)
         self.frames_processed += 1
+        if self.sink is not None:
+            self.sink.instant(
+                self.name,
+                "host_frame",
+                self._now,
+                command=protocol.HostCommand(cmd).name,
+                target=f"{target[0]},{target[1]}",
+            )
 
     # -- NoC -> host -------------------------------------------------------------
 
@@ -141,3 +161,10 @@ class SerialIp(Component):
                 self.dropped_packets.append(packet)
                 continue
             self.uart_tx.send_bytes(frame)
+            if self.sink is not None:
+                self.sink.instant(
+                    self.name,
+                    "board_reply",
+                    self._now,
+                    reply=protocol.BoardReply(frame[0]).name,
+                )

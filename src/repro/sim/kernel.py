@@ -34,6 +34,10 @@ class Simulator:
         self.cycle = 0
         self._components: List[Component] = []
         self._watchers: List[Callable[[int], None]] = []
+        #: optional KernelProfiler (see repro.telemetry.profiler); when
+        #: set, step() takes the instrumented path — the plain loop is
+        #: untouched so disabled profiling costs one None-check per call.
+        self.profiler = None
 
     # -- construction ----------------------------------------------------
 
@@ -61,6 +65,8 @@ class Simulator:
 
     def step(self, cycles: int = 1) -> int:
         """Advance the simulation by *cycles* clock cycles."""
+        if self.profiler is not None:
+            return self._step_profiled(cycles)
         components = self._components
         watchers = self._watchers
         for _ in range(cycles):
@@ -72,6 +78,22 @@ class Simulator:
             self.cycle = cyc + 1
             for fn in watchers:
                 fn(self.cycle)
+        return self.cycle
+
+    def _step_profiled(self, cycles: int) -> int:
+        """Instrumented twin of :meth:`step`: every component eval,
+        commit and watcher call is timed by the attached profiler."""
+        prof = self.profiler
+        for _ in range(cycles):
+            cyc = self.cycle
+            for c in self._components:
+                prof.timed_eval(c, cyc)
+            for c in self._components:
+                prof.timed_commit(c)
+            self.cycle = cyc + 1
+            for fn in self._watchers:
+                prof.timed_watcher(fn, self.cycle)
+            prof.cycles += 1
         return self.cycle
 
     def run_until(

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import io
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from .wire import Wire
 
@@ -22,14 +24,22 @@ class Tracer:
     """Records value changes on a set of wires.
 
     Attach with ``sim.add_watcher(tracer.sample)``.  Only *changes* are
-    stored, so long idle stretches are cheap.
+    stored, so long idle stretches are cheap.  For unbounded runs pass
+    ``max_events``: the tracer becomes a ring buffer keeping the newest
+    events (``dropped`` counts the discarded oldest ones).
     """
 
     wires: Sequence[Wire]
-    events: List[TraceEvent] = field(default_factory=list)
+    max_events: Optional[int] = None
+    events: Union[List[TraceEvent], Deque[TraceEvent]] = field(
+        default_factory=list
+    )
+    dropped: int = 0
     _last: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.max_events is not None and not isinstance(self.events, deque):
+            self.events = deque(self.events, maxlen=self.max_events)
         # Baseline at attach time: only subsequent *changes* are events.
         for w in self.wires:
             self._last[w.name] = w.value
@@ -38,6 +48,11 @@ class Tracer:
         for w in self.wires:
             if self._last.get(w.name) != w.value:
                 self._last[w.name] = w.value
+                if (
+                    self.max_events is not None
+                    and len(self.events) == self.max_events
+                ):
+                    self.dropped += 1
                 self.events.append(TraceEvent(cycle, w.name, w.value))
 
     def changes(self, wire_name: str) -> List[Tuple[int, Any]]:
@@ -49,3 +64,14 @@ class Tracer:
         return "\n".join(
             f"{e.cycle:>8}  {e.wire:<40} {e.value!r}" for e in self.events
         )
+
+    def as_csv(self) -> str:
+        """``cycle,wire,value`` lines with a header, for offline analysis."""
+        out = io.StringIO()
+        out.write("cycle,wire,value\r\n")
+        for e in self.events:
+            wire = e.wire
+            if "," in wire or '"' in wire:
+                wire = '"' + wire.replace('"', '""') + '"'
+            out.write(f"{e.cycle},{wire},{e.value}\r\n")
+        return out.getvalue()

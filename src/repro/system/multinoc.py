@@ -26,12 +26,14 @@ Address = Tuple[int, int]
 class MultiNoC(Component):
     """A complete MultiNoC instance built from a :class:`SystemConfig`."""
 
-    def __init__(self, config: Optional[SystemConfig] = None):
+    def __init__(self, config: Optional[SystemConfig] = None, telemetry=None):
         config = config if config is not None else SystemConfig.paper()
         config.validate()
         super().__init__("multinoc")
         self.config = config
-        self.stats = NetworkStats()
+        self.telemetry = telemetry
+        registry = telemetry.metrics if telemetry is not None else None
+        self.stats = NetworkStats(registry=registry)
 
         width, height = config.mesh
         self.mesh = Mesh(
@@ -84,6 +86,22 @@ class MultiNoC(Component):
             self._attach(mem.ni, addr)
             self.memories.append(mem)
             self.add_child(mem)
+
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def attach_telemetry(self, sink) -> None:
+        """Enable event hooks on every router, NI, CPU and the Serial IP."""
+        self.telemetry = sink
+        self.mesh.attach_telemetry(sink)
+        self.serial.attach_telemetry(sink)
+        for proc in self.processors.values():
+            proc.attach_telemetry(sink)
+        for mem in self.memories:
+            sink.track(mem.ni.name, process="noc")
+            mem.ni.sink = sink
 
     # -- construction helpers ------------------------------------------------
 

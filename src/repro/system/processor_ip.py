@@ -89,6 +89,28 @@ class ProcessorIp(Component):
         self._proc_mem_used = False
         self.dropped_packets: List[Packet] = []
         self.activations = 0
+        #: optional TelemetrySink; hooks are behind one None-check each
+        self.sink = None
+        self._now = 0
+        self._wait_start: Optional[int] = None
+        self._remote_start = 0
+        self._scanf_start = 0
+
+    # ======================= telemetry =====================================
+
+    def attach_telemetry(self, sink) -> None:
+        """Register tracks for this IP, its core and its NI; enable hooks."""
+        self.sink = sink
+        sink.track(self.name, process="cpu")
+        sink.track(self.cpu.name, process="cpu")
+        self.cpu.sink = sink
+        sink.track(self.ni.name, process="noc")
+        self.ni.sink = sink
+        metrics = sink.metrics
+        for stat in ("instructions_retired", "cycles_active", "cycles_stalled"):
+            metrics.gauge(
+                f"cpu_{self.proc_id}_{stat}", f"R8 core {stat}"
+            ).set_function(lambda cpu=self.cpu, s=stat: getattr(cpu, s))
 
     # ================= MemoryBus protocol (called by the R8 core) ==========
 
@@ -114,6 +136,8 @@ class ProcessorIp(Component):
             )
             self._pending = txn
             self._pending_kind = AccessKind.REMOTE
+            if self.sink is not None:
+                self._remote_start = self._now
         elif access.kind == AccessKind.IO:
             # LD from FFFF = scanf (paper Section 2.4, I/O Operations)
             self.ni.send_packet(
@@ -123,6 +147,8 @@ class ProcessorIp(Component):
             )
             self._pending = txn
             self._pending_kind = AccessKind.IO
+            if self.sink is not None:
+                self._scanf_start = self._now
         else:
             raise RuntimeError(
                 f"{self.name}: load from invalid address {addr:#06x} "
@@ -154,6 +180,8 @@ class ProcessorIp(Component):
             )
             self._pending = txn
             self._pending_kind = AccessKind.IO
+            if self.sink is not None:
+                self.sink.instant(self.name, "printf", self._now, value=value)
         elif access.kind == AccessKind.NOTIFY:
             # ST to FFFD: wake processor number <value>
             peer = self._peer_flit(value)
@@ -162,14 +190,20 @@ class ProcessorIp(Component):
             )
             self._pending = txn
             self._pending_kind = AccessKind.NOTIFY
+            if self.sink is not None:
+                self.sink.instant(self.name, "notify_send", self._now, to=value)
         elif access.kind == AccessKind.WAIT:
             # ST to FFFE: block until notify from processor number <value>
             if self._consume_notify(value):
                 txn.complete()
+                if self.sink is not None:
+                    self.sink.complete(self.name, "wait", self._now, 0, on=value)
             else:
                 self._pending = txn
                 self._pending_kind = AccessKind.WAIT
                 self._wait_source = value
+                if self.sink is not None:
+                    self._wait_start = self._now
         else:
             raise RuntimeError(
                 f"{self.name}: store to invalid address {addr:#06x}"
@@ -194,6 +228,8 @@ class ProcessorIp(Component):
     # ======================= simulation ========================================
 
     def eval(self, cycle: int) -> None:
+        if self.sink is not None:
+            self._now = cycle
         super().eval(cycle)  # cpu first (bus calls), then ni
         self._complete_posted_ops()
         self._handle_incoming(cycle)
@@ -213,6 +249,7 @@ class ProcessorIp(Component):
         self._proc_mem_used = False
         self.dropped_packets = []
         self.activations = 0
+        self._wait_start = None
 
     # -- posted operations (writes, printf, notify) complete on injection ----
 
@@ -246,6 +283,8 @@ class ProcessorIp(Component):
             if isinstance(message, services.Activate):
                 self.cpu.activate()
                 self.activations += 1
+                if self.sink is not None:
+                    self.sink.instant(self.name, "activate_packet", cycle)
             elif isinstance(message, services.ReadReturn):
                 self._complete_read(message.words)
             elif isinstance(message, services.ScanfReturn):
@@ -270,6 +309,13 @@ class ProcessorIp(Component):
             raise RuntimeError(f"{self.name}: unexpected read return")
         self._pending.complete(words[0] if words else 0)
         self._clear_pending()
+        if self.sink is not None:
+            self.sink.complete(
+                self.name,
+                "remote_read",
+                self._remote_start,
+                self._now - self._remote_start,
+            )
 
     def _complete_scanf(self, value: int) -> None:
         if (
@@ -280,8 +326,18 @@ class ProcessorIp(Component):
             raise RuntimeError(f"{self.name}: unexpected scanf return")
         self._pending.complete(value)
         self._clear_pending()
+        if self.sink is not None:
+            self.sink.complete(
+                self.name,
+                "scanf",
+                self._scanf_start,
+                self._now - self._scanf_start,
+                value=value,
+            )
 
     def _handle_notify(self, source: int) -> None:
+        if self.sink is not None:
+            self.sink.instant(self.name, "notify_recv", self._now, source=source)
         # A blocked ST-to-FFFE waiting on this source?
         if (
             self._pending is not None
@@ -290,6 +346,15 @@ class ProcessorIp(Component):
         ):
             self._pending.complete()
             self._clear_pending()
+            if self.sink is not None and self._wait_start is not None:
+                self.sink.complete(
+                    self.name,
+                    "wait",
+                    self._wait_start,
+                    self._now - self._wait_start,
+                    on=source,
+                )
+                self._wait_start = None
             return
         # A wait *packet* pause?
         if self.cpu.paused and self._wait_source == source:

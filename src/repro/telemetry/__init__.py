@@ -1,0 +1,34 @@
+"""Unified observability layer: events, metrics, exporters, profiler.
+
+One :class:`TelemetrySink` instruments the whole platform — the packet
+lifecycle across routers and network interfaces, R8 execution (bursts,
+stalls, traps), host serial transactions — while the
+:class:`MetricsRegistry` carries the numeric aggregates
+(:class:`~repro.noc.stats.NetworkStats` is built on it).  Exporters turn
+a sink into a Chrome-trace/Perfetto JSON, a JSONL event log or a
+Prometheus text dump, and :class:`KernelProfiler` measures where the
+simulator's wall-clock time goes.
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy and workflows.
+"""
+
+from .events import Event, Span, TelemetrySink
+from .export import chrome_trace, write_chrome_trace, write_jsonl, write_prometheus
+from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
+from .profiler import KernelProfiler
+
+__all__ = [
+    "Counter",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "MetricError",
+    "MetricsRegistry",
+    "Span",
+    "TelemetrySink",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

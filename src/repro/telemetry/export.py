@@ -1,0 +1,111 @@
+"""Exporters: JSONL event log, Chrome trace-event / Perfetto JSON,
+Prometheus text.
+
+The Chrome trace-event format (the JSON flavour Perfetto and
+``chrome://tracing`` both load) maps telemetry concepts directly:
+
+* each registered *process* ("noc", "cpu", "host", "serial") becomes a
+  ``pid`` with a ``process_name`` metadata record,
+* each *track* (one router, one CPU, the host) becomes a ``tid`` with a
+  ``thread_name`` metadata record,
+* span/instant/counter events pass through with their phase letter.
+
+Timestamps: the trace-event ``ts`` field is in microseconds.  With a
+``clock_hz`` the cycle stamps are converted to real simulated time;
+without one, one cycle is rendered as one microsecond (relative timing
+is what matters in a viewer).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .events import TelemetrySink
+
+PathLike = Union[str, Path]
+
+
+def chrome_trace(
+    sink: TelemetrySink, clock_hz: Optional[float] = None
+) -> Dict[str, Any]:
+    """Build the trace-event JSON document as a dict."""
+    scale = 1e6 / clock_hz if clock_hz else 1.0
+    pids: Dict[str, int] = {}
+    trace_events: List[Dict[str, Any]] = []
+
+    def pid_of(process: str) -> int:
+        if process not in pids:
+            pids[process] = len(pids) + 1
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pids[process],
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        return pids[process]
+
+    track_ids: Dict[str, tuple] = {}
+    for track, (process, tid) in sink.tracks.items():
+        pid = pid_of(process)
+        track_ids[track] = (pid, tid)
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+
+    for event in sink.events:
+        pid, tid = track_ids[event.track]
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "ph": event.ph,
+            "ts": event.ts * scale,
+            "pid": pid,
+            "tid": tid,
+        }
+        if event.ph == "X":
+            record["dur"] = (event.dur or 0) * scale
+        if event.ph == "i":
+            record["s"] = "t"  # thread-scoped instant
+        if event.args:
+            record["args"] = event.args
+        trace_events.append(record)
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    sink: TelemetrySink, path: PathLike, clock_hz: Optional[float] = None
+) -> Path:
+    """Write a ``.json`` file that loads in Perfetto / chrome://tracing."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(sink, clock_hz=clock_hz)))
+    return path
+
+
+def write_jsonl(sink: TelemetrySink, path: PathLike) -> Path:
+    """Write one JSON object per event — greppable, streamable."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for event in sink.events:
+            fh.write(json.dumps(event.as_dict()))
+            fh.write("\n")
+    return path
+
+
+def write_prometheus(sink: TelemetrySink, path: PathLike) -> Path:
+    """Write the metrics registry in Prometheus exposition format."""
+    path = Path(path)
+    path.write_text(sink.metrics.prometheus_text())
+    return path

@@ -1,0 +1,235 @@
+"""Metrics registry: counters, gauges and histograms.
+
+The registry is the numeric half of the telemetry layer (events are the
+temporal half).  :class:`~repro.noc.stats.NetworkStats` is built on top
+of it, so the NoC's flit/latency aggregates and any metric a component
+registers ad hoc share one namespace and one export path.
+
+Hot-path note: counters expose their per-label storage as a plain
+``defaultdict`` (:attr:`Counter.samples`), so a component may alias it
+and do ``samples[key] += 1`` directly — the exact cost of the seed's
+hand-rolled dicts, with no method-call overhead per flit.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Hashable, List, Optional
+
+
+class MetricError(Exception):
+    """Name registered twice with different kinds, or bad arguments."""
+
+
+class Metric:
+    """Common naming/help plumbing for all metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+
+
+class Counter(Metric):
+    """Monotonically increasing count, optionally split by label."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._value = 0
+        #: per-label counts; alias this for zero-overhead hot paths
+        self.samples: Dict[Hashable, int] = defaultdict(int)
+
+    def inc(self, amount: int = 1, label: Optional[Hashable] = None) -> None:
+        if label is None:
+            self._value += amount
+        else:
+            self.samples[label] += amount
+
+    @property
+    def value(self) -> int:
+        """Total across the unlabelled count and every label."""
+        return self._value + sum(self.samples.values())
+
+
+class Gauge(Metric):
+    """A value that can go up and down (queue depth, in-flight count)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self.value: float = 0
+        self._callback = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def set_function(self, fn) -> None:
+        """Compute the gauge on read (export time) instead of on write."""
+        self._callback = fn
+
+    def read(self) -> float:
+        return self._callback() if self._callback is not None else self.value
+
+
+class Histogram(Metric):
+    """Distribution with exact percentile summaries.
+
+    Stores raw samples (the seed's latency list did the same); use
+    :meth:`percentile` / :meth:`summary` for the aggregate view.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        #: raw samples; NetworkStats aliases this as its latency list
+        self.values: List[float] = []
+
+    def record(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile with linear interpolation, ``0 <= p <= 100``."""
+        if not 0 <= p <= 100:
+            raise MetricError(f"percentile {p} outside [0, 100]")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (len(ordered) - 1) * p / 100.0
+        lo = int(rank)
+        frac = rank - lo
+        if lo + 1 >= len(ordered):
+            return float(ordered[-1])
+        return ordered[lo] * (1 - frac) + ordered[lo + 1] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Namespace of metrics; registration is idempotent by (name, kind)."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise MetricError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    # -- export -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly dump of every metric's current state."""
+        out: Dict[str, Any] = {}
+        for m in self:
+            if isinstance(m, Counter):
+                out[m.name] = {
+                    "kind": m.kind,
+                    "value": m.value,
+                    "labels": {_label_str(k): v for k, v in m.samples.items()},
+                }
+            elif isinstance(m, Gauge):
+                out[m.name] = {"kind": m.kind, "value": m.read()}
+            elif isinstance(m, Histogram):
+                out[m.name] = {"kind": m.kind, **m.summary()}
+        return out
+
+    def prometheus_text(self) -> str:
+        """Prometheus exposition-format dump of every metric."""
+        lines: List[str] = []
+        for m in self:
+            if m.help:
+                lines.append(f"# HELP {m.name} {m.help}")
+            lines.append(f"# TYPE {m.name} {m.kind}")
+            if isinstance(m, Counter):
+                lines.append(f"{m.name} {m.value}")
+                for label, value in sorted(
+                    m.samples.items(), key=lambda kv: _label_str(kv[0])
+                ):
+                    lines.append(
+                        f'{m.name}{{label="{_label_str(label)}"}} {value}'
+                    )
+            elif isinstance(m, Gauge):
+                lines.append(f"{m.name} {m.read()}")
+            elif isinstance(m, Histogram):
+                s = m.summary()
+                for q in (50, 90, 99):
+                    lines.append(
+                        f'{m.name}{{quantile="0.{q}"}} {m.percentile(q)}'
+                    )
+                lines.append(f"{m.name}_sum {m.total}")
+                lines.append(f"{m.name}_count {s['count']}")
+        return "\n".join(lines) + "\n"
+
+
+def _label_str(label: Hashable) -> str:
+    """Stable, quote-free text form of an arbitrary hashable label."""
+    if isinstance(label, tuple):
+        return "/".join(_label_str(part) for part in label)
+    return str(label).replace('"', "'")

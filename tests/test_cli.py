@@ -98,12 +98,81 @@ class TestCc:
         assert "printf: 42" in capsys.readouterr().out
 
 
+class TestRunFailure:
+    def test_nonhalting_program_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "spin.asm"
+        path.write_text("loop:   JMPD loop\n")
+        assert main(["run", str(path), "--max-instructions", "50"]) == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "halted" not in captured.out
+
+    def test_printf_values_still_reported_on_failure(self, tmp_path, capsys):
+        path = tmp_path / "partial.asm"
+        path.write_text(
+            "        CLR  R0\n"
+            "        LDI  R1, 9\n"
+            "        LDI  R2, 0xFFFF\n"
+            "        ST   R1, R2, R0\n"
+            "loop:   JMPD loop\n"
+        )
+        assert main(["run", str(path), "--max-instructions", "50"]) == 1
+        assert "printf: 9" in capsys.readouterr().out
+
+
 class TestSystem:
     def test_full_platform_run(self, asm_file, capsys):
         assert main(["system", str(asm_file), "--proc", "2"]) == 0
         out = capsys.readouterr().out
         assert "P2 printf" in out
         assert "halted at cycle" in out
+
+    def test_stats_report(self, asm_file, capsys):
+        assert main(["system", str(asm_file), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "packets:" in out and "in flight" in out
+        assert "latency (cycles):" in out and "p99" in out
+        assert "mesh utilisation" in out
+
+    def test_trace_and_jsonl_export(self, asm_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "out.json"
+        jsonl = tmp_path / "out.jsonl"
+        assert (
+            main(
+                [
+                    "system",
+                    str(asm_file),
+                    "--trace",
+                    str(trace),
+                    "--trace-jsonl",
+                    str(jsonl),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "chrome trace" in out and "event log" in out
+        doc = json.loads(trace.read_text())
+        assert all(
+            {"name", "ph", "ts", "pid", "tid"} <= set(e)
+            for e in doc["traceEvents"]
+        )
+        for line in jsonl.read_text().splitlines():
+            json.loads(line)
+
+    def test_metrics_dump(self, asm_file, capsys):
+        assert main(["system", str(asm_file), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE noc_flits_sent_total counter" in out
+        assert "noc_packets_delivered_total" in out
+
+    def test_profile_report(self, asm_file, capsys):
+        assert main(["system", str(asm_file), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel profile" in out
+        assert "router" in out
 
 
 class TestPrototype:

@@ -1,0 +1,273 @@
+"""Tests for the unified telemetry layer: events, metrics, exporters,
+profiler, and its integration with the full platform."""
+
+import json
+
+import pytest
+
+from repro import MultiNoCPlatform
+from repro.noc import HermesNetwork
+from repro.telemetry import (
+    Event,
+    KernelProfiler,
+    MetricError,
+    MetricsRegistry,
+    TelemetrySink,
+    chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+
+HELLO = """
+        CLR  R0
+        LDI  R1, 42
+        LDI  R2, 0xFFFF
+        ST   R1, R2, R0
+        HALT
+"""
+
+
+class TestSink:
+    def test_instant_and_complete(self):
+        sink = TelemetrySink()
+        sink.instant("t", "ping", 5, detail=1)
+        sink.complete("t", "work", 10, 7)
+        assert len(sink) == 2
+        ping, work = sink.events
+        assert (ping.ph, ping.ts, ping.args) == ("i", 5, {"detail": 1})
+        assert (work.ph, work.ts, work.dur) == ("X", 10, 7)
+
+    def test_begin_end_span(self):
+        sink = TelemetrySink()
+        span = sink.begin("t", "load", 3)
+        span.end(9)
+        span.end(99)  # double-end is ignored
+        phases = [e.ph for e in sink.events]
+        assert phases == ["B", "E"]
+        assert sink.events[1].ts == 9
+
+    def test_ring_buffer_drops_oldest(self):
+        sink = TelemetrySink(max_events=3)
+        for i in range(10):
+            sink.instant("t", f"e{i}", i)
+        assert len(sink) == 3
+        assert sink.dropped_events == 7
+        assert [e.name for e in sink.events] == ["e7", "e8", "e9"]
+
+    def test_track_registry_assigns_tids_per_process(self):
+        sink = TelemetrySink()
+        sink.track("r0", process="noc")
+        sink.track("r1", process="noc")
+        sink.track("cpu0", process="cpu")
+        sink.track("r0", process="noc")  # idempotent
+        assert sink.tracks["r0"] == ("noc", 1)
+        assert sink.tracks["r1"] == ("noc", 2)
+        assert sink.tracks["cpu0"] == ("cpu", 1)
+
+    def test_queries(self):
+        sink = TelemetrySink()
+        sink.instant("a", "x", 1)
+        sink.instant("b", "x", 2)
+        sink.instant("a", "y", 3)
+        assert len(sink.events_on("a")) == 2
+        assert len(sink.events_named("x")) == 2
+
+
+class TestMetrics:
+    def test_counter_total_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("flits", "help text")
+        c.inc()
+        c.inc(2, label=("a", 1))
+        c.samples[("a", 1)] += 3  # hot-path alias style
+        assert c.value == 6
+        assert c.samples[("a", 1)] == 5
+
+    def test_gauge_callback(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(4)
+        assert g.read() == 4
+        g.set_function(lambda: 42)
+        assert g.read() == 42
+
+    def test_registration_idempotent_and_kind_checked(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(MetricError):
+            reg.gauge("x")
+
+    def test_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.record(v)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(90) == pytest.approx(90.1)
+        assert h.mean == pytest.approx(50.5)
+        s = h.summary()
+        assert s["count"] == 100 and s["min"] == 1 and s["max"] == 100
+
+    def test_histogram_edge_cases(self):
+        h = MetricsRegistry().histogram("empty")
+        assert h.percentile(50) == 0.0
+        assert h.summary()["count"] == 0
+        h.record(7)
+        assert h.percentile(99) == 7
+        with pytest.raises(MetricError):
+            h.percentile(101)
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "a counter").inc(3, label=((0, 1), 2))
+        reg.gauge("g").set(1.5)
+        h = reg.histogram("h")
+        h.record(10)
+        text = reg.prometheus_text()
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{label="0/1/2"} 3' in text
+        assert "# HELP c_total a counter" in text
+        assert "g 1.5" in text
+        assert "h_count 1" in text
+        assert 'h{quantile="0.50"} 10' in text
+
+    def test_snapshot_is_json_serialisable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1, label=(3, 4))
+        reg.histogram("h").record(2)
+        json.dumps(reg.snapshot())
+
+
+class TestExporters:
+    def _sink(self):
+        sink = TelemetrySink()
+        sink.track("router00", process="noc")
+        sink.complete("router00", "hop", 10, 4, port="EAST")
+        sink.instant("router00", "route", 10)
+        return sink
+
+    def test_chrome_trace_schema(self):
+        doc = chrome_trace(self._sink())
+        assert "traceEvents" in doc
+        for event in doc["traceEvents"]:
+            for key in ("name", "ph", "ts", "pid", "tid"):
+                assert key in event
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {"process_name", "thread_name"} <= {m["name"] for m in metas}
+        json.dumps(doc)  # must be valid JSON
+
+    def test_chrome_trace_clock_scaling(self):
+        doc = chrome_trace(self._sink(), clock_hz=1_000_000)  # 1 cycle = 1 us
+        hop = next(e for e in doc["traceEvents"] if e["name"] == "hop")
+        assert hop["ts"] == pytest.approx(10.0)
+        assert hop["dur"] == pytest.approx(4.0)
+
+    def test_write_files(self, tmp_path):
+        sink = self._sink()
+        trace = write_chrome_trace(sink, tmp_path / "t.json")
+        lines = write_jsonl(sink, tmp_path / "t.jsonl")
+        prom = write_prometheus(sink, tmp_path / "m.prom")
+        json.loads(trace.read_text())
+        records = [json.loads(l) for l in lines.read_text().splitlines()]
+        assert len(records) == 2
+        assert records[0]["name"] == "hop"
+        assert prom.read_text().endswith("\n")
+
+
+class TestPlatformIntegration:
+    @pytest.fixture(scope="class")
+    def traced_session(self):
+        session = MultiNoCPlatform.standard().launch(telemetry=True)
+        session.host.sync()
+        session.run(1, HELLO)
+        return session
+
+    def test_router_cpu_host_tracks_have_events(self, traced_session):
+        sink = traced_session.telemetry
+        tracks_with_events = {e.track for e in sink.events}
+        assert any(t.startswith("router") for t in tracks_with_events)
+        assert "proc1.r8" in tracks_with_events
+        assert "host" in tracks_with_events
+        assert "serial" in tracks_with_events
+
+    def test_packet_lifecycle_recorded(self, traced_session):
+        sink = traced_session.telemetry
+        # write/activate/printf all crossed the NoC: hops + packet spans
+        assert sink.events_named("route")
+        assert any(e.name.startswith("hop>") for e in sink.events)
+        assert sink.events_named("packet")
+        assert sink.events_named("inject")
+
+    def test_cpu_and_trap_events(self, traced_session):
+        sink = traced_session.telemetry
+        assert sink.events_named("activate_packet")
+        bursts = sink.events_named("exec")
+        assert bursts and bursts[0].args["retired"] >= 5
+        printfs = sink.events_named("printf")
+        assert any(e.args.get("value") == 42 for e in printfs)
+
+    def test_host_transaction_spans(self, traced_session):
+        sink = traced_session.telemetry
+        names = {e.name for e in sink.events_on("host")}
+        assert {"sync", "write_memory", "activate"} <= names
+
+    def test_metrics_shared_with_network_stats(self, traced_session):
+        reg = traced_session.system.stats.registry
+        assert reg is traced_session.telemetry.metrics
+        assert reg.counter("noc_packets_delivered_total").value >= 3
+        assert reg.get("cpu_1_instructions_retired").read() >= 5
+
+    def test_chrome_export_of_real_run(self, traced_session, tmp_path):
+        path = write_chrome_trace(
+            traced_session.telemetry,
+            tmp_path / "run.json",
+            clock_hz=traced_session.system.config.clock_hz,
+        )
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) > 20
+
+
+class TestHermesNetworkTelemetry:
+    def test_network_level_wiring(self):
+        sink = TelemetrySink()
+        net = HermesNetwork(2, 2, telemetry=sink)
+        assert net.stats.registry is sink.metrics
+        sim = net.make_simulator()
+        net.send((0, 0), (1, 1), [1, 2, 3])
+        net.run_to_drain(sim)
+        assert sink.events_named("route")
+        assert sink.events_named("packet")
+
+
+class TestKernelProfiler:
+    def test_profile_attributes_time_to_leaves(self):
+        session = MultiNoCPlatform.standard().launch()
+        profiler = KernelProfiler().attach(session.sim)
+        session.sim.step(200)
+        names = {name for name, _, _, _ in profiler.hot_components(top=50)}
+        # composites are expanded: routers appear individually
+        assert any(n.startswith("router") for n in names)
+        assert "multinoc" not in {
+            n for (n, p, _, _) in profiler.hot_components(50) if p == "eval"
+        }
+        assert profiler.cycles == 200
+        assert profiler.total_seconds > 0
+
+    def test_report_format(self):
+        session = MultiNoCPlatform.standard().launch()
+        profiler = KernelProfiler().attach(session.sim)
+        session.sim.step(50)
+        report = profiler.report(top=5)
+        assert "kernel profile" in report
+        assert "eval" in report
+        assert "%" in report
+
+    def test_watchers_are_timed(self):
+        session = MultiNoCPlatform.standard().launch()
+        profiler = KernelProfiler().attach(session.sim)
+        session.sim.add_watcher(lambda cycle: None)
+        session.sim.step(10)
+        assert any(p == "watch" for _, p, _, _ in profiler.hot_components(50))
