@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Run the whole benchmark suite and write ``BENCH_results.json``.
+
+Each ``bench_*.py`` file is executed in its own pytest subprocess (one
+crashing file cannot take down the rest) with ``--benchmark-json`` so
+pytest-benchmark's per-test statistics are captured, then everything is
+merged into a single machine-readable report.
+
+Usage::
+
+    python benchmarks/run_all.py                      # quick preset
+    python benchmarks/run_all.py --preset full
+    python benchmarks/run_all.py --files noc,router   # substring filter
+    python benchmarks/run_all.py --output out.json
+
+Presets:
+
+* ``quick`` — one round per benchmark, no warmup, tiny calibration
+  budget.  Timing numbers are rough; model metrics (``extra_info``) are
+  exact.  This is what CI runs.
+* ``full``  — pytest-benchmark defaults (calibrated rounds, warmup);
+  timing numbers are stable enough to compare across commits.
+
+Report schema ``multinoc-bench/1``::
+
+    {
+      "schema": "multinoc-bench/1",
+      "preset": "quick" | "full",
+      "python": "3.11.7",
+      "platform": "linux",
+      "started_unix": 1754400000,        # epoch seconds at suite start
+      "total_wall_seconds": 12.34,       # whole-suite wall clock
+      "benchmarks": [                    # one entry per bench file
+        {
+          "file": "bench_latency_formula.py",
+          "status": "ok" | "failed",     # pytest exit status
+          "wall_seconds": 1.23,          # subprocess wall clock
+          "tests": [                     # one entry per benchmark test
+            {
+              "name": "test_latency_formula",
+              "mean_seconds": 0.0012,    # per-round mean
+              "stddev_seconds": 0.0001,
+              "rounds": 5,
+              "extra_info": {...}        # paper-vs-measured metrics
+            }
+          ]
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SCHEMA = "multinoc-bench/1"
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+PRESETS = {
+    "quick": [
+        "--benchmark-min-rounds=1",
+        "--benchmark-warmup=off",
+        "--benchmark-max-time=0.1",
+        "--benchmark-calibration-precision=1",
+    ],
+    "full": [],
+}
+
+
+def discover(filters) -> list:
+    files = sorted(BENCH_DIR.glob("bench_*.py"))
+    if filters:
+        files = [f for f in files if any(s in f.name for s in filters)]
+    return files
+
+
+def run_one(path: Path, preset: str) -> dict:
+    """Run one bench file under pytest, return its report entry."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_path = tmp.name
+    try:
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", str(path), "-q",
+                f"--benchmark-json={json_path}", *PRESETS[preset],
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        wall = time.perf_counter() - start
+        tests = []
+        try:
+            data = json.loads(Path(json_path).read_text())
+        except (OSError, ValueError):
+            data = {"benchmarks": []}
+        for bench in data.get("benchmarks", []):
+            stats = bench.get("stats", {})
+            tests.append(
+                {
+                    "name": bench.get("name", "?"),
+                    "mean_seconds": stats.get("mean"),
+                    "stddev_seconds": stats.get("stddev"),
+                    "rounds": stats.get("rounds"),
+                    "extra_info": bench.get("extra_info", {}),
+                }
+            )
+        entry = {
+            "file": path.name,
+            "status": "ok" if proc.returncode == 0 else "failed",
+            "wall_seconds": round(wall, 3),
+            "tests": tests,
+        }
+        if proc.returncode != 0:
+            entry["output_tail"] = proc.stdout[-2000:] + proc.stderr[-2000:]
+        return entry
+    finally:
+        Path(json_path).unlink(missing_ok=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="quick",
+        help="quick: 1 round/bench (CI); full: calibrated timing",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_results.json"),
+        metavar="FILE", help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--files", metavar="SUBSTR[,SUBSTR...]",
+        help="only run bench files whose name contains a substring",
+    )
+    args = parser.parse_args(argv)
+
+    filters = [s for s in (args.files or "").split(",") if s]
+    files = discover(filters)
+    if not files:
+        print("no benchmark files matched", file=sys.stderr)
+        return 2
+
+    started = int(time.time())
+    suite_start = time.perf_counter()
+    entries = []
+    for path in files:
+        print(f"running {path.name} ...", flush=True)
+        entry = run_one(path, args.preset)
+        mark = "ok" if entry["status"] == "ok" else "FAILED"
+        print(
+            f"  {mark} in {entry['wall_seconds']:.1f}s "
+            f"({len(entry['tests'])} benchmark(s))",
+            flush=True,
+        )
+        entries.append(entry)
+
+    report = {
+        "schema": SCHEMA,
+        "preset": args.preset,
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "platform": sys.platform,
+        "started_unix": started,
+        "total_wall_seconds": round(time.perf_counter() - suite_start, 3),
+        "benchmarks": entries,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2))
+
+    failed = [e["file"] for e in entries if e["status"] != "ok"]
+    total_tests = sum(len(e["tests"]) for e in entries)
+    print(
+        f"\n{len(files)} file(s), {total_tests} benchmark(s), "
+        f"{len(failed)} failed, {report['total_wall_seconds']:.1f}s "
+        f"-> {args.output}"
+    )
+    for name in failed:
+        print(f"  FAILED: {name}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,11 +24,19 @@ Quick start::
 
 from .core import MultiNoCPlatform, PlatformSession, Program
 from .system import MultiNoC, SystemConfig
-from .telemetry import KernelProfiler, MetricsRegistry, TelemetrySink
+from .telemetry import (
+    HealthMonitor,
+    HealthViolation,
+    KernelProfiler,
+    MetricsRegistry,
+    TelemetrySink,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "HealthMonitor",
+    "HealthViolation",
     "KernelProfiler",
     "MetricsRegistry",
     "MultiNoC",

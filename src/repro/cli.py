@@ -126,6 +126,12 @@ def cmd_system(args) -> int:
 
         vcd = VcdWriter([session.system.rxd, session.system.txd])
         session.sim.add_watcher(vcd.sample)
+    health = None
+    if args.monitor or args.sample_interval or args.health_report:
+        health = session.monitor_health(
+            sample_interval=args.sample_interval,
+            invariants=True,
+        )
     session.host.sync()
     obj = _load_program(args.file)
     addr = session.processor_address(args.proc)
@@ -133,12 +139,18 @@ def cmd_system(args) -> int:
         values = [int(v, 0) for v in args.scanf.split(",")]
         it = iter(values)
         session.host.set_scanf_handler(args.proc, lambda: next(it))
-    session.host.load_program(addr, obj)
-    session.host.activate(addr)
-    session.sim.run_until(
-        lambda: session.system.processors[args.proc].cpu.halted,
-        max_cycles=args.max_cycles,
-    )
+    try:
+        session.host.load_program(addr, obj)
+        session.host.activate(addr)
+        session.sim.run_until(
+            lambda: session.system.processors[args.proc].cpu.halted,
+            max_cycles=args.max_cycles,
+        )
+    except Exception as exc:
+        if health is None:
+            raise
+        _report_health_failure(exc, health, args.health_report)
+        return 1
     session.sim.step(6000)
     monitor = session.host.monitor(args.proc)
     print(monitor.transcript() or "(no I/O)")
@@ -169,7 +181,36 @@ def cmd_system(args) -> int:
         return 1
     if profiler is not None:
         print(profiler.report())
+    if health is not None:
+        if health.sampler is not None:
+            print("health timeline:")
+            print(health.sampler.timeline())
+        n = len(health.violations)
+        print(f"health: {'OK, no violations' if n == 0 else f'{n} violation(s)'}")
+        if args.health_report:
+            _write_health_report(health, args.health_report)
     return 0
+
+
+def _write_health_report(monitor, path: str) -> None:
+    import json
+
+    Path(path).write_text(json.dumps(monitor.report(), indent=2))
+    print(f"health report -> {path}")
+
+
+def _report_health_failure(exc, monitor, report_path) -> None:
+    """A monitored run failed: print the diagnosis, write the report."""
+    from .telemetry import HealthViolation
+
+    print(f"error: {exc}", file=sys.stderr)
+    if isinstance(exc, HealthViolation):
+        # timeouts already embed describe(); violations carry details
+        print(monitor.describe(), file=sys.stderr)
+    if report_path:
+        if isinstance(exc, HealthViolation):
+            monitor.violations.append(exc)
+        _write_health_report(monitor, report_path)
 
 
 def _print_system_stats(session) -> None:
@@ -256,6 +297,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="profile kernel wall-clock time per component",
+    )
+    p.add_argument(
+        "--monitor",
+        action="store_true",
+        help="attach the health monitor (watchdogs + invariant checks)",
+    )
+    p.add_argument(
+        "--sample-interval",
+        type=int,
+        default=0,
+        metavar="K",
+        help="sample health time-series gauges every K cycles",
+    )
+    p.add_argument(
+        "--health-report",
+        metavar="FILE",
+        help="write the health report (violations, sampler series) as JSON",
     )
     p.set_defaults(fn=cmd_system)
 

@@ -112,6 +112,22 @@ class PlatformSession:
     sim: Simulator
     host: SerialSoftware
     telemetry: Optional[object] = None
+    health: Optional[object] = None
+
+    def monitor_health(self, **kwargs):
+        """Attach a :class:`~repro.telemetry.health.HealthMonitor`.
+
+        Keyword arguments are forwarded to the monitor's constructor
+        (thresholds, ``sample_interval``, ``invariants``, ...).  The
+        monitor is wired to the system, simulator and host, stored as
+        ``session.health`` and returned.
+        """
+        from ..telemetry.health import HealthMonitor
+
+        monitor = HealthMonitor(**kwargs)
+        self.system.attach_health(monitor, self.sim, host=self.host)
+        self.health = monitor
+        return monitor
 
     def processor_address(self, pid: int) -> Address:
         return self.system.config.processors[pid]

@@ -18,6 +18,11 @@ class InteractionMonitor:
     proc: int
     printfs: List[Tuple[int, int]] = field(default_factory=list)  # (cycle, value)
     scanfs: List[Tuple[int, Optional[int]]] = field(default_factory=list)
+    #: answers that arrived with no scanf pending: (cycle or None, value).
+    #: A protocol-level anomaly worth surfacing, not silently dropping.
+    unmatched_answers: List[Tuple[Optional[int], int]] = field(
+        default_factory=list
+    )
 
     def log_printf(self, cycle: int, value: int) -> None:
         self.printfs.append((cycle, value))
@@ -25,26 +30,44 @@ class InteractionMonitor:
     def log_scanf_request(self, cycle: int) -> None:
         self.scanfs.append((cycle, None))
 
-    def log_scanf_answer(self, value: int) -> None:
+    def log_scanf_answer(self, value: int, cycle: Optional[int] = None) -> None:
         for i in range(len(self.scanfs) - 1, -1, -1):
             if self.scanfs[i][1] is None:
                 self.scanfs[i] = (self.scanfs[i][0], value)
                 return
+        self.unmatched_answers.append((cycle, value))
 
     @property
     def printf_values(self) -> List[int]:
         return [value for _, value in self.printfs]
 
+    @property
+    def unmatched_answer_count(self) -> int:
+        """Scanf answers that found no pending request to pair with."""
+        return len(self.unmatched_answers)
+
     def transcript(self) -> str:
         """Human-readable session log, one line per interaction."""
-        events = [(c, f"P{self.proc} printf -> {v:#06x} ({v})") for c, v in self.printfs]
+        events = [
+            (c, f"[{c:>8}]", f"P{self.proc} printf -> {v:#06x} ({v})")
+            for c, v in self.printfs
+        ]
         events += [
             (
                 c,
+                f"[{c:>8}]",
                 f"P{self.proc} scanf <- "
                 + (f"{v:#06x} ({v})" if v is not None else "<pending>"),
             )
             for c, v in self.scanfs
         ]
-        events.sort()
-        return "\n".join(f"[{c:>8}] {text}" for c, text in events)
+        events += [
+            (
+                c if c is not None else 1 << 62,
+                f"[{c:>8}]" if c is not None else f"[{'?':>8}]",
+                f"P{self.proc} scanf <- {v:#06x} ({v}) (unmatched answer)",
+            )
+            for c, v in self.unmatched_answers
+        ]
+        events.sort(key=lambda e: e[0])
+        return "\n".join(f"{stamp} {text}" for _, stamp, text in events)

@@ -21,6 +21,7 @@ from ..r8.assembler import ObjectCode
 from ..serial import protocol
 from ..serial.uart import UartRx, UartTx
 from ..sim import Component, Simulator
+from ..sim.kernel import SimulationTimeout
 from ..system.multinoc import MultiNoC
 from .monitor import InteractionMonitor
 
@@ -39,7 +40,13 @@ def _flit(target: Target) -> int:
 
 
 class HostTimeout(Exception):
-    """The board did not answer within the cycle budget."""
+    """The board did not answer within the cycle budget.
+
+    When a health monitor is attached to the simulator, ``diagnostics``
+    carries its dump (copied from the underlying SimulationTimeout).
+    """
+
+    diagnostics: Optional[dict] = None
 
 
 class SerialSoftware(Component):
@@ -67,6 +74,9 @@ class SerialSoftware(Component):
         self._sim: Optional[Simulator] = None
         self._cycle = 0
         self.synced = False
+        #: (label, start cycle) of the blocking transaction in progress,
+        #: or None; the health monitor's host watchdog reads this.
+        self.current_transaction: Optional[Tuple[str, int]] = None
         #: optional TelemetrySink; hooks are behind one None-check each
         self.sink = None
 
@@ -136,7 +146,7 @@ class SerialSoftware(Component):
     def _answer_scanf(self, proc: int, value: int) -> None:
         flit = self.system.config.id_to_flit()[proc]
         self.uart_tx.send_bytes(protocol.frame_scanf_return(flit, value))
-        self.monitor(proc).log_scanf_answer(value)
+        self.monitor(proc).log_scanf_answer(value, cycle=self._cycle)
 
     # -- low-level sending -----------------------------------------------------------
 
@@ -147,10 +157,15 @@ class SerialSoftware(Component):
 
     def _run_until(self, predicate, max_cycles: int, label: str) -> None:
         sim = self._require_sim()
+        self.current_transaction = (label, sim.cycle)
         try:
             sim.run_until(predicate, max_cycles=max_cycles, label=label)
-        except Exception as exc:  # re-raise with a host-level type
-            raise HostTimeout(str(exc)) from exc
+        except SimulationTimeout as exc:  # re-raise with a host-level type
+            timeout = HostTimeout(str(exc))
+            timeout.diagnostics = exc.diagnostics
+            raise timeout from exc
+        finally:
+            self.current_transaction = None
 
     # -- the four host commands ---------------------------------------------------
 

@@ -14,7 +14,7 @@ from typing import List, Optional
 class CircularFifo:
     """Fixed-capacity ring buffer of flits."""
 
-    __slots__ = ("capacity", "_slots", "_head", "_count")
+    __slots__ = ("capacity", "_slots", "_head", "_count", "_watermark")
 
     def __init__(self, capacity: int = 2):
         if capacity < 1:
@@ -23,6 +23,7 @@ class CircularFifo:
         self._slots: List[Optional[int]] = [None] * capacity
         self._head = 0
         self._count = 0
+        self._watermark = 0
 
     def __len__(self) -> int:
         return self._count
@@ -49,6 +50,8 @@ class CircularFifo:
         tail = (self._head + self._count) % self.capacity
         self._slots[tail] = flit
         self._count += 1
+        if self._count > self._watermark:
+            self._watermark = self._count
 
     def pop(self) -> int:
         """Remove and return the oldest flit."""
@@ -60,10 +63,16 @@ class CircularFifo:
         self._count -= 1
         return flit  # type: ignore[return-value]
 
+    @property
+    def watermark(self) -> int:
+        """Highest occupancy reached since construction or :meth:`clear`."""
+        return self._watermark
+
     def clear(self) -> None:
         self._slots = [None] * self.capacity
         self._head = 0
         self._count = 0
+        self._watermark = 0
 
     def snapshot(self) -> List[int]:
         """Contents oldest-first (diagnostics only)."""

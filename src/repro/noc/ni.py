@@ -88,6 +88,16 @@ class NetworkInterface(Component):
         """True while any packet is queued or partially injected."""
         return bool(self._tx_queue) or self._tx_packet is not None
 
+    def probe_state(self) -> dict:
+        """Cheap introspection snapshot for health monitoring/diagnostics."""
+        return {
+            "address": self.address,
+            "tx_queued": len(self._tx_queue),
+            "tx_busy": self.tx_busy,
+            "rx_partial_flits": len(self._rx_flits),
+            "rx_pending": len(self.received),
+        }
+
     def has_received(self) -> bool:
         return bool(self.received)
 

@@ -279,6 +279,31 @@ class HermesRouter(Component):
 
     # -- introspection ---------------------------------------------------------
 
+    def pending_header_target(self, port: int) -> Optional[Tuple[int, int]]:
+        """Target of an unrouted header waiting at *port*'s FIFO head.
+
+        Returns ``None`` unless the port holds a header flit that has not
+        yet won a connection — the state a health monitor needs to build
+        the "waiting for output" edges of the wait-for graph.
+        """
+        if self.in_conn[port] is not None or self.fifos[port].is_empty:
+            return None
+        if self.in_phase[port] != _PH_HEADER:
+            return None
+        return decode_address(self.fifos[port].head)
+
+    def probe_state(self) -> dict:
+        """Cheap introspection snapshot for health monitoring/diagnostics."""
+        return {
+            "address": self.address,
+            "occupancy": [len(f) for f in self.fifos],
+            "watermark": [f.watermark for f in self.fifos],
+            "fifos": [f.snapshot() for f in self.fifos],
+            "in_conn": list(self.in_conn),
+            "out_owner": list(self.out_owner),
+            "ctrl": "routing" if self._ctrl_state != _CTRL_IDLE else "idle",
+        }
+
     @property
     def busy(self) -> bool:
         """True while any buffer holds flits or any connection is open."""

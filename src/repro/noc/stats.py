@@ -131,6 +131,44 @@ class NetworkStats:
         return sum(len(stamps) for stamps in self._in_flight.values())
 
     @property
+    def flits_moved_total(self) -> int:
+        """Total flit handshakes observed (received + sent, all ports).
+
+        A strictly monotone activity counter: health watchdogs compare
+        successive readings to detect a network that stopped moving.
+        """
+        return sum(self.flits_received.values()) + sum(self.flits_sent.values())
+
+    def per_router_movement(self) -> Dict[Address, int]:
+        """Per-router flit handshake totals (received + sent).
+
+        Sampled periodically by the health monitor to maintain the
+        "last-movement cycle per router" diagnostic.
+        """
+        totals: Dict[Address, int] = {}
+        for (addr, _), count in self.flits_received.items():
+            totals[addr] = totals.get(addr, 0) + count
+        for (addr, _), count in self.flits_sent.items():
+            totals[addr] = totals.get(addr, 0) + count
+        return totals
+
+    def oldest_in_flight(self) -> Optional[Tuple[int, tuple]]:
+        """(injection cycle, match key) of the oldest undelivered packet.
+
+        The match key is ``(target, payload_tuple)``; ``None`` when no
+        stamped packet is in flight.  Drives the packet-age starvation
+        watchdog.
+        """
+        best: Optional[Tuple[int, tuple]] = None
+        for key, stamps in self._in_flight.items():
+            for stamp in stamps:
+                if stamp is None:
+                    continue
+                if best is None or stamp < best[0]:
+                    best = (stamp, key)
+        return best
+
+    @property
     def packets_dropped(self) -> int:
         """Stamps pruned as undeliverable (lost regions, dead endpoints)."""
         return self._pruned.value

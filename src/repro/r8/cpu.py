@@ -104,6 +104,16 @@ class R8Cpu(Component):
     def fsm_state(self) -> str:
         return _STATE_NAMES[self._fsm]
 
+    @property
+    def progress(self) -> tuple:
+        """(pc, instructions retired) — changes iff the core advances.
+
+        The CPU stall watchdog compares successive readings: an active
+        core whose progress tuple stays frozen is wedged (a never-answered
+        scanf, a lost read return, a wait with no notify...).
+        """
+        return (self.state.pc, self.instructions_retired)
+
     def cpi(self) -> float:
         """Measured clocks per instruction since reset."""
         if self.instructions_retired == 0:

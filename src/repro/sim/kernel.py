@@ -15,7 +15,17 @@ from .component import Component
 
 
 class SimulationTimeout(Exception):
-    """Raised when :meth:`Simulator.run_until` exceeds its cycle budget."""
+    """Raised when :meth:`Simulator.run_until` exceeds its cycle budget.
+
+    When a :class:`~repro.telemetry.health.HealthMonitor` is attached to
+    the simulator, :attr:`diagnostics` carries its full diagnostic dump
+    (wait-for graph, FIFO snapshots, last-movement cycle per router) so
+    the failure localises itself instead of just naming a cycle count.
+    """
+
+    def __init__(self, message: str, diagnostics: Optional[dict] = None):
+        super().__init__(message)
+        self.diagnostics = diagnostics
 
 
 class Simulator:
@@ -38,6 +48,10 @@ class Simulator:
         #: set, step() takes the instrumented path — the plain loop is
         #: untouched so disabled profiling costs one None-check per call.
         self.profiler = None
+        #: optional HealthMonitor (see repro.telemetry.health); set by
+        #: HealthMonitor.attach().  Only consulted on the cold timeout
+        #: path, so an unmonitored run pays nothing per cycle.
+        self.health = None
 
     # -- construction ----------------------------------------------------
 
@@ -52,8 +66,24 @@ class Simulator:
         return component
 
     def add_watcher(self, fn: Callable[[int], None]) -> None:
-        """Call *fn(cycle)* after every committed cycle (tracing hooks)."""
-        self._watchers.append(fn)
+        """Call *fn(cycle)* after every committed cycle (tracing hooks).
+
+        Adding the same function twice is a no-op, like :meth:`add`:
+        double registration would run the hook twice per cycle.
+        """
+        if fn not in self._watchers:
+            self._watchers.append(fn)
+
+    def remove_watcher(self, fn: Callable[[int], None]) -> None:
+        """Detach a watcher added with :meth:`add_watcher`.
+
+        Removing a function that is not registered is a no-op, so
+        monitors and exporters can detach unconditionally.
+        """
+        try:
+            self._watchers.remove(fn)
+        except ValueError:
+            pass
 
     # -- execution ---------------------------------------------------------
 
@@ -111,10 +141,15 @@ class Simulator:
         while not predicate():
             if self.cycle - start >= max_cycles:
                 what = label or getattr(predicate, "__name__", "condition")
-                raise SimulationTimeout(
+                message = (
                     f"{what} not reached within {max_cycles} cycles "
                     f"(at cycle {self.cycle})"
                 )
+                diagnostics = None
+                if self.health is not None:
+                    diagnostics = self.health.diagnostics()
+                    message += "\n" + self.health.describe(diagnostics)
+                raise SimulationTimeout(message, diagnostics=diagnostics)
             self.step()
         return self.cycle - start
 

@@ -103,6 +103,18 @@ class MultiNoC(Component):
             sink.track(mem.ni.name, process="noc")
             mem.ni.sink = sink
 
+    def attach_health(self, monitor, sim, host=None):
+        """Wire a :class:`~repro.telemetry.health.HealthMonitor` to this
+        system and *sim*; returns the monitor for chaining."""
+        return monitor.attach(sim, self, host=host)
+
+    def network_interfaces(self) -> List:
+        """Every NI attached to the mesh (serial, processors, memories)."""
+        nis = [self.serial.ni]
+        nis += [p.ni for p in self.processors.values()]
+        nis += [m.ni for m in self.memories]
+        return nis
+
     # -- construction helpers ------------------------------------------------
 
     def _attach(self, ni, addr: Address) -> None:

@@ -425,6 +425,26 @@ class ProcessorIp(Component):
         """True when no NoC-initiated local-memory operation is in flight."""
         return self._srv_state == _SRV_IDLE and not self._srv_backlog
 
+    def probe_state(self) -> dict:
+        """Cheap introspection snapshot for health monitoring/diagnostics."""
+        cpu = self.cpu
+        return {
+            "proc_id": self.proc_id,
+            "address": self.noc_address,
+            "pc": cpu.state.pc,
+            "fsm": cpu.fsm_state,
+            "halted": cpu.halted,
+            "paused": cpu.paused,
+            "instructions_retired": cpu.instructions_retired,
+            "pending": (
+                self._pending_kind.value
+                if self._pending_kind is not None
+                else None
+            ),
+            "wait_source": self._wait_source,
+            "ni": self.ni.probe_state(),
+        }
+
     # -- debugging helpers -------------------------------------------------------------
 
     def load(self, words, base: int = 0) -> None:

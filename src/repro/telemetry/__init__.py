@@ -7,13 +7,17 @@ stalls, traps), host serial transactions — while the
 (:class:`~repro.noc.stats.NetworkStats` is built on it).  Exporters turn
 a sink into a Chrome-trace/Perfetto JSON, a JSONL event log or a
 Prometheus text dump, and :class:`KernelProfiler` measures where the
-simulator's wall-clock time goes.
+simulator's wall-clock time goes.  :class:`HealthMonitor` is the active
+layer on top: watchdogs (deadlock, starvation, CPU stall, host timeout),
+online invariant checks and a time-series sampler that detect, localise
+and explain pathologies while the simulation runs.
 
 See ``docs/OBSERVABILITY.md`` for the event taxonomy and workflows.
 """
 
 from .events import Event, Span, TelemetrySink
 from .export import chrome_trace, write_chrome_trace, write_jsonl, write_prometheus
+from .health import HealthMonitor, HealthViolation, TimeSeriesSampler
 from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
 from .profiler import KernelProfiler
 
@@ -21,12 +25,15 @@ __all__ = [
     "Counter",
     "Event",
     "Gauge",
+    "HealthMonitor",
+    "HealthViolation",
     "Histogram",
     "KernelProfiler",
     "MetricError",
     "MetricsRegistry",
     "Span",
     "TelemetrySink",
+    "TimeSeriesSampler",
     "chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

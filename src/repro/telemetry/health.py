@@ -1,0 +1,962 @@
+"""Online health monitoring: watchdogs, invariants, time-series sampling.
+
+The passive telemetry layer (events, metrics, exporters) records what the
+platform did; this module watches it *while it runs* and localises
+pathologies instead of letting them surface as a bare timeout.  A single
+:class:`HealthMonitor` rides the simulator's watcher hook
+(:meth:`~repro.sim.kernel.Simulator.add_watcher`) and has three pillars:
+
+**Watchdogs** — always on while attached, evaluated every
+``check_interval`` cycles:
+
+* *deadlock*: no flit handshake anywhere in the mesh while packets are
+  in flight (or routers hold state) for ``deadlock_cycles`` — builds the
+  port wait-for graph and names the blocking cycle or root blocker;
+* *starvation*: the oldest in-flight packet exceeds ``max_packet_age``;
+* *cpu stall*: an active R8 core whose ``(pc, retired)`` progress tuple
+  is frozen for ``cpu_stall_cycles``;
+* *host timeout*: a host serial transaction open longer than
+  ``host_transaction_cycles``.
+
+**Invariant checks** — opt-in (``invariants=True``), per-cycle with
+``check_interval=1`` or strided otherwise:
+
+* packet conservation: ``injected == delivered - unmatched + in_flight
+  + pruned``;
+* flit conservation per router: FIFO occupancy equals flits received
+  minus flits sent (assumes no mid-run ``reset()``);
+* FIFO occupancy bounds: ``0 <= len <= capacity``;
+* XY-routing legality of every open connection (no illegal turns);
+* single-producer discipline: each output port owned by at most one
+  input, consistently in both direction tables.
+
+**Time-series sampler** — when ``sample_interval`` is set, gauges and
+derived probes (per-router link utilisation, FIFO occupancy, per-core
+IPC, in-flight packets) are snapshotted every K cycles into fixed
+windows, exportable as CSV/JSON and renderable as ASCII sparklines.
+
+Every failure is a structured :class:`HealthViolation` naming component,
+cycle and a state snapshot; ``on_violation="record"`` collects instead
+of raising.  A detached simulation is bit-identical to an unmonitored
+one: the monitor only observes, never drives, and the simulator pays a
+single ``None``-check on the cold timeout path when no monitor is
+attached.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from ..noc.routing import OPPOSITE, PORT_DELTA, Port, xy_route
+
+Address = Tuple[int, int]
+
+#: Legal XY turns: with X corrected before Y, a connection entering from
+#: a Y port may only continue in Y or deliver locally, and no connection
+#: may u-turn back out of its own direction.
+_XY_LEGAL: Dict[Port, frozenset] = {
+    Port.LOCAL: frozenset(
+        {Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH, Port.LOCAL}
+    ),
+    Port.EAST: frozenset({Port.WEST, Port.NORTH, Port.SOUTH, Port.LOCAL}),
+    Port.WEST: frozenset({Port.EAST, Port.NORTH, Port.SOUTH, Port.LOCAL}),
+    Port.NORTH: frozenset({Port.SOUTH, Port.LOCAL}),
+    Port.SOUTH: frozenset({Port.NORTH, Port.LOCAL}),
+}
+
+
+class HealthViolation(Exception):
+    """A watchdog or invariant failure, with a structured payload.
+
+    Attributes
+    ----------
+    kind:
+        ``"deadlock"``, ``"starvation"``, ``"cpu_stall"``,
+        ``"host_timeout"`` or ``"invariant.<name>"``.
+    component:
+        Name of the failing component (router, core, NI, "noc", "host").
+    cycle:
+        Simulation cycle at which the violation was detected.
+    details:
+        JSON-friendly state snapshot; for deadlocks this carries the
+        wait-for graph, FIFO snapshots and last-movement cycles.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        component: str,
+        cycle: int,
+        message: str,
+        details: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(f"[{kind}] {component} @cycle {cycle}: {message}")
+        self.kind = kind
+        self.component = component
+        self.cycle = cycle
+        self.message = message
+        self.details: Dict[str, Any] = details if details is not None else {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "component": self.component,
+            "cycle": self.cycle,
+            "message": self.message,
+            "details": self.details,
+        }
+
+
+# ---------------------------------------------------------------------------
+# time-series sampler
+# ---------------------------------------------------------------------------
+
+_RAMP = " .:-=+*#%@"
+
+
+class TimeSeriesSampler:
+    """Strided snapshots of zero-arg probes into fixed-size windows.
+
+    Each probe is sampled every ``interval`` cycles; the newest ``window``
+    samples per series are kept (older ones roll off), bounding memory on
+    unbounded runs exactly like the telemetry sink's ring buffer.
+    """
+
+    def __init__(self, interval: int, window: int = 512):
+        if interval < 1:
+            raise ValueError("sample interval must be at least 1 cycle")
+        if window < 1:
+            raise ValueError("sample window must hold at least 1 sample")
+        self.interval = interval
+        self.window = window
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self.series: Dict[str, Deque[Tuple[int, float]]] = {}
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a gauge probe; *fn()* is read at every sample point."""
+        self._probes[name] = fn
+        self.series[name] = deque(maxlen=self.window)
+
+    def add_rate_probe(
+        self, name: str, fn: Callable[[], float], scale: float = 1.0
+    ) -> None:
+        """Register a per-cycle rate over a monotone counter.
+
+        Records ``(fn() - previous) * scale / interval`` — e.g. with
+        ``scale=2`` a flit counter becomes link utilisation in [0, 1]
+        (the 2-cycle handshake bound).  The first sample is 0.
+        """
+        state: List[Optional[float]] = [None]
+        interval = self.interval
+
+        def probe() -> float:
+            current = fn()
+            previous, state[0] = state[0], current
+            if previous is None:
+                return 0.0
+            return (current - previous) * scale / interval
+
+        self.add_probe(name, probe)
+
+    def sample(self, cycle: int) -> None:
+        for name, fn in self._probes.items():
+            self.series[name].append((cycle, float(fn())))
+
+    # -- export -----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dump: per-series parallel cycle/value arrays."""
+        return {
+            "interval": self.interval,
+            "window": self.window,
+            "series": {
+                name: {
+                    "cycles": [c for c, _ in points],
+                    "values": [v for _, v in points],
+                }
+                for name, points in self.series.items()
+            },
+        }
+
+    def to_csv(self) -> str:
+        """``cycle,series,value`` rows, cycle-major."""
+        rows = [
+            (cycle, name, value)
+            for name, points in self.series.items()
+            for cycle, value in points
+        ]
+        rows.sort()
+        lines = ["cycle,series,value"]
+        lines += [f"{c},{name},{v:g}" for c, name, v in rows]
+        return "\n".join(lines) + "\n"
+
+    def write_csv(self, path: str) -> str:
+        with open(path, "w") as fh:
+            fh.write(self.to_csv())
+        return path
+
+    # -- rendering --------------------------------------------------------
+
+    def sparkline(self, name: str, width: int = 64) -> str:
+        """One series as an ASCII intensity strip (newest on the right)."""
+        points = self.series.get(name)
+        if not points:
+            return ""
+        values = [v for _, v in points]
+        if len(values) > width:
+            # bucket-average down to `width` columns
+            step = len(values) / width
+            values = [
+                sum(values[int(i * step) : max(int((i + 1) * step), int(i * step) + 1)])
+                / max(int((i + 1) * step) - int(i * step), 1)
+                for i in range(width)
+            ]
+        lo = min(0.0, min(values))
+        hi = max(values)
+        span = (hi - lo) or 1.0
+        return "".join(
+            _RAMP[int((v - lo) / span * (len(_RAMP) - 1))] for v in values
+        )
+
+    def timeline(
+        self, names: Optional[Iterable[str]] = None, width: int = 64
+    ) -> str:
+        """All (or selected) series as aligned sparkline rows."""
+        names = list(names) if names is not None else sorted(self.series)
+        populated = [n for n in names if self.series.get(n)]
+        if not populated:
+            return "(no samples)"
+        first = min(self.series[n][0][0] for n in populated)
+        last = max(self.series[n][-1][0] for n in populated)
+        label_w = max(len(n) for n in populated)
+        ranges = {}
+        for name in populated:
+            values = [v for _, v in self.series[name]]
+            ranges[name] = f"[{min(values):g}..{max(values):g}]"
+        range_w = max(len(r) for r in ranges.values())
+        lines = [
+            f"cycles {first}..{last}, one sample per {self.interval} cycles"
+        ]
+        for name in populated:
+            lines.append(
+                f"{name:<{label_w}} {ranges[name]:>{range_w}} "
+                f"|{self.sparkline(name, width)}|"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the monitor
+# ---------------------------------------------------------------------------
+
+
+class HealthMonitor:
+    """Runtime health monitor for a simulated MultiNoC (or bare mesh).
+
+    Parameters
+    ----------
+    check_interval:
+        Watchdogs and invariants run every this many cycles (1 =
+        per-cycle).
+    sample_interval:
+        Time-series sampling stride; 0 disables the sampler.
+    deadlock_cycles / max_packet_age / cpu_stall_cycles /
+    host_transaction_cycles:
+        Watchdog thresholds in cycles; ``None`` disables that watchdog.
+    invariants:
+        Enable the online invariant checks (opt-in: they walk every
+        router per check).
+    on_violation:
+        ``"raise"`` (default) raises the :class:`HealthViolation`;
+        ``"record"`` collects it in :attr:`violations` (deduplicated by
+        (kind, component)) and keeps running.
+    """
+
+    def __init__(
+        self,
+        *,
+        check_interval: int = 64,
+        sample_interval: int = 0,
+        sample_window: int = 512,
+        deadlock_cycles: Optional[int] = 2_000,
+        max_packet_age: Optional[int] = 50_000,
+        cpu_stall_cycles: Optional[int] = 200_000,
+        host_transaction_cycles: Optional[int] = 1_000_000,
+        invariants: bool = False,
+        on_violation: str = "raise",
+    ):
+        if check_interval < 1:
+            raise ValueError("check_interval must be at least 1 cycle")
+        if on_violation not in ("raise", "record"):
+            raise ValueError("on_violation must be 'raise' or 'record'")
+        self.check_interval = check_interval
+        self.sample_interval = sample_interval
+        self.sample_window = sample_window
+        self.deadlock_cycles = deadlock_cycles
+        self.max_packet_age = max_packet_age
+        self.cpu_stall_cycles = cpu_stall_cycles
+        self.host_transaction_cycles = host_transaction_cycles
+        self.invariants = invariants
+        self.on_violation = on_violation
+
+        self.sim = None
+        self.mesh = None
+        self.stats = None
+        self.nis: List[Any] = []
+        self.processors: List[Any] = []
+        self.host = None
+        self.sampler: Optional[TimeSeriesSampler] = None
+        self.violations: List[HealthViolation] = []
+        self._recorded_keys: set = set()
+        self.checks_run = 0
+
+        self._router_totals: Dict[Address, int] = {}
+        self._last_router_movement: Dict[Address, int] = {}
+        self._last_global_movement = 0
+        self._cpu_progress: Dict[str, Tuple[Optional[tuple], int]] = {}
+        self._reported_starvation: Optional[tuple] = None
+        self._reported_host_txn: Optional[tuple] = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(
+        self,
+        sim,
+        system=None,
+        *,
+        mesh=None,
+        stats=None,
+        nis: Iterable[Any] = (),
+        processors: Iterable[Any] = (),
+        host=None,
+    ) -> "HealthMonitor":
+        """Hook into *sim* via its watcher list; returns self.
+
+        Pass a :class:`~repro.system.multinoc.MultiNoC` as *system* to
+        wire everything (mesh, stats, NIs, processors) automatically, or
+        give the pieces explicitly for bare-mesh testbenches.
+        """
+        if system is not None:
+            mesh = system.mesh
+            stats = system.stats
+            nis = system.network_interfaces()
+            processors = list(system.processors.values())
+        self.sim = sim
+        self.mesh = mesh
+        self.stats = stats
+        self.nis = list(nis)
+        self.processors = list(processors)
+        self.host = host
+
+        cycle = sim.cycle
+        self._last_global_movement = cycle
+        if stats is not None:
+            self._router_totals = stats.per_router_movement()
+        if mesh is not None:
+            for addr in mesh.routers:
+                self._last_router_movement[addr] = cycle
+        for proc in self.processors:
+            self._cpu_progress[proc.name] = (None, cycle)
+
+        if self.sample_interval:
+            self.sampler = TimeSeriesSampler(
+                self.sample_interval, self.sample_window
+            )
+            self._install_default_probes()
+
+        sim.add_watcher(self.on_cycle)
+        sim.health = self
+        return self
+
+    def detach(self) -> None:
+        """Unhook from the simulator; the run continues unmonitored."""
+        if self.sim is not None:
+            self.sim.remove_watcher(self.on_cycle)
+            if self.sim.health is self:
+                self.sim.health = None
+
+    def _install_default_probes(self) -> None:
+        sampler = self.sampler
+        assert sampler is not None
+        stats = self.stats
+        if stats is not None:
+            sampler.add_probe(
+                "noc.in_flight", lambda s=stats: s.in_flight_count
+            )
+        if self.mesh is not None and stats is not None:
+            for addr, router in sorted(self.mesh.routers.items()):
+                sampler.add_rate_probe(
+                    f"util.{router.name}",
+                    lambda s=stats, a=addr: s.router_flits_sent(a),
+                    scale=2.0,
+                )
+                sampler.add_probe(
+                    f"fifo.{router.name}",
+                    lambda r=router: sum(len(f) for f in r.fifos),
+                )
+        for proc in self.processors:
+            sampler.add_rate_probe(
+                f"ipc.{proc.name}",
+                lambda c=proc.cpu: c.instructions_retired,
+            )
+
+    # -- the per-cycle hook -------------------------------------------------
+
+    def on_cycle(self, cycle: int) -> None:
+        """Simulator watcher: sample on its stride, check on its own."""
+        if self.sampler is not None and cycle % self.sample_interval == 0:
+            self.sampler.sample(cycle)
+        if cycle % self.check_interval:
+            return
+        self.checks_run += 1
+        if self.stats is not None:
+            self._update_movement(cycle)
+            if self.deadlock_cycles is not None and self.mesh is not None:
+                self._check_deadlock(cycle)
+            if self.max_packet_age is not None:
+                self._check_starvation(cycle)
+        if self.cpu_stall_cycles is not None:
+            self._check_cpu_stall(cycle)
+        if self.host_transaction_cycles is not None and self.host is not None:
+            self._check_host_transaction(cycle)
+        if self.invariants:
+            self.check_invariants(cycle)
+
+    def _violate(
+        self,
+        kind: str,
+        component: str,
+        cycle: int,
+        message: str,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        violation = HealthViolation(kind, component, cycle, message, details)
+        if self.on_violation == "raise":
+            raise violation
+        key = (kind, component)
+        if key not in self._recorded_keys:
+            self._recorded_keys.add(key)
+            self.violations.append(violation)
+
+    # -- watchdogs ----------------------------------------------------------
+
+    def _update_movement(self, cycle: int) -> None:
+        totals = self.stats.per_router_movement()
+        moved = False
+        for addr, count in totals.items():
+            if count != self._router_totals.get(addr):
+                self._last_router_movement[addr] = cycle
+                moved = True
+        self._router_totals = totals
+        if moved:
+            self._last_global_movement = cycle
+
+    def _check_deadlock(self, cycle: int) -> None:
+        if cycle - self._last_global_movement < self.deadlock_cycles:
+            return
+        active = self.stats.in_flight_count > 0 or any(
+            r.busy for r in self.mesh.routers.values()
+        )
+        if not active:
+            # quiet network, nothing pending: re-arm silently
+            self._last_global_movement = cycle
+            return
+        graph = self.wait_graph()
+        stalled = cycle - self._last_global_movement
+        if graph["cycle_nodes"]:
+            where = " -> ".join(graph["cycle_nodes"])
+            blocked_at = f"wait-for cycle {where}"
+        elif graph["roots"]:
+            blocked_at = "root blocker " + ", ".join(graph["roots"])
+        else:
+            blocked_at = "no blocked edge found (control logic wedged?)"
+        component = (
+            graph["cycle_nodes"][0]
+            if graph["cycle_nodes"]
+            else (graph["roots"][0] if graph["roots"] else "noc")
+        )
+        self._last_global_movement = cycle  # re-arm for record mode
+        self._violate(
+            "deadlock",
+            component,
+            cycle,
+            f"no flit movement for {stalled} cycles with "
+            f"{self.stats.in_flight_count} packet(s) in flight; {blocked_at}",
+            details={
+                "stalled_cycles": stalled,
+                "in_flight": self.stats.in_flight_count,
+                "wait_for": graph,
+                "fifo_snapshots": self.fifo_snapshots(),
+                "last_movement": {
+                    r.name: self._last_router_movement.get(addr)
+                    for addr, r in self.mesh.routers.items()
+                },
+            },
+        )
+
+    def _check_starvation(self, cycle: int) -> None:
+        oldest = self.stats.oldest_in_flight()
+        if oldest is None:
+            self._reported_starvation = None
+            return
+        stamp, key = oldest
+        age = cycle - stamp
+        if age < self.max_packet_age or oldest == self._reported_starvation:
+            return
+        self._reported_starvation = oldest
+        target, payload = key
+        self._violate(
+            "starvation",
+            f"packet->{target[0]},{target[1]}",
+            cycle,
+            f"oldest in-flight packet (target {target}, "
+            f"{len(payload)} payload flits) injected at cycle {stamp} "
+            f"is {age} cycles old",
+            details={
+                "target": list(target),
+                "payload_flits": len(payload),
+                "injected_cycle": stamp,
+                "age": age,
+                "in_flight": self.stats.in_flight_count,
+            },
+        )
+
+    def _check_cpu_stall(self, cycle: int) -> None:
+        for proc in self.processors:
+            cpu = proc.cpu
+            name = proc.name
+            if cpu.halted:
+                self._cpu_progress[name] = (None, cycle)
+                continue
+            progress = cpu.progress
+            last_progress, last_cycle = self._cpu_progress.get(
+                name, (None, cycle)
+            )
+            if progress != last_progress:
+                self._cpu_progress[name] = (progress, cycle)
+                continue
+            stalled = cycle - last_cycle
+            if stalled < self.cpu_stall_cycles:
+                continue
+            self._cpu_progress[name] = (progress, cycle)  # re-arm
+            self._violate(
+                "cpu_stall",
+                name,
+                cycle,
+                f"active core at pc {progress[0]:#06x} made no progress "
+                f"for {stalled} cycles (state {cpu.fsm_state})",
+                details={"stalled_cycles": stalled, **proc.probe_state()},
+            )
+
+    def _check_host_transaction(self, cycle: int) -> None:
+        txn = getattr(self.host, "current_transaction", None)
+        if txn is None:
+            self._reported_host_txn = None
+            return
+        label, start = txn
+        open_for = cycle - start
+        if open_for < self.host_transaction_cycles or txn == self._reported_host_txn:
+            return
+        self._reported_host_txn = txn
+        self._violate(
+            "host_timeout",
+            self.host.name,
+            cycle,
+            f"serial transaction '{label}' started at cycle {start} "
+            f"still open after {open_for} cycles",
+            details={"transaction": label, "started": start, "open_for": open_for},
+        )
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(self, cycle: Optional[int] = None) -> None:
+        """Run every invariant once (also callable directly from tests)."""
+        cycle = cycle if cycle is not None else (
+            self.sim.cycle if self.sim is not None else 0
+        )
+        if self.stats is not None:
+            self._check_packet_conservation(cycle)
+        if self.mesh is None:
+            return
+        received: Dict[Address, int] = {}
+        sent: Dict[Address, int] = {}
+        if self.stats is not None:
+            for (addr, _), n in self.stats.flits_received.items():
+                received[addr] = received.get(addr, 0) + n
+            for (addr, _), n in self.stats.flits_sent.items():
+                sent[addr] = sent.get(addr, 0) + n
+        for addr, router in self.mesh.routers.items():
+            self._check_router_invariants(
+                cycle, router, received.get(addr, 0), sent.get(addr, 0)
+            )
+
+    def _check_packet_conservation(self, cycle: int) -> None:
+        s = self.stats
+        expected = (
+            s.packets_injected
+            - (s.packets_delivered - s.unmatched_deliveries)
+            - s.packets_dropped
+        )
+        if expected != s.in_flight_count:
+            self._violate(
+                "invariant.packet_conservation",
+                "noc",
+                cycle,
+                f"injected - delivered + unmatched - pruned = {expected} "
+                f"but in-flight count is {s.in_flight_count}",
+                details={
+                    "injected": s.packets_injected,
+                    "delivered": s.packets_delivered,
+                    "unmatched": s.unmatched_deliveries,
+                    "pruned": s.packets_dropped,
+                    "in_flight": s.in_flight_count,
+                },
+            )
+
+    def _check_router_invariants(
+        self, cycle: int, router, received: int, sent: int
+    ) -> None:
+        occupancy = 0
+        for port, fifo in enumerate(router.fifos):
+            n = len(fifo)
+            occupancy += n
+            if not 0 <= n <= fifo.capacity:
+                self._violate(
+                    "invariant.fifo_bounds",
+                    router.name,
+                    cycle,
+                    f"port {Port(port).name} FIFO holds {n} flits "
+                    f"(capacity {fifo.capacity})",
+                    details={"port": Port(port).name, "occupancy": n,
+                             "capacity": fifo.capacity},
+                )
+        if self.stats is not None and occupancy != received - sent:
+            self._violate(
+                "invariant.flit_conservation",
+                router.name,
+                cycle,
+                f"FIFOs hold {occupancy} flits but counters say "
+                f"{received} received - {sent} sent = {received - sent}",
+                details={"occupancy": occupancy, "received": received,
+                         "sent": sent,
+                         "fifos": [f.snapshot() for f in router.fifos]},
+            )
+        for in_port, out_port in enumerate(router.in_conn):
+            if out_port is None:
+                continue
+            if Port(out_port) not in _XY_LEGAL[Port(in_port)]:
+                self._violate(
+                    "invariant.xy_routing",
+                    router.name,
+                    cycle,
+                    f"connection {Port(in_port).name} -> "
+                    f"{Port(out_port).name} is an illegal XY turn",
+                    details={"in_port": Port(in_port).name,
+                             "out_port": Port(out_port).name,
+                             "state": router.probe_state()},
+                )
+        for out_port in range(router.N_PORTS):
+            owners = [
+                p
+                for p in range(router.N_PORTS)
+                if router.in_conn[p] == out_port
+            ]
+            owner = router.out_owner[out_port]
+            consistent = (
+                (not owners and owner is None)
+                or (len(owners) == 1 and owners[0] == owner)
+            )
+            if not consistent:
+                self._violate(
+                    "invariant.single_producer",
+                    router.name,
+                    cycle,
+                    f"output {Port(out_port).name} claimed by inputs "
+                    f"{[Port(p).name for p in owners]} but owner table "
+                    f"says {Port(owner).name if owner is not None else None}",
+                    details={"out_port": Port(out_port).name,
+                             "claimants": [Port(p).name for p in owners],
+                             "owner": (Port(owner).name
+                                       if owner is not None else None),
+                             "state": router.probe_state()},
+                )
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def wait_graph(self) -> Dict[str, Any]:
+        """The port wait-for graph of the mesh, with blocked edges marked.
+
+        Nodes are ``"component.PORT"`` strings; an edge A -> B means A
+        cannot make progress until B does.  ``cycle_nodes`` is the first
+        cycle found over blocked edges (a true cyclic deadlock — XY
+        routing excludes these, so one indicates a routing bug);
+        ``roots`` are blocked sinks: nodes others wait on that wait on
+        nothing themselves (a wedged consumer, a dead NI).
+        """
+        edges: List[Dict[str, Any]] = []
+        ni_at = {ni.address: ni for ni in self.nis}
+        for addr, router in self.mesh.routers.items():
+            for port in range(router.N_PORTS):
+                node = f"{router.name}.{Port(port).name}"
+                conn = router.in_conn[port]
+                if conn is not None:
+                    dst, blocked, reason = self._downstream(
+                        router, conn, ni_at
+                    )
+                    edges.append(
+                        {"src": node, "dst": dst, "reason": reason,
+                         "blocked": blocked}
+                    )
+                    continue
+                target = router.pending_header_target(port)
+                if target is None:
+                    continue
+                out = xy_route(addr, target)
+                owner = router.out_owner[out]
+                if owner is not None:
+                    edges.append(
+                        {
+                            "src": node,
+                            "dst": f"{router.name}.{Port(owner).name}",
+                            "reason": f"output {Port(out).name} held by "
+                            f"input {Port(owner).name}",
+                            "blocked": True,
+                        }
+                    )
+                else:
+                    edges.append(
+                        {
+                            "src": node,
+                            "dst": f"{router.name}.CTRL",
+                            "reason": f"awaiting route to "
+                            f"{target[0]},{target[1]}",
+                            "blocked": False,
+                        }
+                    )
+        nodes = sorted(
+            {e["src"] for e in edges} | {e["dst"] for e in edges}
+        )
+        blocked_edges = [e for e in edges if e["blocked"]]
+        cycle_nodes = _find_cycle(blocked_edges)
+        sources = {e["src"] for e in blocked_edges}
+        roots = sorted(
+            {e["dst"] for e in blocked_edges if e["dst"] not in sources}
+        )
+        return {
+            "nodes": nodes,
+            "edges": edges,
+            "cycle_nodes": cycle_nodes,
+            "roots": roots,
+        }
+
+    def _downstream(
+        self, router, out_port: int, ni_at: Dict[Address, Any]
+    ) -> Tuple[str, bool, str]:
+        """(node, blocked, reason) for an established connection's sink."""
+        if out_port == Port.LOCAL:
+            ni = ni_at.get(router.address)
+            name = ni.name if ni is not None else f"{router.name}.local-ip"
+            ch = router.out_ch[Port.LOCAL]
+            blocked = bool(ch.tx.value) and not bool(ch.ack.value)
+            return f"{name}.rx", blocked, "delivering to local IP"
+        x, y = router.address
+        dx, dy = PORT_DELTA[Port(out_port)]
+        neighbour = self.mesh.routers[(x + dx, y + dy)]
+        in_port = OPPOSITE[Port(out_port)]
+        blocked = neighbour.fifos[in_port].is_full
+        return (
+            f"{neighbour.name}.{in_port.name}",
+            blocked,
+            f"streaming out {Port(out_port).name}",
+        )
+
+    def fifo_snapshots(self) -> Dict[str, Dict[str, List[int]]]:
+        """Per-router, per-port FIFO contents (oldest flit first)."""
+        if self.mesh is None:
+            return {}
+        return {
+            router.name: {
+                Port(p).name: router.fifos[p].snapshot()
+                for p in range(router.N_PORTS)
+                if not router.fifos[p].is_empty
+            }
+            for router in self.mesh.routers.values()
+        }
+
+    def diagnostics(self) -> Dict[str, Any]:
+        """The full diagnostic dump attached to diagnosed failures."""
+        cycle = self.sim.cycle if self.sim is not None else 0
+        out: Dict[str, Any] = {"cycle": cycle}
+        if self.stats is not None:
+            s = self.stats
+            oldest = s.oldest_in_flight()
+            out["packets"] = {
+                "injected": s.packets_injected,
+                "delivered": s.packets_delivered,
+                "in_flight": s.in_flight_count,
+                "unmatched": s.unmatched_deliveries,
+                "pruned": s.packets_dropped,
+            }
+            if oldest is not None:
+                stamp, (target, payload) = oldest
+                out["oldest_in_flight"] = {
+                    "target": list(target),
+                    "payload_flits": len(payload),
+                    "injected_cycle": stamp,
+                    "age": cycle - stamp,
+                }
+        if self.mesh is not None:
+            out["wait_for"] = self.wait_graph()
+            out["fifo_snapshots"] = self.fifo_snapshots()
+            out["last_movement"] = {
+                router.name: self._last_router_movement.get(addr)
+                for addr, router in self.mesh.routers.items()
+            }
+            out["routers"] = {
+                router.name: router.probe_state()
+                for router in self.mesh.routers.values()
+            }
+        if self.nis:
+            out["network_interfaces"] = {
+                ni.name: ni.probe_state() for ni in self.nis
+            }
+        if self.processors:
+            out["processors"] = {
+                proc.name: proc.probe_state() for proc in self.processors
+            }
+        if self.host is not None:
+            out["host_transaction"] = getattr(
+                self.host, "current_transaction", None
+            )
+        out["violations"] = [v.as_dict() for v in self.violations]
+        return out
+
+    def describe(self, diagnostics: Optional[Dict[str, Any]] = None) -> str:
+        """Human-readable summary of a diagnostic dump."""
+        diag = diagnostics if diagnostics is not None else self.diagnostics()
+        lines = [f"health diagnostics @cycle {diag['cycle']}:"]
+        packets = diag.get("packets")
+        if packets:
+            lines.append(
+                f"  packets: {packets['injected']} injected / "
+                f"{packets['delivered']} delivered / "
+                f"{packets['in_flight']} in flight"
+            )
+        oldest = diag.get("oldest_in_flight")
+        if oldest:
+            lines.append(
+                f"  oldest in flight: -> {oldest['target'][0]},"
+                f"{oldest['target'][1]}, injected @{oldest['injected_cycle']}"
+                f" ({oldest['age']} cycles ago)"
+            )
+        graph = diag.get("wait_for")
+        if graph:
+            blocked = [e for e in graph["edges"] if e["blocked"]]
+            if graph["cycle_nodes"]:
+                lines.append(
+                    "  wait-for cycle: " + " -> ".join(graph["cycle_nodes"])
+                )
+            for edge in blocked:
+                lines.append(
+                    f"  blocked: {edge['src']} waits on {edge['dst']} "
+                    f"({edge['reason']})"
+                )
+            for root in graph["roots"]:
+                lines.append(f"  root blocker: {root}")
+        snapshots = diag.get("fifo_snapshots")
+        if snapshots:
+            for router, ports in sorted(snapshots.items()):
+                for port, flits in sorted(ports.items()):
+                    lines.append(
+                        f"  {router}.{port} holds "
+                        f"{[f'{f:#04x}' for f in flits]}"
+                    )
+        last = diag.get("last_movement")
+        if last:
+            stalled = {
+                name: at
+                for name, at in last.items()
+                if at is not None and diag["cycle"] - at > self.check_interval
+            }
+            for name, at in sorted(stalled.items()):
+                lines.append(
+                    f"  {name}: last flit movement @cycle {at} "
+                    f"({diag['cycle'] - at} cycles ago)"
+                )
+        host_txn = diag.get("host_transaction")
+        if host_txn:
+            lines.append(
+                f"  host transaction '{host_txn[0]}' open since "
+                f"cycle {host_txn[1]}"
+            )
+        if diag.get("violations"):
+            lines.append(f"  recorded violations: {len(diag['violations'])}")
+        return "\n".join(lines)
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-friendly health report (the CLI's ``--health-report``)."""
+        return {
+            "schema": "multinoc-health/1",
+            "cycle": self.sim.cycle if self.sim is not None else 0,
+            "config": {
+                "check_interval": self.check_interval,
+                "sample_interval": self.sample_interval,
+                "deadlock_cycles": self.deadlock_cycles,
+                "max_packet_age": self.max_packet_age,
+                "cpu_stall_cycles": self.cpu_stall_cycles,
+                "host_transaction_cycles": self.host_transaction_cycles,
+                "invariants": self.invariants,
+                "on_violation": self.on_violation,
+            },
+            "checks_run": self.checks_run,
+            "violations": [v.as_dict() for v in self.violations],
+            "sampler": (
+                self.sampler.as_dict() if self.sampler is not None else None
+            ),
+            "diagnostics": self.diagnostics(),
+        }
+
+
+def _find_cycle(edges: List[Dict[str, Any]]) -> List[str]:
+    """First cycle in the directed graph given by *edges*, or []."""
+    adjacency: Dict[str, List[str]] = {}
+    for edge in edges:
+        adjacency.setdefault(edge["src"], []).append(edge["dst"])
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[str, int] = {}
+    for start in adjacency:
+        if colour.get(start, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[str, int]] = [(start, 0)]
+        path: List[str] = []
+        colour[start] = GREY
+        path.append(start)
+        while stack:
+            node, index = stack[-1]
+            successors = adjacency.get(node, [])
+            if index >= len(successors):
+                stack.pop()
+                path.pop()
+                colour[node] = BLACK
+                continue
+            stack[-1] = (node, index + 1)
+            nxt = successors[index]
+            state = colour.get(nxt, WHITE)
+            if state == GREY:
+                at = path.index(nxt)
+                return path[at:] + [nxt]
+            if state == WHITE:
+                colour[nxt] = GREY
+                path.append(nxt)
+                stack.append((nxt, 0))
+    return []

@@ -174,6 +174,59 @@ class TestSystem:
         assert "kernel profile" in out
         assert "router" in out
 
+    def test_monitor_healthy_run(self, asm_file, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "health.json"
+        assert (
+            main(
+                [
+                    "system",
+                    str(asm_file),
+                    "--monitor",
+                    "--sample-interval",
+                    "500",
+                    "--health-report",
+                    str(report),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "health: OK, no violations" in out
+        assert "health timeline:" in out
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "multinoc-health/1"
+        assert doc["violations"] == []
+        assert doc["sampler"]["interval"] == 500
+
+    def test_monitor_diagnoses_failed_run(self, tmp_path, capsys):
+        import json
+
+        # scanf with no answer supplied: the core wedges, the CPU-stall
+        # watchdog fires long before --max-cycles would
+        path = tmp_path / "wedge.asm"
+        path.write_text(ECHO)
+        report = tmp_path / "health.json"
+        assert (
+            main(
+                [
+                    "system",
+                    str(path),
+                    "--monitor",
+                    "--max-cycles",
+                    "400000",
+                    "--health-report",
+                    str(report),
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "cpu_stall" in err or "error:" in err
+        doc = json.loads(report.read_text())
+        assert doc["violations"], "the failure must land in the report"
+
 
 class TestPrototype:
     def test_report(self, capsys):

@@ -1,0 +1,429 @@
+"""Tests for the online health-monitoring subsystem.
+
+Covers the watchdogs (a wedged network must trip the deadlock detector
+with a correct wait-for graph, a starved flow must trip the packet-age
+detector, a healthy run must report zero violations), the invariant
+checks, the time-series sampler, and the requirement that an attached
+monitor never perturbs simulation results.
+"""
+
+import json
+
+import pytest
+
+from repro.core import MultiNoCPlatform
+from repro.host.serial_software import HostTimeout
+from repro.noc.mesh import Mesh
+from repro.noc.ni import NetworkInterface
+from repro.noc.packet import Packet
+from repro.noc.routing import Port
+from repro.noc.stats import NetworkStats
+from repro.sim import Simulator
+from repro.sim.kernel import SimulationTimeout
+from repro.telemetry.health import (
+    HealthMonitor,
+    HealthViolation,
+    TimeSeriesSampler,
+)
+
+PRINTF_LOOP = """
+        CLR  R0
+        LDI  R2, 0xFFFF
+        LDL  R1, 5
+        LDL  R3, 1
+loop:   ST   R1, R2, R0
+        SUB  R1, R1, R3
+        JMPZD done
+        JMP  loop
+done:   HALT
+"""
+
+SCANF_FOREVER = """
+        CLR  R0
+        LDI  R2, 0xFFFF
+        LD   R1, R2, R0        ; scanf with no answer: the core wedges
+        HALT
+"""
+
+
+class WedgedNI(NetworkInterface):
+    """A sink NI that never consumes a flit."""
+
+    def _eval_receiver(self, cycle):
+        pass
+
+
+def attach_ni(mesh, ni, address):
+    into, out = mesh.local_channels(address)
+    ni.attach(to_router=into, from_router=out)
+    return ni
+
+
+def build_wedged_mesh():
+    """2x2 mesh, source at (0,0), wedged sink at (1,1)."""
+    stats = NetworkStats()
+    mesh = Mesh(2, 2, stats=stats)
+    source = attach_ni(mesh, NetworkInterface("src", (0, 0), stats=stats), (0, 0))
+    sink = attach_ni(mesh, WedgedNI("sink", (1, 1), stats=stats), (1, 1))
+    sim = Simulator()
+    sim.add(mesh)
+    sim.add(source)
+    sim.add(sink)
+    return sim, mesh, stats, source, sink
+
+
+class TestDeadlockWatchdog:
+    def test_wedged_mesh_raises_diagnosed_deadlock(self):
+        sim, mesh, stats, source, sink = build_wedged_mesh()
+        monitor = HealthMonitor(deadlock_cycles=400, check_interval=16)
+        monitor.attach(sim, mesh=mesh, stats=stats, nis=[source, sink])
+        source.send_packet(Packet(target=(1, 1), payload=[1, 2]))
+        with pytest.raises(HealthViolation) as excinfo:
+            sim.step(10_000)
+        violation = excinfo.value
+        assert violation.kind == "deadlock"
+        assert violation.details["in_flight"] == 1
+        graph = violation.details["wait_for"]
+        # the blocked chain ends at the wedged sink
+        assert "sink.rx" in graph["roots"]
+        blocked = {
+            (e["src"], e["dst"]) for e in graph["edges"] if e["blocked"]
+        }
+        assert ("router11.SOUTH", "sink.rx") in blocked
+        assert ("router10.WEST", "router11.SOUTH") in blocked
+        # XY routing is deadlock-free: a wedge is a chain, not a cycle
+        assert graph["cycle_nodes"] == []
+        # the exception names the blocked router/port
+        assert "sink.rx" in str(violation)
+
+    def test_deadlock_dump_has_fifo_and_movement_state(self):
+        sim, mesh, stats, source, sink = build_wedged_mesh()
+        monitor = HealthMonitor(
+            deadlock_cycles=400, check_interval=16, on_violation="record"
+        )
+        monitor.attach(sim, mesh=mesh, stats=stats, nis=[source, sink])
+        source.send_packet(Packet(target=(1, 1), payload=[7]))
+        sim.step(2_000)
+        assert monitor.violations, "record mode must collect the deadlock"
+        details = monitor.violations[0].details
+        # header + size flits of the wedged packet sit at router11.SOUTH
+        assert details["fifo_snapshots"]["router11"]["SOUTH"] == [0x11, 1]
+        assert set(details["last_movement"]) == {
+            "router00", "router01", "router10", "router11",
+        }
+        # the whole dump is JSON-serialisable (exception payload contract)
+        json.dumps(details)
+
+    def test_quiet_network_never_trips(self):
+        sim, mesh, stats, source, sink = build_wedged_mesh()
+        monitor = HealthMonitor(deadlock_cycles=100, check_interval=16)
+        monitor.attach(sim, mesh=mesh, stats=stats, nis=[source, sink])
+        sim.step(2_000)  # no traffic at all
+        assert monitor.violations == []
+
+    def test_timeout_under_monitor_carries_diagnostics(self):
+        sim, mesh, stats, source, sink = build_wedged_mesh()
+        monitor = HealthMonitor(deadlock_cycles=None)  # watchdog off
+        monitor.attach(sim, mesh=mesh, stats=stats, nis=[source, sink])
+        source.send_packet(Packet(target=(1, 1), payload=[3]))
+        with pytest.raises(SimulationTimeout) as excinfo:
+            sim.run_until(lambda: sink.has_received(), max_cycles=1_000)
+        diag = excinfo.value.diagnostics
+        assert diag is not None
+        assert "sink.rx" in diag["wait_for"]["roots"]
+        assert diag["packets"]["in_flight"] == 1
+        assert "sink.rx" in str(excinfo.value)
+
+
+class TestStarvationWatchdog:
+    def test_starved_flow_trips_packet_age_detector(self):
+        """A healthy flow keeps the NoC moving while one flow starves."""
+        stats = NetworkStats()
+        mesh = Mesh(2, 2, stats=stats)
+        # flow A: (0,1) -> (1,0), delivered normally, keeps flits moving
+        src_a = attach_ni(mesh, NetworkInterface("srcA", (0, 1), stats=stats), (0, 1))
+        sink_a = attach_ni(mesh, NetworkInterface("sinkA", (1, 0), stats=stats), (1, 0))
+        # flow B: (0,0) -> wedged (1,1): its packet ages forever
+        src_b = attach_ni(mesh, NetworkInterface("srcB", (0, 0), stats=stats), (0, 0))
+        sink_b = attach_ni(mesh, WedgedNI("sinkB", (1, 1), stats=stats), (1, 1))
+        sim = Simulator()
+        for c in (mesh, src_a, sink_a, src_b, sink_b):
+            sim.add(c)
+        monitor = HealthMonitor(
+            max_packet_age=600, deadlock_cycles=100_000, check_interval=16
+        )
+        monitor.attach(
+            sim, mesh=mesh, stats=stats, nis=[src_a, sink_a, src_b, sink_b]
+        )
+        src_b.send_packet(Packet(target=(1, 1), payload=[9]))
+        for _ in range(60):
+            src_a.send_packet(Packet(target=(1, 0), payload=[1]))
+        with pytest.raises(HealthViolation) as excinfo:
+            sim.step(5_000)
+        violation = excinfo.value
+        assert violation.kind == "starvation"
+        assert violation.details["target"] == [1, 1]
+        assert violation.details["age"] >= 600
+        # the healthy flow really was delivering meanwhile
+        assert stats.packets_delivered > 10
+
+    def test_delivered_traffic_does_not_trip(self):
+        stats = NetworkStats()
+        mesh = Mesh(2, 2, stats=stats)
+        src = attach_ni(mesh, NetworkInterface("src", (0, 0), stats=stats), (0, 0))
+        sink = attach_ni(mesh, NetworkInterface("sink", (1, 1), stats=stats), (1, 1))
+        sim = Simulator()
+        for c in (mesh, src, sink):
+            sim.add(c)
+        monitor = HealthMonitor(max_packet_age=200, check_interval=8)
+        monitor.attach(sim, mesh=mesh, stats=stats, nis=[src, sink])
+        for _ in range(20):
+            src.send_packet(Packet(target=(1, 1), payload=[1, 2]))
+        sim.step(4_000)
+        assert sink.has_received()
+        assert monitor.violations == []
+
+
+class TestCpuAndHostWatchdogs:
+    def test_unanswered_scanf_trips_cpu_stall(self):
+        session = MultiNoCPlatform.standard().launch()
+        monitor = session.monitor_health(
+            cpu_stall_cycles=2_000, check_interval=64
+        )
+        session.start(1, SCANF_FOREVER)  # no scanf handler installed
+        with pytest.raises(HealthViolation) as excinfo:
+            session.sim.step(60_000)
+        violation = excinfo.value
+        assert violation.kind == "cpu_stall"
+        assert violation.component == "proc1"
+        assert violation.details["stalled_cycles"] >= 2_000
+        assert violation.details["halted"] is False
+        assert monitor is session.health
+
+    def test_wedged_board_trips_host_transaction_watchdog(self):
+        session = MultiNoCPlatform.standard().launch()
+        session.monitor_health(
+            host_transaction_cycles=3_000,
+            deadlock_cycles=None,
+            cpu_stall_cycles=None,
+            check_interval=64,
+        )
+        session.host.sync()
+        # wedge the memory IP's NI: a read of it never answers
+        session.system.memory(0).ni._eval_receiver = lambda cycle: None
+        with pytest.raises(HealthViolation) as excinfo:
+            session.read("mem0", 0, 4)
+        violation = excinfo.value
+        assert violation.kind == "host_timeout"
+        assert violation.details["transaction"] == "read return"
+
+    def test_plain_host_timeout_still_wraps_simulation_timeout(self):
+        session = MultiNoCPlatform.standard().launch()
+        session.monitor_health(
+            deadlock_cycles=None,
+            cpu_stall_cycles=None,
+            host_transaction_cycles=None,
+        )
+        session.system.memory(0).ni._eval_receiver = lambda cycle: None
+        session.host.sync()
+        with pytest.raises(HostTimeout) as excinfo:
+            session.host.read_memory(
+                session.memory_address(0), 0, 1, max_cycles=60_000
+            )
+        # the monitor's dump rides along on the host-level exception;
+        # the read request wedges mid-injection, so the wait-for graph
+        # (not the in-flight count) is what localises the blockage
+        diag = excinfo.value.diagnostics
+        assert diag is not None
+        assert "mem0.ni.rx" in diag["wait_for"]["roots"]
+        assert any(e["blocked"] for e in diag["wait_for"]["edges"])
+
+
+class TestHealthyRuns:
+    def test_healthy_run_reports_zero_violations(self):
+        """Full monitoring (watchdogs + invariants) on a clean program."""
+        session = MultiNoCPlatform.standard().launch()
+        monitor = session.monitor_health(
+            check_interval=16, invariants=True, sample_interval=100
+        )
+        session.host.sync()
+        session.run(1, PRINTF_LOOP)
+        assert session.host.monitor(1).printf_values == [5, 4, 3, 2, 1]
+        assert monitor.violations == []
+        assert monitor.checks_run > 0
+
+    def test_monitor_does_not_perturb_results(self):
+        """Bit-identical behaviour with and without the monitor."""
+
+        def run(monitored):
+            session = MultiNoCPlatform.standard().launch()
+            if monitored:
+                session.monitor_health(
+                    check_interval=1, invariants=True, sample_interval=50
+                )
+            session.host.sync()
+            session.run(1, PRINTF_LOOP)
+            return (
+                session.sim.cycle,
+                session.host.monitor(1).printf_values,
+                session.system.stats.packets_injected,
+                session.system.stats.latencies,
+            )
+
+        assert run(False) == run(True)
+
+    def test_detach_stops_checking(self):
+        sim, mesh, stats, source, sink = build_wedged_mesh()
+        monitor = HealthMonitor(deadlock_cycles=200, check_interval=16)
+        monitor.attach(sim, mesh=mesh, stats=stats, nis=[source, sink])
+        monitor.detach()
+        assert sim.health is None
+        source.send_packet(Packet(target=(1, 1), payload=[1]))
+        sim.step(2_000)  # wedged, but nobody is watching
+        assert monitor.violations == []
+
+
+class TestInvariants:
+    def make_monitored_mesh(self):
+        stats = NetworkStats()
+        mesh = Mesh(2, 2, stats=stats)
+        sim = Simulator()
+        sim.add(mesh)
+        monitor = HealthMonitor(invariants=True, on_violation="record")
+        monitor.attach(sim, mesh=mesh, stats=stats)
+        return monitor, mesh, stats
+
+    def kinds(self, monitor):
+        return {v.kind for v in monitor.violations}
+
+    def test_clean_mesh_passes_all_invariants(self):
+        monitor, mesh, stats = self.make_monitored_mesh()
+        monitor.check_invariants(0)
+        assert monitor.violations == []
+
+    def test_fifo_overflow_detected(self):
+        monitor, mesh, stats = self.make_monitored_mesh()
+        mesh.router((0, 0)).fifos[0]._count = 99
+        monitor.check_invariants(0)
+        assert "invariant.fifo_bounds" in self.kinds(monitor)
+
+    def test_illegal_xy_turn_detected(self):
+        monitor, mesh, stats = self.make_monitored_mesh()
+        router = mesh.router((0, 0))
+        # a Y-to-X turn is illegal under XY routing
+        router.in_conn[Port.NORTH] = int(Port.EAST)
+        router.out_owner[Port.EAST] = int(Port.NORTH)
+        monitor.check_invariants(0)
+        assert "invariant.xy_routing" in self.kinds(monitor)
+
+    def test_double_producer_detected(self):
+        monitor, mesh, stats = self.make_monitored_mesh()
+        router = mesh.router((0, 0))
+        router.in_conn[Port.WEST] = int(Port.EAST)
+        router.in_conn[Port.LOCAL] = int(Port.EAST)
+        router.out_owner[Port.EAST] = int(Port.WEST)
+        monitor.check_invariants(0)
+        assert "invariant.single_producer" in self.kinds(monitor)
+
+    def test_packet_conservation_detects_stat_corruption(self):
+        monitor, mesh, stats = self.make_monitored_mesh()
+        stats._packets_injected.inc(3)  # injections with no stamps
+        monitor.check_invariants(0)
+        assert "invariant.packet_conservation" in self.kinds(monitor)
+
+    def test_flit_conservation_detects_lost_flit(self):
+        monitor, mesh, stats = self.make_monitored_mesh()
+        # counters say one flit entered router00, but no FIFO holds it
+        stats.flit_received((0, 0), 0)
+        monitor.check_invariants(0)
+        assert "invariant.flit_conservation" in self.kinds(monitor)
+
+    def test_raise_mode_raises_immediately(self):
+        stats = NetworkStats()
+        mesh = Mesh(2, 2, stats=stats)
+        sim = Simulator()
+        sim.add(mesh)
+        monitor = HealthMonitor(invariants=True, check_interval=1)
+        monitor.attach(sim, mesh=mesh, stats=stats)
+        mesh.router((0, 0)).fifos[0]._count = 99
+        with pytest.raises(HealthViolation):
+            sim.step(2)
+
+
+class TestSampler:
+    def test_windows_and_rate_probes(self):
+        sampler = TimeSeriesSampler(interval=10, window=4)
+        counter = {"n": 0}
+        sampler.add_probe("gauge", lambda: counter["n"])
+        sampler.add_rate_probe("rate", lambda: counter["n"] * 10)
+        for cycle in range(10, 110, 10):
+            counter["n"] += 1
+            sampler.sample(cycle)
+        # window keeps only the newest 4 samples
+        assert len(sampler.series["gauge"]) == 4
+        assert [v for _, v in sampler.series["gauge"]] == [7, 8, 9, 10]
+        # counter grows 10/sample over 10 cycles -> rate 1.0
+        assert [v for _, v in sampler.series["rate"]] == [1.0, 1.0, 1.0, 1.0]
+
+    def test_csv_and_dict_export(self):
+        sampler = TimeSeriesSampler(interval=5, window=8)
+        sampler.add_probe("a", lambda: 1.5)
+        sampler.sample(5)
+        sampler.sample(10)
+        csv = sampler.to_csv()
+        assert csv.splitlines()[0] == "cycle,series,value"
+        assert "5,a,1.5" in csv
+        data = sampler.as_dict()
+        assert data["series"]["a"]["cycles"] == [5, 10]
+        json.dumps(data)
+
+    def test_sparkline_and_timeline(self):
+        sampler = TimeSeriesSampler(interval=1, window=100)
+        sampler.add_probe("ramp", lambda: 0.0)
+        for cycle in range(1, 101):
+            sampler.series["ramp"].append((cycle, float(cycle)))
+        line = sampler.sparkline("ramp", width=10)
+        assert len(line) == 10
+        assert line[0] == " " and line[-1] == "@"
+        timeline = sampler.timeline()
+        assert "ramp" in timeline and "cycles 1..100" in timeline
+        assert sampler.sparkline("missing") == ""
+
+    def test_monitor_installs_default_probes(self):
+        session = MultiNoCPlatform.standard().launch()
+        monitor = session.monitor_health(sample_interval=50)
+        session.host.sync()
+        session.run(1, PRINTF_LOOP)
+        names = set(monitor.sampler.series)
+        assert "noc.in_flight" in names
+        assert any(n.startswith("util.router") for n in names)
+        assert any(n.startswith("fifo.router") for n in names)
+        assert any(n.startswith("ipc.proc") for n in names)
+        assert all(len(s) > 0 for s in monitor.sampler.series.values())
+
+
+class TestReport:
+    def test_report_is_json_serialisable_and_complete(self):
+        session = MultiNoCPlatform.standard().launch()
+        monitor = session.monitor_health(sample_interval=100, invariants=True)
+        session.host.sync()
+        session.run(1, PRINTF_LOOP)
+        report = monitor.report()
+        json.dumps(report)
+        assert report["schema"] == "multinoc-health/1"
+        assert report["violations"] == []
+        assert report["checks_run"] == monitor.checks_run
+        assert report["sampler"]["interval"] == 100
+        diag = report["diagnostics"]
+        assert set(diag["processors"]) == {"proc1", "proc2"}
+        assert diag["packets"]["in_flight"] == 0
+
+    def test_describe_mentions_key_state(self):
+        sim, mesh, stats, source, sink = build_wedged_mesh()
+        monitor = HealthMonitor(deadlock_cycles=None)
+        monitor.attach(sim, mesh=mesh, stats=stats, nis=[source, sink])
+        source.send_packet(Packet(target=(1, 1), payload=[1]))
+        sim.step(800)
+        text = monitor.describe()
+        assert "1 in flight" in text
+        assert "root blocker: sink.rx" in text

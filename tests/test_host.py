@@ -105,6 +105,21 @@ class TestMonitors:
         system, sim, host = make_session()
         assert host.monitor(3).proc == 3
 
+    def test_unmatched_answer_is_recorded_not_dropped(self):
+        mon = InteractionMonitor(1)
+        mon.log_scanf_answer(0xBEEF, cycle=300)
+        assert mon.unmatched_answer_count == 1
+        assert mon.unmatched_answers == [(300, 0xBEEF)]
+        assert "unmatched answer" in mon.transcript()
+        assert "0xbeef" in mon.transcript()
+
+    def test_matched_answer_is_not_flagged(self):
+        mon = InteractionMonitor(1)
+        mon.log_scanf_request(200)
+        mon.log_scanf_answer(7, cycle=250)
+        assert mon.unmatched_answer_count == 0
+        assert "unmatched" not in mon.transcript()
+
 
 class TestLoader:
     def test_object_file_roundtrip(self, tmp_path):

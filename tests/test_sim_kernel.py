@@ -183,6 +183,28 @@ class TestSimulator:
         sim.step(3)
         assert seen == [1, 2, 3]
 
+    def test_double_add_watcher_is_ignored(self):
+        sim = Simulator()
+        seen = []
+        sim.add_watcher(seen.append)
+        sim.add_watcher(seen.append)
+        sim.step(2)
+        assert seen == [1, 2]  # would be [1, 1, 2, 2] if registered twice
+
+    def test_remove_watcher(self):
+        sim = Simulator()
+        seen = []
+        sim.add_watcher(seen.append)
+        sim.step(2)
+        sim.remove_watcher(seen.append)
+        sim.step(2)
+        assert seen == [1, 2]
+
+    def test_remove_unknown_watcher_is_a_no_op(self):
+        sim = Simulator()
+        sim.remove_watcher(lambda cycle: None)
+        sim.step(1)
+
 
 class TestTracer:
     def test_records_only_changes(self):
