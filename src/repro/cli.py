@@ -8,6 +8,7 @@ Run as ``python -m repro.cli <command>``::
     debug FILE          run a debugger script against a program
     cc FILE             compile R8C to assembly or object code
     system FILE         load and run on the full MultiNoC platform
+    analyze TRACE       post-mortem analysis of a JSONL trace
     prototype           print the virtual FPGA implementation report
 
 Every command reads/writes the same text object format the Serial
@@ -162,6 +163,9 @@ def cmd_system(args) -> int:
         _print_system_stats(session)
     if args.metrics:
         print(session.system.stats.registry.prometheus_text(), end="")
+    if telemetry is not None:
+        # flush deferred telemetry (CPU PC samples) before any export
+        session.system.flush_telemetry()
     try:
         if telemetry is not None and args.trace:
             from .telemetry import write_chrome_trace
@@ -222,15 +226,71 @@ def _print_system_stats(session) -> None:
         f"{stats.packets_delivered} delivered, "
         f"{stats.in_flight_count} in flight"
     )
-    print(
-        "latency (cycles): "
-        f"mean {summary['mean']:.1f}  p50 {summary['p50']:.0f}  "
-        f"p90 {summary['p90']:.0f}  p99 {summary['p99']:.0f}  "
-        f"max {summary['max']:.0f}"
-    )
+    if summary["count"]:
+        print(
+            "latency (cycles): "
+            f"mean {summary['mean']:.1f}  p50 {summary['p50']:.0f}  "
+            f"p90 {summary['p90']:.0f}  p99 {summary['p99']:.0f}  "
+            f"max {summary['max']:.0f}"
+        )
+    else:
+        print("latency (cycles): no packets delivered")
     width, height = session.system.config.mesh
     print("mesh utilisation (top row = highest y):")
     print(stats.heatmap(width, height, session.sim.cycle))
+
+
+def cmd_analyze(args) -> int:
+    """Post-mortem analysis of a ``--trace-jsonl`` event log."""
+    import json
+
+    from .telemetry import analyze_trace, diff_traces, load_jsonl
+
+    analysis = analyze_trace(load_jsonl(args.trace))
+    print(analysis.report(top=args.top))
+    document = analysis.to_dict()
+    status = 0
+
+    if args.baseline:
+        diff = diff_traces(
+            analysis,
+            analyze_trace(load_jsonl(args.baseline)),
+            threshold_pct=args.threshold_pct,
+            threshold_cycles=args.threshold_cycles,
+        )
+        print()
+        print(f"diff vs {args.baseline}:")
+        print(diff.report())
+        document["diff"] = diff.to_dict()
+        if not diff.ok:
+            status = 1
+
+    try:
+        if args.flamegraph:
+            lines = analysis.folded_stacks()
+            Path(args.flamegraph).write_text(
+                "\n".join(lines) + ("\n" if lines else "")
+            )
+            print(
+                f"folded stacks ({len(lines)} frames) -> {args.flamegraph} "
+                "(open with flamegraph.pl or speedscope)"
+            )
+        if args.annotate:
+            obj = _load_program(args.annotate)
+            for track in sorted(analysis.profiles):
+                profile = analysis.profiles[track]
+                if not profile.samples:
+                    continue
+                print(f"annotated listing for {track}:")
+                for line in profile.annotate(obj):
+                    print(line)
+        if args.json:
+            Path(args.json).write_text(json.dumps(document, indent=2))
+            print(f"analysis -> {args.json}")
+    except OSError as exc:
+        print(f"error: cannot write output file: {exc}", file=sys.stderr)
+        return 1
+    return status
 
 
 def cmd_prototype(args) -> int:
@@ -316,6 +376,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the health report (violations, sampler series) as JSON",
     )
     p.set_defaults(fn=cmd_system)
+
+    p = sub.add_parser(
+        "analyze", help="post-mortem analysis of a JSONL trace"
+    )
+    p.add_argument("trace", help="JSONL event log (from --trace-jsonl)")
+    p.add_argument(
+        "--baseline",
+        help="baseline JSONL trace to diff against (exit 1 on regression)",
+    )
+    p.add_argument(
+        "--flamegraph",
+        metavar="FILE",
+        help="write folded stacks for flamegraph.pl / speedscope",
+    )
+    p.add_argument(
+        "--annotate",
+        metavar="OBJ",
+        help="object/assembly file to render as an annotated listing",
+    )
+    p.add_argument("--json", metavar="FILE", help="write the analysis as JSON")
+    p.add_argument(
+        "--top", type=int, default=5, help="rows per report section"
+    )
+    p.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=10.0,
+        help="relative regression threshold for --baseline",
+    )
+    p.add_argument(
+        "--threshold-cycles",
+        type=float,
+        default=5.0,
+        help="absolute regression threshold for --baseline",
+    )
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("prototype", help="Section 3 implementation report")
     p.add_argument("--iterations", type=int, default=3000)

@@ -129,6 +129,22 @@ class PlatformSession:
         self.health = monitor
         return monitor
 
+    def analyze(self):
+        """Post-mortem analysis of this session's telemetry.
+
+        Flushes deferred telemetry (CPU PC samples) and runs
+        :func:`~repro.telemetry.analysis.analyze_trace` over the sink;
+        raises if the session was launched without telemetry.
+        """
+        if self.telemetry is None:
+            raise RuntimeError(
+                "session has no telemetry sink; launch(telemetry=True) first"
+            )
+        from ..telemetry.analysis import analyze_trace
+
+        self.system.flush_telemetry()
+        return analyze_trace(self.telemetry)
+
     def processor_address(self, pid: int) -> Address:
         return self.system.config.processors[pid]
 

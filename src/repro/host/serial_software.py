@@ -276,6 +276,26 @@ class SerialSoftware(Component):
         """Send assembled object code into a processor's local memory."""
         for origin, segment in obj.segments:
             self.write_memory(target, origin, segment, max_cycles=max_cycles)
+        self._stash_symbols(target, obj)
+
+    def _stash_symbols(self, target: Target, obj: ObjectCode) -> None:
+        """Remember the program's symbol table on its ProcessorIp and put
+        it into the trace, so post-mortem analysis can resolve PC samples
+        to function names even from a reloaded JSONL file."""
+        flit = _flit(target)
+        for proc in self.system.processors.values():
+            if encode_address(*proc.noc_address) != flit:
+                continue
+            symbols = dict(getattr(obj, "symbols", {}) or {})
+            proc.symbols = symbols
+            if self.sink is not None and symbols:
+                self.sink.instant(
+                    proc.cpu.name,
+                    "symbols",
+                    self._require_sim().cycle,
+                    symbols=symbols,
+                )
+            return
 
     def run_program(
         self,

@@ -89,10 +89,24 @@ class Mesh(Component):
     # -- telemetry -----------------------------------------------------------
 
     def attach_telemetry(self, sink) -> None:
-        """Register every router as a track and enable its event hooks."""
-        for router in self.routers.values():
+        """Register every router as a track and enable its event hooks.
+
+        Each router also emits one ``router_config`` instant carrying its
+        mesh coordinates and routing service time, so an exported trace
+        is self-describing for the post-mortem analyzer
+        (:mod:`repro.telemetry.analysis`).
+        """
+        for (x, y), router in sorted(self.routers.items()):
             sink.track(router.name, process="noc")
             router.sink = sink
+            sink.instant(
+                router.name,
+                "router_config",
+                0,
+                x=x,
+                y=y,
+                routing_cycles=router.routing_cycles,
+            )
 
     # -- queries ------------------------------------------------------------
 

@@ -31,6 +31,8 @@ class NetworkInterface(Component):
         self.stats = stats
         #: optional TelemetrySink; hooks are behind one None-check each
         self.sink = None
+        #: per-flow (target) injection sequence numbers; telemetry only
+        self._flow_seq: dict = {}
         self.to_router: Optional[HandshakeTx] = None
         self.from_router: Optional[HandshakeTx] = None
 
@@ -120,6 +122,7 @@ class NetworkInterface(Component):
         self._rx_state = _RX_HEADER
         self._rx_flits = []
         self.received.clear()
+        self._flow_seq = {}
 
     def _eval_sender(self, cycle: int) -> None:
         ch = self.to_router
@@ -148,14 +151,22 @@ class NetworkInterface(Component):
                         self.stats.packet_injected(self._tx_packet)
                     if self.sink is not None:
                         start = self._tx_packet.injected_cycle
+                        target = self._tx_packet.target
+                        seq = self._flow_seq.get(target, 0)
+                        self._flow_seq[target] = seq + 1
+                        src = f"{self.address[0]},{self.address[1]}"
+                        tgt = f"{target[0]},{target[1]}"
                         self.sink.complete(
                             self.name,
                             "inject",
                             start if start is not None else cycle,
                             cycle - start if start is not None else 0,
-                            target=f"{self._tx_packet.target[0]},"
-                            f"{self._tx_packet.target[1]}",
+                            target=tgt,
                             flits=len(self._tx_flits),
+                            src=src,
+                            flow=f"{src}>{tgt}",
+                            seq=seq,
+                            queued=self._tx_packet.created_cycle,
                         )
                     self._tx_packet = None
                     self._tx_in_flight = False
@@ -215,6 +226,7 @@ class NetworkInterface(Component):
         if self.sink is not None:
             # stats matching (above) recovered the injection stamp, so
             # the whole inject->deliver lifetime renders as one span
+            at = f"{self.address[0]},{self.address[1]}"
             if packet.latency is not None:
                 self.sink.complete(
                     self.name,
@@ -222,8 +234,9 @@ class NetworkInterface(Component):
                     packet.injected_cycle,
                     packet.latency,
                     flits=packet.size_flits,
+                    at=at,
                 )
             else:
-                self.sink.instant(self.name, "deliver", cycle)
+                self.sink.instant(self.name, "deliver", cycle, at=at)
         self._rx_state = _RX_HEADER
         self._rx_flits = []

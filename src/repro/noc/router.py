@@ -75,6 +75,10 @@ class HermesRouter(Component):
         self.sink = None
         self._now = 0
         self._conn_opened = [0] * self.N_PORTS
+        # Receive-side packet framing (telemetry only): lets the receiver
+        # hook recognise header flits and stamp their FIFO-entry cycle.
+        self._rx_phase = [_PH_HEADER] * self.N_PORTS
+        self._rx_left = [0] * self.N_PORTS
 
         self.in_ch: List[Optional[HandshakeTx]] = [None] * self.N_PORTS
         self.out_ch: List[Optional[HandshakeTx]] = [None] * self.N_PORTS
@@ -126,6 +130,8 @@ class HermesRouter(Component):
         self.arbiter.reset()
         self._ctrl_state = _CTRL_IDLE
         self._ctrl_counter = 0
+        self._rx_phase = [_PH_HEADER] * self.N_PORTS
+        self._rx_left = [0] * self.N_PORTS
 
     # -- output ports (handshake senders) -----------------------------------
 
@@ -241,6 +247,7 @@ class HermesRouter(Component):
                         self._now,
                         target=f"{target[0]},{target[1]}",
                         out=Port(out_port).name,
+                        port=Port(in_port).name,
                     )
             else:
                 if self.stats is not None:
@@ -251,6 +258,8 @@ class HermesRouter(Component):
                         "route_blocked",
                         self._now,
                         out=Port(out_port).name,
+                        port=Port(in_port).name,
+                        target=f"{target[0]},{target[1]}",
                     )
 
     # -- input ports (handshake receivers) -----------------------------------
@@ -268,6 +277,8 @@ class HermesRouter(Component):
                 ch.ack.drive(1)
                 if self.stats is not None:
                     self.stats.flit_received(self.address, p)
+                if self.sink is not None:
+                    self._rx_track(p, ch.data.value)
             else:
                 if (
                     self.stats is not None
@@ -276,6 +287,32 @@ class HermesRouter(Component):
                 ):
                     self.stats.stall(self.address, p)
                 ch.ack.drive(0)
+
+    def _rx_track(self, port: int, flit: int) -> None:
+        """Telemetry-only receive-side framing: stamp the FIFO-entry cycle
+        of every header flit (the ``hdr`` instant the post-mortem analyzer
+        uses as each hop's queueing-start boundary)."""
+        phase = self._rx_phase[port]
+        if phase == _PH_HEADER:
+            target = decode_address(flit)
+            self.sink.instant(
+                self.name,
+                "hdr",
+                self._now,
+                port=Port(port).name,
+                target=f"{target[0]},{target[1]}",
+            )
+            self._rx_phase[port] = _PH_SIZE
+        elif phase == _PH_SIZE:
+            if flit == 0:
+                self._rx_phase[port] = _PH_HEADER
+            else:
+                self._rx_left[port] = flit
+                self._rx_phase[port] = _PH_PAYLOAD
+        else:
+            self._rx_left[port] -= 1
+            if self._rx_left[port] == 0:
+                self._rx_phase[port] = _PH_HEADER
 
     # -- introspection ---------------------------------------------------------
 

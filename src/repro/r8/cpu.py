@@ -76,6 +76,13 @@ class R8Cpu(Component):
         self._burst_start: Optional[int] = None
         self._burst_base = 0
         self._stall_start: Optional[int] = None
+        #: optional PC sampling: ``(call_stack, pc) -> cycles`` when
+        #: enabled, ``None`` otherwise (one None-check per active cycle).
+        #: ``call_stack`` is the tuple of call-site PCs of the JSR chain
+        #: currently live, so samples fold into real flame-graph stacks.
+        self.pc_samples: Optional[dict] = None
+        self._cur_pc = 0
+        self._call_key: tuple = ()
 
     # -- control ------------------------------------------------------------
 
@@ -85,6 +92,42 @@ class R8Cpu(Component):
         self._fsm = S_FETCH
         self._instr = None
         self._txn = None
+        if self.pc_samples is not None:
+            self._call_key = ()
+            self._cur_pc = 0
+
+    def enable_pc_sampling(self) -> None:
+        """Turn on per-PC cycle sampling (the post-mortem profiler feed).
+
+        Every active cycle is charged to ``(call_stack, pc)``; the
+        accumulated counts are flushed as ``pcsample`` trace events by
+        :meth:`flush_pc_samples`.  Sampling never changes architectural
+        behaviour — it only reads the FSM.
+        """
+        if self.pc_samples is None:
+            self.pc_samples = {}
+
+    def flush_pc_samples(self) -> int:
+        """Emit accumulated PC samples as ``pcsample`` instants and clear.
+
+        Returns the number of distinct ``(stack, pc)`` buckets flushed.
+        No-op (returning 0) when sampling is disabled or no sink is
+        attached.
+        """
+        if self.pc_samples is None or self.sink is None or not self.pc_samples:
+            return 0
+        buckets = sorted(self.pc_samples.items())
+        for (stack, pc), cycles in buckets:
+            self.sink.instant(
+                self.name,
+                "pcsample",
+                self._now,
+                stack=list(stack),
+                pc=pc,
+                cycles=cycles,
+            )
+        self.pc_samples = {}
+        return len(buckets)
 
     @property
     def halted(self) -> bool:
@@ -135,6 +178,10 @@ class R8Cpu(Component):
         self.instructions_retired = 0
         self._burst_start = None
         self._stall_start = None
+        if self.pc_samples is not None:
+            self.pc_samples = {}
+        self._call_key = ()
+        self._cur_pc = 0
 
     def eval(self, cycle: int) -> None:
         if self._fsm == S_HALT:
@@ -142,6 +189,13 @@ class R8Cpu(Component):
         self.cycles_active += 1
         if self.sink is not None:
             self._telemetry_tick(cycle)
+        if self.pc_samples is not None:
+            # FETCH cycles (and pause-at-fetch stalls) belong to the
+            # instruction about to be fetched; later FSM states to the
+            # instruction fetched earlier.
+            pc = self.state.pc if self._fsm == S_FETCH else self._cur_pc
+            key = (self._call_key, pc)
+            self.pc_samples[key] = self.pc_samples.get(key, 0) + 1
         if self._fsm == S_FETCH:
             if self.paused:
                 self.cycles_stalled += 1
@@ -157,6 +211,8 @@ class R8Cpu(Component):
     # -- FSM states --------------------------------------------------------------
 
     def _do_fetch(self) -> None:
+        if self.pc_samples is not None:
+            self._cur_pc = self.state.pc
         word = self.bus.fetch(self.state.pc)
         self._instr = isa.decode(word)
         self.state.pc = (self.state.pc + 1) & MASK16
@@ -294,6 +350,8 @@ class R8Cpu(Component):
             self._fsm = S_WRITE
             return
         elif m in ("JSRR", "JSRD"):
+            if self.pc_samples is not None:
+                self._call_key = self._call_key + (self._cur_pc,)
             self._txn = self.bus.write(st.sp, st.pc)
             st.sp = (st.sp - 1) & MASK16
             if m == "JSRR":
@@ -319,6 +377,8 @@ class R8Cpu(Component):
         assert instr is not None
         if instr.mnemonic in _MEM_TO_PC:
             self.state.pc = txn.value & MASK16
+            if self.pc_samples is not None and self._call_key:
+                self._call_key = self._call_key[:-1]
         else:
             self.state.set_reg(instr.rt, txn.value)
         self._retire()

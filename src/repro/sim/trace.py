@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import csv
 import io
 from collections import deque
 from dataclasses import dataclass, field
@@ -66,12 +67,14 @@ class Tracer:
         )
 
     def as_csv(self) -> str:
-        """``cycle,wire,value`` lines with a header, for offline analysis."""
+        """``cycle,wire,value`` lines with a header, for offline analysis.
+
+        Uses :mod:`csv` so wire names *and* values containing commas,
+        quotes or newlines survive a round-trip through any CSV reader.
+        """
         out = io.StringIO()
-        out.write("cycle,wire,value\r\n")
+        writer = csv.writer(out)
+        writer.writerow(["cycle", "wire", "value"])
         for e in self.events:
-            wire = e.wire
-            if "," in wire or '"' in wire:
-                wire = '"' + wire.replace('"', '""') + '"'
-            out.write(f"{e.cycle},{wire},{e.value}\r\n")
+            writer.writerow([e.cycle, e.wire, e.value])
         return out.getvalue()

@@ -103,6 +103,19 @@ class MultiNoC(Component):
             sink.track(mem.ni.name, process="noc")
             mem.ni.sink = sink
 
+    def flush_telemetry(self) -> int:
+        """Flush deferred telemetry (CPU PC samples) into the sink.
+
+        Call once after a run, before exporting the trace; returns the
+        number of sample buckets emitted.  Safe to call with telemetry
+        disabled (returns 0).
+        """
+        if self.telemetry is None:
+            return 0
+        return sum(
+            proc.cpu.flush_pc_samples() for proc in self.processors.values()
+        )
+
     def attach_health(self, monitor, sim, host=None):
         """Wire a :class:`~repro.telemetry.health.HealthMonitor` to this
         system and *sim*; returns the monitor for chaining."""

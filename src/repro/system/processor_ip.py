@@ -89,6 +89,10 @@ class ProcessorIp(Component):
         self._proc_mem_used = False
         self.dropped_packets: List[Packet] = []
         self.activations = 0
+        #: symbol table of the last program loaded into this processor
+        #: (name -> address), stashed by the host loader so the
+        #: post-mortem profiler can resolve PC samples; None until then.
+        self.symbols: Optional[Dict[str, int]] = None
         #: optional TelemetrySink; hooks are behind one None-check each
         self.sink = None
         self._now = 0
@@ -104,6 +108,7 @@ class ProcessorIp(Component):
         sink.track(self.name, process="cpu")
         sink.track(self.cpu.name, process="cpu")
         self.cpu.sink = sink
+        self.cpu.enable_pc_sampling()
         sink.track(self.ni.name, process="noc")
         self.ni.sink = sink
         metrics = sink.metrics

@@ -15,26 +15,49 @@ and explain pathologies while the simulation runs.
 See ``docs/OBSERVABILITY.md`` for the event taxonomy and workflows.
 """
 
+from .analysis import (
+    CpuProfile,
+    HopBreakdown,
+    PacketTrace,
+    TraceAnalysis,
+    TraceDiff,
+    analyze_trace,
+    diff_traces,
+)
 from .events import Event, Span, TelemetrySink
-from .export import chrome_trace, write_chrome_trace, write_jsonl, write_prometheus
+from .export import (
+    chrome_trace,
+    load_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
 from .health import HealthMonitor, HealthViolation, TimeSeriesSampler
 from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
 from .profiler import KernelProfiler
 
 __all__ = [
     "Counter",
+    "CpuProfile",
     "Event",
     "Gauge",
     "HealthMonitor",
     "HealthViolation",
     "Histogram",
+    "HopBreakdown",
     "KernelProfiler",
     "MetricError",
     "MetricsRegistry",
+    "PacketTrace",
     "Span",
     "TelemetrySink",
     "TimeSeriesSampler",
+    "TraceAnalysis",
+    "TraceDiff",
+    "analyze_trace",
     "chrome_trace",
+    "diff_traces",
+    "load_jsonl",
     "write_chrome_trace",
     "write_jsonl",
     "write_prometheus",

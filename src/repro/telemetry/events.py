@@ -25,6 +25,9 @@ viewer's microsecond timeline (optionally scaled by the clock rate).
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
@@ -169,6 +172,29 @@ class TelemetrySink:
 
     def events_named(self, name: str) -> List[Event]:
         return [e for e in self.events if e.name == name]
+
+    def as_csv(self) -> str:
+        """``ph,name,track,ts,dur,args`` lines with a header.
+
+        Built with :mod:`csv` so args containing commas, quotes or
+        newlines are quoted/escaped correctly and survive a round-trip
+        through any CSV reader; ``args`` is JSON-encoded in its cell.
+        """
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["ph", "name", "track", "ts", "dur", "args"])
+        for e in self.events:
+            writer.writerow(
+                [
+                    e.ph,
+                    e.name,
+                    e.track,
+                    e.ts,
+                    "" if e.dur is None else e.dur,
+                    json.dumps(e.args, sort_keys=True) if e.args else "",
+                ]
+            )
+        return out.getvalue()
 
     def clear(self) -> None:
         self.events.clear()

@@ -22,9 +22,33 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from .events import TelemetrySink
+from .events import Event, TelemetrySink
 
 PathLike = Union[str, Path]
+
+
+def _packet_flows(sink: TelemetrySink) -> List[tuple]:
+    """Pair each NI ``inject`` span with its destination ``packet`` span.
+
+    Both spans start at the packet's injection cycle and the delivering
+    NI stamps its own address (``at``) while the injector stamps the
+    ``target``, so pairing on ``(address, injection ts)`` — FIFO on ties
+    — reproduces the network's own delivery matching.  Returns
+    ``(inject_event, packet_event)`` pairs.
+    """
+    pending: Dict[tuple, List[Event]] = {}
+    pairs: List[tuple] = []
+    for event in sink.events:
+        if event.ph != "X" or not event.args:
+            continue
+        if event.name == "inject" and "target" in event.args:
+            key = (event.args["target"], event.ts)
+            pending.setdefault(key, []).append(event)
+        elif event.name == "packet" and "at" in event.args:
+            queue = pending.get((event.args["at"], event.ts))
+            if queue:
+                pairs.append((queue.pop(0), event))
+    return pairs
 
 
 def chrome_trace(
@@ -82,6 +106,31 @@ def chrome_trace(
             record["args"] = event.args
         trace_events.append(record)
 
+    # Flow events: draw the injection -> delivery arrow across tracks.
+    for flow_id, (inject, packet) in enumerate(_packet_flows(sink), start=1):
+        src_pid, src_tid = track_ids[inject.track]
+        dst_pid, dst_tid = track_ids[packet.track]
+        common = {"name": "packet_flow", "cat": "packet", "id": flow_id}
+        trace_events.append(
+            {
+                **common,
+                "ph": "s",
+                "ts": (inject.ts + (inject.dur or 0)) * scale,
+                "pid": src_pid,
+                "tid": src_tid,
+            }
+        )
+        trace_events.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",  # bind to the enclosing `packet` slice
+                "ts": (packet.ts + (packet.dur or 0)) * scale,
+                "pid": dst_pid,
+                "tid": dst_tid,
+            }
+        )
+
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
@@ -95,13 +144,61 @@ def write_chrome_trace(
 
 
 def write_jsonl(sink: TelemetrySink, path: PathLike) -> Path:
-    """Write one JSON object per event — greppable, streamable."""
+    """Write one JSON object per event — greppable, streamable.
+
+    The first line is a ``meta`` record carrying the track registry, so
+    :func:`load_jsonl` can rebuild an equivalent sink (process grouping
+    included) and post-mortem analysis of the file matches analysis of
+    the live sink exactly.
+    """
     path = Path(path)
     with path.open("w") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "meta": "tracks",
+                    "tracks": {
+                        name: [process, tid]
+                        for name, (process, tid) in sink.tracks.items()
+                    },
+                }
+            )
+        )
+        fh.write("\n")
         for event in sink.events:
             fh.write(json.dumps(event.as_dict()))
             fh.write("\n")
     return path
+
+
+def load_jsonl(path: PathLike) -> TelemetrySink:
+    """Rebuild a :class:`TelemetrySink` from a :func:`write_jsonl` file.
+
+    Tolerates files without the leading ``meta`` line (tracks are then
+    re-registered in event order under the default process).
+    """
+    sink = TelemetrySink()
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("meta") == "tracks":
+                for name, (process, _tid) in record["tracks"].items():
+                    sink.track(name, process=process)
+                continue
+            sink.emit(
+                Event(
+                    record["ph"],
+                    record["name"],
+                    record["track"],
+                    record["ts"],
+                    record.get("dur"),
+                    record.get("args"),
+                )
+            )
+    return sink
 
 
 def write_prometheus(sink: TelemetrySink, path: PathLike) -> Path:

@@ -119,11 +119,18 @@ class Histogram(Metric):
         return max(self.values) if self.values else 0.0
 
     def percentile(self, p: float) -> float:
-        """Exact percentile with linear interpolation, ``0 <= p <= 100``."""
+        """Exact percentile with linear interpolation, ``0 <= p <= 100``.
+
+        Raises :class:`MetricError` on an empty histogram — a percentile
+        of nothing is undefined, and silently returning 0.0 has hidden
+        real "no samples recorded" bugs.
+        """
         if not 0 <= p <= 100:
             raise MetricError(f"percentile {p} outside [0, 100]")
         if not self.values:
-            return 0.0
+            raise MetricError(
+                f"histogram {self.name!r} is empty: percentile undefined"
+            )
         ordered = sorted(self.values)
         if len(ordered) == 1:
             return float(ordered[0])
@@ -135,6 +142,10 @@ class Histogram(Metric):
         return ordered[lo] * (1 - frac) + ordered[lo + 1] * frac
 
     def summary(self) -> Dict[str, float]:
+        """Aggregate view; an empty histogram yields just ``{"count": 0}``
+        so callers can't mistake "no samples" for "all zeros"."""
+        if not self.values:
+            return {"count": 0}
         return {
             "count": self.count,
             "mean": self.mean,
@@ -218,13 +229,13 @@ class MetricsRegistry:
             elif isinstance(m, Gauge):
                 lines.append(f"{m.name} {m.read()}")
             elif isinstance(m, Histogram):
-                s = m.summary()
-                for q in (50, 90, 99):
-                    lines.append(
-                        f'{m.name}{{quantile="0.{q}"}} {m.percentile(q)}'
-                    )
+                if m.count:
+                    for q in (50, 90, 99):
+                        lines.append(
+                            f'{m.name}{{quantile="0.{q}"}} {m.percentile(q)}'
+                        )
                 lines.append(f"{m.name}_sum {m.total}")
-                lines.append(f"{m.name}_count {s['count']}")
+                lines.append(f"{m.name}_count {m.count}")
         return "\n".join(lines) + "\n"
 
 

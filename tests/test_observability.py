@@ -11,6 +11,7 @@ from repro.noc import HermesNetwork
 from repro.noc.packet import Packet
 from repro.noc.stats import NetworkStats
 from repro.sim import Component, Simulator, Tracer, VcdWriter
+from repro.telemetry import TelemetrySink
 
 PROGRAM = """
         CLR  R0
@@ -133,9 +134,32 @@ class TestDisabledEquivalence:
         session = MultiNoCPlatform.standard().launch()
         assert session.telemetry is None
         assert session.system.processors[1].cpu.sink is None
+        assert session.system.processors[1].cpu.pc_samples is None
         assert all(
             r.sink is None for r in session.system.mesh.routers.values()
         )
+
+    def _run_contended(self, telemetry):
+        """A NoC-only run with two flows colliding on one output port —
+        the enrichment hooks (hdr framing, flow ids, PC sampling) must
+        not perturb a contended wormhole schedule either."""
+        sink = TelemetrySink() if telemetry else None
+        net = HermesNetwork(2, 2, telemetry=sink)
+        sim = net.make_simulator()
+        sim.reset()
+        for i in range(3):
+            net.send((0, 0), (1, 1), [1, 2, 3 + i])
+            net.send((1, 0), (1, 1), [4, 5 + i])
+        net.run_to_drain(sim)
+        return {
+            "cycle": sim.cycle,
+            "latencies": sorted(net.stats.latencies),
+            "delivered": net.stats.packets_delivered,
+            "blocked": dict(net.stats.blocked_routings),
+        }
+
+    def test_contended_runs_match_with_and_without_telemetry(self):
+        assert self._run_contended(False) == self._run_contended(True)
 
 
 class TestInFlightBookkeeping:

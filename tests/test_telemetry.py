@@ -113,12 +113,22 @@ class TestMetrics:
 
     def test_histogram_edge_cases(self):
         h = MetricsRegistry().histogram("empty")
-        assert h.percentile(50) == 0.0
-        assert h.summary()["count"] == 0
+        # an empty distribution has no percentiles: loud error, not 0.0
+        with pytest.raises(MetricError, match="empty"):
+            h.percentile(50)
+        assert h.summary() == {"count": 0}
         h.record(7)
         assert h.percentile(99) == 7
         with pytest.raises(MetricError):
             h.percentile(101)
+
+    def test_empty_histogram_exports_without_percentiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", "never recorded")
+        text = reg.prometheus_text()
+        assert "h_count 0" in text
+        assert "quantile" not in text
+        assert reg.snapshot()["h"]["count"] == 0
 
     def test_prometheus_text_format(self):
         reg = MetricsRegistry()
@@ -172,9 +182,59 @@ class TestExporters:
         prom = write_prometheus(sink, tmp_path / "m.prom")
         json.loads(trace.read_text())
         records = [json.loads(l) for l in lines.read_text().splitlines()]
-        assert len(records) == 2
-        assert records[0]["name"] == "hop"
+        # first line is the track-registry meta record, then the events
+        assert len(records) == 3
+        assert records[0]["meta"] == "tracks"
+        assert records[1]["name"] == "hop"
         assert prom.read_text().endswith("\n")
+
+    def test_jsonl_round_trip_restores_sink(self, tmp_path):
+        from repro.telemetry import load_jsonl
+
+        sink = self._sink()
+        path = write_jsonl(sink, tmp_path / "t.jsonl")
+        loaded = load_jsonl(path)
+        assert loaded.tracks == sink.tracks
+        assert [e.as_dict() for e in loaded.events] == [
+            e.as_dict() for e in sink.events
+        ]
+
+    def test_as_csv_round_trips_hostile_args(self):
+        import csv
+        import io
+
+        sink = TelemetrySink()
+        hostile = 'comma, "quote"\nnewline'
+        sink.complete("t1", "evil", 5, 2, text=hostile, n=1)
+        reader = csv.reader(io.StringIO(sink.as_csv()))
+        rows = list(reader)
+        assert rows[0] == ["ph", "name", "track", "ts", "dur", "args"]
+        ph, name, track, ts, dur, args = rows[1]
+        assert (ph, name, track, ts, dur) == ("X", "evil", "t1", "5", "2")
+        assert json.loads(args) == {"text": hostile, "n": 1}
+
+    def test_chrome_trace_flow_events_link_inject_to_packet(self):
+        sink = TelemetrySink()
+        sink.track("ni00", process="noc")
+        sink.track("ni11", process="noc")
+        sink.complete(
+            "ni00", "inject", 10, 6, target="1,1", src="0,0",
+            flow="0,0>1,1", seq=0, flits=4,
+        )
+        sink.complete("ni11", "packet", 10, 30, flits=4, at="1,1")
+        doc = chrome_trace(sink)
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == 1 and len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"]
+        assert starts[0]["ts"] == 16  # injection completion
+        assert finishes[0]["ts"] == 40  # delivery
+        assert finishes[0]["bp"] == "e"
+        # s sits on the injecting NI track, f on the delivering one
+        assert (starts[0]["pid"], starts[0]["tid"]) != (
+            finishes[0]["pid"],
+            finishes[0]["tid"],
+        )
 
 
 class TestPlatformIntegration:
