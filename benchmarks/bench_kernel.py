@@ -1,0 +1,135 @@
+"""Kernel scheduling benchmark: quiescence-aware vs strict lock-step.
+
+The simulator's quiescence-aware scheduler (see DESIGN.md, "Simulation
+kernel") only evaluates components that have work and fast-forwards the
+cycle counter over fully idle spans.  This benchmark measures the three
+regimes that bound its behaviour:
+
+* **idle** — a launched platform sitting quiet: every unit is asleep,
+  the kernel should fast-forward and the cycles/second rate must be at
+  least 2x the strict lock-step rate (CI gate; in practice it is
+  orders of magnitude higher).
+* **saturated** — a mesh under heavy synthetic traffic: nothing can
+  sleep, so the quiescent path must not cost materially more than
+  lock-step (its overhead is the per-unit awake check).
+* **mixed** — bursty traffic with idle gaps, the realistic middle.
+
+All three scenarios also double as equivalence checks: delivered packet
+counts and final cycle numbers must match bit-for-bit across modes.
+"""
+
+import time
+
+from conftest import report
+from repro.apps.workloads import TrafficConfig, drive_traffic
+from repro.core import MultiNoCPlatform
+from repro.noc.network import HermesNetwork
+
+IDLE_CYCLES = 100_000
+
+
+def _rate(cycles, seconds):
+    return cycles / seconds if seconds > 0 else float("inf")
+
+
+def _time_idle(strict):
+    session = MultiNoCPlatform.standard().launch(strict_lockstep=strict)
+    sim = session.sim
+    start = sim.cycle
+    t0 = time.perf_counter()
+    sim.step(IDLE_CYCLES)
+    dt = time.perf_counter() - t0
+    assert sim.cycle - start == IDLE_CYCLES
+    return dt
+
+
+def _time_traffic(strict, rate, duration):
+    net = HermesNetwork(3, 3)
+    sim = net.make_simulator(strict_lockstep=strict)
+    sources = drive_traffic(
+        net, TrafficConfig(pattern="uniform", rate=rate, duration=duration)
+    )
+    sim.reset()
+    t0 = time.perf_counter()
+    sim.run_until(
+        lambda: all(s.done for s in sources) and net.drained,
+        max_cycles=duration * 50,
+        label="traffic drain",
+    )
+    dt = time.perf_counter() - t0
+    delivered = len(net.collect_received())
+    return dt, sim.cycle, delivered
+
+
+def test_kernel_idle_fast_forward(benchmark):
+    """Idle platform: the quiescent kernel must be >=2x faster (CI gate)."""
+
+    def both():
+        return _time_idle(strict=True), _time_idle(strict=False)
+
+    strict_dt, quiescent_dt = benchmark(both)
+    strict_rate = _rate(IDLE_CYCLES, strict_dt)
+    quiescent_rate = _rate(IDLE_CYCLES, quiescent_dt)
+    speedup = quiescent_rate / strict_rate
+    report(
+        benchmark,
+        "Kernel idle throughput (fast-forward)",
+        [
+            ("strict lock-step (cycles/s)", "(baseline)", f"{strict_rate:,.0f}"),
+            ("quiescent (cycles/s)", ">=2x strict", f"{quiescent_rate:,.0f}"),
+            ("idle speedup", ">=2x (CI gate)", f"{speedup:.1f}x"),
+        ],
+    )
+    assert speedup >= 2.0, (
+        f"quiescent idle stepping must be at least 2x strict lock-step, "
+        f"got {speedup:.2f}x"
+    )
+
+
+def test_kernel_saturated_throughput(benchmark):
+    """Saturated mesh: every unit busy, quiescent overhead must be small."""
+
+    def both():
+        s = _time_traffic(strict=True, rate=0.25, duration=2000)
+        q = _time_traffic(strict=False, rate=0.25, duration=2000)
+        return s, q
+
+    (s_dt, s_cyc, s_pkts), (q_dt, q_cyc, q_pkts) = benchmark(both)
+    assert (s_cyc, s_pkts) == (q_cyc, q_pkts), "modes must agree bit-for-bit"
+    ratio = _rate(q_cyc, q_dt) / _rate(s_cyc, s_dt)
+    report(
+        benchmark,
+        "Kernel saturated throughput (nothing can sleep)",
+        [
+            ("packets delivered", "identical", f"{q_pkts} (both modes)"),
+            ("drain cycles", "identical", f"{q_cyc} (both modes)"),
+            ("strict (cycles/s)", "(baseline)", f"{_rate(s_cyc, s_dt):,.0f}"),
+            ("quiescent (cycles/s)", "~1x strict", f"{_rate(q_cyc, q_dt):,.0f}"),
+            ("quiescent/strict", ">=0.5x", f"{ratio:.2f}x"),
+        ],
+    )
+    assert ratio >= 0.5, "quiescent bookkeeping must not halve throughput"
+
+
+def test_kernel_mixed_duty_cycle(benchmark):
+    """Bursty traffic with idle gaps: the realistic regime in between."""
+
+    def both():
+        s = _time_traffic(strict=True, rate=0.002, duration=20_000)
+        q = _time_traffic(strict=False, rate=0.002, duration=20_000)
+        return s, q
+
+    (s_dt, s_cyc, s_pkts), (q_dt, q_cyc, q_pkts) = benchmark(both)
+    assert (s_cyc, s_pkts) == (q_cyc, q_pkts), "modes must agree bit-for-bit"
+    speedup = _rate(q_cyc, q_dt) / _rate(s_cyc, s_dt)
+    report(
+        benchmark,
+        "Kernel mixed duty cycle (bursts + idle gaps)",
+        [
+            ("packets delivered", "identical", f"{q_pkts} (both modes)"),
+            ("strict (cycles/s)", "(baseline)", f"{_rate(s_cyc, s_dt):,.0f}"),
+            ("quiescent (cycles/s)", "(faster)", f"{_rate(q_cyc, q_dt):,.0f}"),
+            ("mixed speedup", ">1x", f"{speedup:.2f}x"),
+        ],
+    )
+    assert speedup > 1.0, "idle gaps must make the quiescent path faster"

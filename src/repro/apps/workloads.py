@@ -132,6 +132,13 @@ class TrafficSource(Component):
             self._index += 1
             self.injected += 1
 
+    def is_quiescent(self) -> bool:
+        """A source is pure timed work: between injections it sleeps and
+        books a kernel wake at its next scheduled cycle."""
+        if self._index < len(self.schedule):
+            self.wake_at(self.schedule[self._index][0])
+        return True
+
     @property
     def done(self) -> bool:
         return self._index >= len(self.schedule)

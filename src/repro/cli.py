@@ -115,7 +115,9 @@ def cmd_system(args) -> int:
         from .telemetry import TelemetrySink
 
         telemetry = TelemetrySink()
-    session = MultiNoCPlatform.standard().launch(telemetry=telemetry)
+    session = MultiNoCPlatform.standard().launch(
+        telemetry=telemetry, strict_lockstep=args.no_idle_skip
+    )
     profiler = None
     if args.profile:
         from .telemetry import KernelProfiler
@@ -374,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--health-report",
         metavar="FILE",
         help="write the health report (violations, sampler series) as JSON",
+    )
+    p.add_argument(
+        "--no-idle-skip",
+        action="store_true",
+        help="strict lock-step kernel: evaluate every component every "
+        "cycle (identical results, no quiescence fast-forward)",
     )
     p.set_defaults(fn=cmd_system)
 

@@ -83,20 +83,28 @@ class MultiNoCPlatform:
         """Instantiate the hardware model only."""
         return MultiNoC(self.config, telemetry=telemetry)
 
-    def launch(self, baud_divisor: int = 4, telemetry=None) -> "PlatformSession":
+    def launch(
+        self,
+        baud_divisor: int = 4,
+        telemetry=None,
+        strict_lockstep: bool = False,
+    ) -> "PlatformSession":
         """Build the system, a simulator and a connected host.
 
         Pass ``telemetry=True`` (or a configured
         :class:`~repro.telemetry.TelemetrySink`) to record structured
         events across the NoC, the R8 cores and the host link; the sink
         is available as ``session.telemetry`` afterwards.
+
+        ``strict_lockstep=True`` disables the kernel's idle skipping
+        (CLI ``--no-idle-skip``) — architecturally identical, slower.
         """
         if telemetry is True:
             from ..telemetry import TelemetrySink
 
             telemetry = TelemetrySink()
         system = self.build(telemetry=telemetry)
-        sim = system.make_simulator()
+        sim = system.make_simulator(strict_lockstep=strict_lockstep)
         host = SerialSoftware(system, baud_divisor=baud_divisor).connect(sim)
         if telemetry is not None:
             host.attach_telemetry(telemetry)

@@ -105,8 +105,23 @@ class SerialSoftware(Component):
 
     # -- simulation --------------------------------------------------------------
 
+    def is_quiescent(self) -> bool:
+        """The host sleeps between transactions: nothing left to shift
+        out and nothing arriving.  Queueing a command byte wakes it
+        (``UartTx.send_byte``), and board replies wake it through the
+        receiver's watched txd line.  A partial reply in ``_frame`` is
+        frozen until the next byte lands."""
+        return self.uart_tx.is_quiescent() and self.uart_rx.is_quiescent()
+
+    def on_wake(self, skipped_cycles: int) -> None:
+        """Forward the skip credit to both UARTs (phase/count advance)."""
+        self.uart_tx.on_wake(skipped_cycles)
+        self.uart_rx.on_wake(skipped_cycles)
+
     def eval(self, cycle: int) -> None:
-        super().eval(cycle)
+        # inlined child walk (the two UARTs are the host's only children)
+        self.uart_tx.eval(cycle)
+        self.uart_rx.eval(cycle)
         self._cycle = cycle
         while self.uart_rx.received:
             self._frame.append(self.uart_rx.received.popleft())

@@ -53,16 +53,32 @@ class MemoryBanks:
         self.banks = [BlockRam(depth, self.NIBBLE) for _ in range(self.N_BANKS)]
 
     def read_word(self, addr: int) -> int:
-        word = 0
-        for i, bank in enumerate(self.banks):
-            word |= bank.read(addr) << (i * self.NIBBLE)
-        return word
+        # One bounds check and four direct nibble reads: word access sits
+        # on the CPU fetch path, the hottest loop in the whole simulator.
+        if not 0 <= addr < self.depth:
+            raise IndexError(
+                f"BlockRAM address {addr:#06x} out of range 0..{self.depth - 1}"
+            )
+        b = self.banks
+        return (
+            b[0].data[addr]
+            | (b[1].data[addr] << 4)
+            | (b[2].data[addr] << 8)
+            | (b[3].data[addr] << 12)
+        )
 
     def write_word(self, addr: int, value: int) -> None:
         if not 0 <= value <= 0xFFFF:
             raise ValueError(f"word {value!r} out of 16-bit range")
-        for i, bank in enumerate(self.banks):
-            bank.write(addr, (value >> (i * self.NIBBLE)) & 0xF)
+        if not 0 <= addr < self.depth:
+            raise IndexError(
+                f"BlockRAM address {addr:#06x} out of range 0..{self.depth - 1}"
+            )
+        b = self.banks
+        b[0].data[addr] = value & 0xF
+        b[1].data[addr] = (value >> 4) & 0xF
+        b[2].data[addr] = (value >> 8) & 0xF
+        b[3].data[addr] = (value >> 12) & 0xF
 
     def load(self, words, base: int = 0) -> None:
         for i, word in enumerate(words):

@@ -59,11 +59,13 @@ class MemoryIp(Component):
     def proc_read(self, addr: int) -> int:
         """Single-cycle word read from the processor side."""
         self._proc_used = True
+        self.wake()
         return self.banks.read_word(addr)
 
     def proc_write(self, addr: int, value: int) -> None:
         """Single-cycle word write from the processor side."""
         self._proc_used = True
+        self.wake()
         self.banks.write_word(addr, value)
 
     @property
@@ -94,6 +96,16 @@ class MemoryIp(Component):
             self._step_write()
         elif self._state == _READING:
             self._step_read()
+
+    def is_quiescent(self) -> bool:
+        """Idle when the NoC-side FSM is parked, the processor port was
+        untouched, and the NI is silent with nothing undelivered."""
+        return (
+            self._state == _IDLE
+            and not self._proc_used
+            and not self.ni.received
+            and self.ni.is_quiescent()
+        )
 
     def reset(self) -> None:
         super().reset()

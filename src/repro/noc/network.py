@@ -88,10 +88,12 @@ class HermesNetwork(Component):
                 out.append(ni.pop_received())
         return out
 
-    def make_simulator(self, clock_hz: float = 50_000_000.0) -> Simulator:
+    def make_simulator(
+        self, clock_hz: float = 50_000_000.0, strict_lockstep: bool = False
+    ) -> Simulator:
         """A simulator containing just this network (50 MHz: the paper's
         figure for the 1 Gbit/s router peak throughput)."""
-        sim = Simulator(clock_hz=clock_hz)
+        sim = Simulator(clock_hz=clock_hz, strict_lockstep=strict_lockstep)
         sim.add(self)
         return sim
 

@@ -54,6 +54,10 @@ class NetworkInterface(Component):
         self.to_router = to_router
         self.from_router = from_router
         self.adopt_wires([to_router.tx, to_router.data, from_router.ack])
+        # Incoming flits must wake a sleeping NI; the send side needs no
+        # watch because pending TX work keeps the NI awake by itself.
+        self.watch_wires([from_router.tx, from_router.data])
+        self.wake()
 
     def detach(self) -> None:
         """Disconnect from the Local port (dynamic reconfiguration).
@@ -70,6 +74,7 @@ class NetworkInterface(Component):
         if self.from_router is not None:
             self.from_router.ack.reset()
             self.disown_wires([self.from_router.ack])
+            self.unwatch_wires([self.from_router.tx, self.from_router.data])
         self.to_router = None
         self.from_router = None
         # any partially received packet is lost with the region
@@ -83,6 +88,7 @@ class NetworkInterface(Component):
         if packet.source is None:
             packet.source = self.address
         self._tx_queue.append(packet)
+        self.wake()
         return packet
 
     @property
@@ -112,6 +118,21 @@ class NetworkInterface(Component):
         self._eval_sender(cycle)
         self._eval_receiver(cycle)
 
+    def is_quiescent(self) -> bool:
+        """Idle when nothing is queued for injection, no packet is half
+        reassembled, and the from-router link is silent (tx low, our ack
+        pulse already back to zero).  Delivered packets sitting in
+        ``received`` do not keep the NI itself busy — the parent that
+        drains them tracks that in its own quiescence predicate."""
+        if self._tx_packet is not None or self._tx_queue:
+            return False
+        if self._rx_state != _RX_HEADER:
+            return False
+        ch = self.from_router
+        if ch is not None and (ch.tx.value or ch.ack.value):
+            return False
+        return True
+
     def reset(self) -> None:
         super().reset()
         self._tx_queue.clear()
@@ -139,7 +160,11 @@ class NetworkInterface(Component):
             self._tx_index = 0
             self._tx_in_flight = False
         if self._tx_packet is None:
-            ch.tx.drive(0)
+            # Idle: tx must be low.  Only this NI drives the wire, so when
+            # both phases already read 0 the drive is a no-op — skip it.
+            tx = ch.tx
+            if tx.value or tx._next:
+                tx.drive(0)
             return
         if self._tx_in_flight:
             if ch.ack.value:
@@ -185,14 +210,17 @@ class NetworkInterface(Component):
         ch = self.from_router
         if ch is None:
             return
-        if ch.ack.value:
-            ch.ack.drive(0)
+        ack = ch.ack
+        if ack.value:
+            ack.drive(0)
             return
         if ch.tx.value:
             self._accept_flit(ch.data.value, cycle)
-            ch.ack.drive(1)
-        else:
-            ch.ack.drive(0)
+            ack.drive(1)
+        elif ack._next:
+            # ack is already low in both phases on a silent link; driving
+            # 0 again would be a no-op (only this NI drives the wire).
+            ack.drive(0)
 
     def _accept_flit(self, flit: int, cycle: int) -> None:
         if self._rx_state == _RX_HEADER:

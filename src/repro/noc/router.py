@@ -103,6 +103,10 @@ class HermesRouter(Component):
         """Attach the receive side of *channel* to *port* (we drive ack)."""
         self.in_ch[port] = channel
         self.adopt_wires([channel.ack])
+        # A committed change on the neighbour's tx/data must wake us; the
+        # output-side ack only matters while a connection is open, and an
+        # open connection keeps the router awake via `busy`.
+        self.watch_wires([channel.tx, channel.data])
 
     def attach_output(self, port: Port, channel: HandshakeTx) -> None:
         """Attach the send side of *channel* to *port* (we drive tx/data)."""
@@ -117,6 +121,20 @@ class HermesRouter(Component):
         self._eval_senders()
         self._eval_control()
         self._eval_receivers()
+
+    def is_quiescent(self) -> bool:
+        """Idle when no buffered flits, no open connections, the control
+        logic is idle, and every attached input link is silent (tx low and
+        our own ack pulse already dropped back to zero)."""
+        if self._ctrl_state != _CTRL_IDLE:
+            return False
+        for p in range(self.N_PORTS):
+            if self.in_conn[p] is not None or self.fifos[p]:
+                return False
+            ch = self.in_ch[p]
+            if ch is not None and (ch.tx.value or ch.ack.value):
+                return False
+        return True
 
     def reset(self) -> None:
         super().reset()

@@ -95,6 +95,7 @@ class R8Cpu(Component):
         if self.pc_samples is not None:
             self._call_key = ()
             self._cur_pc = 0
+        self.wake()
 
     def enable_pc_sampling(self) -> None:
         """Turn on per-PC cycle sampling (the post-mortem profiler feed).
@@ -142,6 +143,32 @@ class R8Cpu(Component):
             and self._fsm in (S_MEM, S_WRITE)
             and self._mem_settle == 0
         )
+
+    @property
+    def sleepable(self) -> bool:
+        """True when the next eval cannot change core state: halted,
+        paused at a fetch boundary (the "wait" service), or stalled on a
+        bus transaction that only an external event can complete.  Used
+        by the enclosing IP's quiescence predicate; skipped cycles are
+        re-credited through :meth:`credit_idle_cycles`."""
+        if self._fsm == S_HALT:
+            return True
+        if self._fsm == S_FETCH:
+            return self.paused
+        return self.stalled
+
+    def credit_idle_cycles(self, n: int) -> None:
+        """Account *n* kernel-skipped idle evals exactly as lock-step
+        evaluation would have: a halted core counts nothing; a paused or
+        stalled core accrues active+stalled cycles and PC samples."""
+        if n <= 0 or self._fsm == S_HALT:
+            return
+        self.cycles_active += n
+        self.cycles_stalled += n
+        if self.pc_samples is not None:
+            pc = self.state.pc if self._fsm == S_FETCH else self._cur_pc
+            key = (self._call_key, pc)
+            self.pc_samples[key] = self.pc_samples.get(key, 0) + n
 
     @property
     def fsm_state(self) -> str:

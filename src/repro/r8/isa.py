@@ -225,8 +225,23 @@ _SUBR_BY_SUB = {s.sub: s for s in SPECS.values() if s.fmt == Fmt.SUBR}
 _MISC_BY_SUB = {s.sub: s for s in SPECS.values() if s.fmt == Fmt.MISC}
 
 
+#: word -> decoded Instruction.  Instructions are frozen, so sharing one
+#: object per word across fetches is safe; the cache is bounded by the
+#: 64K word space and removes re-decode cost from the fetch hot path.
+_DECODE_CACHE: Dict[int, Instruction] = {}
+
+
 def decode(word: int) -> Instruction:
     """Decode a 16-bit memory word into an :class:`Instruction`."""
+    instr = _DECODE_CACHE.get(word)
+    if instr is not None:
+        return instr
+    instr = _decode_uncached(word)
+    _DECODE_CACHE[word] = instr
+    return instr
+
+
+def _decode_uncached(word: int) -> Instruction:
     if not 0 <= word <= 0xFFFF:
         raise DecodeError(f"word {word!r} out of 16-bit range")
     op = (word >> 12) & 0xF

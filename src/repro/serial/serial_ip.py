@@ -78,12 +78,32 @@ class SerialIp(Component):
     def eval(self, cycle: int) -> None:
         if self.sink is not None:
             self._now = cycle
-        super().eval(cycle)
+        # inlined child walk (rx, tx, ni are the bridge's only children)
+        self.uart_rx.eval(cycle)
+        self.uart_tx.eval(cycle)
+        self.ni.eval(cycle)
         if self.uart_rx.synced:
             # Match the board UART transmit rate to the learned baud rate.
             self.uart_tx.divisor = self.uart_rx.divisor
         self._assemble_host_frames()
         self._disassemble_noc_packets()
+
+    def is_quiescent(self) -> bool:
+        """Idle when both UARTs and the NI are silent and nothing is
+        undelivered.  A partially assembled host frame (``_frame``) is
+        frozen state — only a new UART byte extends it, and that byte
+        wakes the bridge through the receiver's watched line."""
+        return (
+            self.uart_rx.is_quiescent()
+            and self.uart_tx.is_quiescent()
+            and not self.ni.received
+            and self.ni.is_quiescent()
+        )
+
+    def on_wake(self, skipped_cycles: int) -> None:
+        """Forward the skip credit to both UARTs (phase/count advance)."""
+        self.uart_tx.on_wake(skipped_cycles)
+        self.uart_rx.on_wake(skipped_cycles)
 
     def reset(self) -> None:
         super().reset()

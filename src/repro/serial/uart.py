@@ -32,11 +32,13 @@ class UartTx(Component):
         self._bits: list = []
         self._bit_index = 0
         self._phase = 0
+        self._cycle = 0
 
     def send_byte(self, byte: int) -> None:
         if not 0 <= byte <= 0xFF:
             raise ValueError(f"byte {byte!r} out of range")
         self.queue.append(byte)
+        self.wake()
 
     def send_bytes(self, data) -> None:
         for b in data:
@@ -47,6 +49,7 @@ class UartTx(Component):
         return bool(self.queue) or bool(self._bits)
 
     def eval(self, cycle: int) -> None:
+        self._cycle = cycle
         if not self._bits:
             if self.queue:
                 byte = self.queue.popleft()
@@ -61,6 +64,43 @@ class UartTx(Component):
         self._phase += 1
         if self._phase >= self.divisor:
             self._phase = 0
+            self._bit_index += 1
+            if self._bit_index >= len(self._bits):
+                self._bits = []
+
+    def is_quiescent(self) -> bool:
+        """Sleep whenever the next eval cannot change the line.
+
+        Mid-frame the line only changes at bit boundaries: with the
+        current bit worth ``divisor - phase`` more identical drives, the
+        transmitter books a wake for the first eval presenting the next
+        bit and skips the pure phase-counting evals in between (they are
+        re-credited by :meth:`on_wake`).  Fully idle, it sleeps until
+        :meth:`send_byte` wakes it.
+        """
+        if self._bits:
+            p = self._phase
+            if p == 0:
+                return False  # a new bit value goes out next eval
+            if not self.queue and self._bit_index == len(self._bits) - 1:
+                # Final bit of the final frame: stay awake so ``busy``
+                # flips false at the exact cycle lock-step would clear
+                # it — host drain predicates probe it between cycles.
+                return False
+            self.wake_at(self._cycle + self.divisor - p + 1)
+            return True
+        return not self.queue and self.line.value == 1
+
+    def on_wake(self, skipped_cycles: int) -> None:
+        """Re-credit skipped mid-frame evals: each was exactly one phase
+        increment driving the unchanged current bit."""
+        if skipped_cycles <= 0 or not self._bits:
+            return
+        self._phase += skipped_cycles
+        if self._phase >= self.divisor:
+            # the skipped span covers at most one bit boundary (the wake
+            # lands on the eval right after it)
+            self._phase -= self.divisor
             self._bit_index += 1
             if self._bit_index >= len(self._bits):
                 self._bits = []
@@ -81,13 +121,18 @@ class UartRx(Component):
             raise ValueError("UART divisor must be at least 2 cycles per bit")
         self.line = line
         self.divisor = divisor
+        # The receiver wakes on any committed change of the serial line
+        # (a start-bit or sync edge); while sampling it stays awake.
+        self.watch_wires([line])
         self.received: Deque[int] = deque()
         self.framing_errors = 0
         self._sampling = False
         self._count = 0
         self._bits: list = []
+        self._cycle = 0
 
     def eval(self, cycle: int) -> None:
+        self._cycle = cycle
         level = self.line.value
         if not self._sampling:
             if level == 0:  # start-bit edge
@@ -118,6 +163,31 @@ class UartRx(Component):
                 self.received.append(byte)
             self._sampling = False
 
+    def is_quiescent(self) -> bool:
+        """Sleep whenever the next eval cannot act.
+
+        While framing, evals between bit sample points only advance the
+        cycle counter — the receiver books a wake for the next mid-bit
+        sample (skipped counts are re-credited by :meth:`on_wake`) and
+        sleeps; a line edge wakes it early through the watched wire,
+        which is harmless.  Outside a frame it sleeps until the line
+        drops (start bit) or a buffered byte is drained by its parent.
+        """
+        if self._sampling:
+            off = self._count - self.divisor // 2
+            k = -off if off < 0 else self.divisor - off % self.divisor
+            if k < 2:
+                return False
+            self.wake_at(self._cycle + k)
+            return True
+        return not self.received and self.line.value != 0
+
+    def on_wake(self, skipped_cycles: int) -> None:
+        """Re-credit skipped mid-frame evals: each was exactly one
+        ``_count`` increment with no sample point reached."""
+        if skipped_cycles > 0 and self._sampling:
+            self._count += skipped_cycles
+
     def pop_byte(self) -> Optional[int]:
         return self.received.popleft() if self.received else None
 
@@ -146,10 +216,20 @@ class AutoBaudUartRx(UartRx):
         self._last_edge_cycle: Optional[int] = None
         self._intervals: list = []
 
+    def is_quiescent(self) -> bool:
+        """Pre-sync the receiver only acts on line *edges*, so it can
+        sleep whenever the level matches the last one seen — the watched
+        line wakes it exactly at each edge, keeping the measured
+        intervals identical to lock-step evaluation."""
+        if self.synced:
+            return super().is_quiescent()
+        return self.line.value == self._last_level and not self.received
+
     def eval(self, cycle: int) -> None:
         if self.synced:
             super().eval(cycle)
             return
+        self._cycle = cycle
         level = self.line.value
         if level != self._last_level:
             if self._last_edge_cycle is not None:

@@ -2,8 +2,10 @@
 
 The kernel is deliberately tiny: :class:`Wire` (two-phase registered
 signals), :class:`Component` (a clocked block with an ``eval``/``commit``
-protocol) and :class:`Simulator` (the lock-step clock driver).  Everything
-in :mod:`repro.noc`, :mod:`repro.r8`, :mod:`repro.memory`,
+protocol and an opt-in quiescence/activity protocol) and
+:class:`Simulator` (the quiescence-aware clock driver, with a strict
+lock-step mode behind ``strict_lockstep=True``).  Everything in
+:mod:`repro.noc`, :mod:`repro.r8`, :mod:`repro.memory`,
 :mod:`repro.serial` and :mod:`repro.system` is built on these three
 classes.
 """
@@ -12,9 +14,10 @@ from .component import Component
 from .kernel import SimulationTimeout, Simulator
 from .trace import TraceEvent, Tracer
 from .vcd import VcdWriter
-from .wire import HandshakeTx, Wire, make_channel
+from .wire import CheckedWire, HandshakeTx, Wire, make_channel
 
 __all__ = [
+    "CheckedWire",
     "Component",
     "HandshakeTx",
     "SimulationTimeout",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Set
 
 from .wire import Wire
 
@@ -15,12 +15,38 @@ class Component:
     call ``wire.drive`` on their output wires.  Internal state may be
     mutated eagerly because no other component can observe it except
     through wires, which only change at the commit phase.
+
+    Activity protocol
+    -----------------
+    The quiescence-aware kernel (see :class:`~repro.sim.kernel.Simulator`)
+    treats every component whose class overrides :meth:`eval` as a
+    *schedulable unit*.  A unit may opt into idle-skipping by:
+
+    * overriding :meth:`is_quiescent` to report when its next ``eval``
+      would be a no-op given unchanged inputs,
+    * declaring the wires it reads with :meth:`watch_wires` so a
+      committed change on any of them wakes it, and
+    * calling :meth:`wake` from every externally callable method that
+      mutates its state (queueing a packet, activating a core, ...), or
+      :meth:`wake_at` for purely time-based work.
+
+    Components that never override :meth:`is_quiescent` are evaluated
+    every cycle, exactly like the original lock-step kernel.
     """
 
     def __init__(self, name: str):
         self.name = name
         self._wires: List[Wire] = []
+        self._wire_set: Set[Wire] = set()
+        self._inputs: List[Wire] = []
         self._children: List["Component"] = []
+        # -- kernel elaboration state (managed by Simulator) --------------
+        self._kernel = None  # Simulator that elaborated this component
+        self._sched = None  # schedulable unit owning this component
+        self._awake = True
+        self._slept_since = None  # first cycle whose eval was skipped
+        self._can_sleep = False  # cached: class overrides is_quiescent
+        self._last_wake_req = None  # (kernel, cycle) of the last wake_at
 
     # -- construction helpers -------------------------------------------
 
@@ -28,22 +54,120 @@ class Component:
         """Create a wire owned (registered and reset) by this component."""
         w = Wire(f"{self.name}.{name}", reset=reset, width=width)
         self._wires.append(w)
+        self._wire_set.add(w)
         return w
 
     def adopt_wires(self, wires: Iterable[Wire]) -> None:
         """Register externally created wires for commit/reset handling."""
-        self._wires.extend(wires)
+        added = False
+        for w in wires:
+            if w not in self._wire_set:
+                self._wire_set.add(w)
+                self._wires.append(w)
+                added = True
+        if added:
+            self._invalidate_kernel()
 
     def disown_wires(self, wires: Iterable[Wire]) -> None:
         """Stop committing/resetting previously adopted wires (used when
         re-wiring components, e.g. dynamic reconfiguration)."""
+        doomed = {w for w in wires if w in self._wire_set}
+        if not doomed:
+            return
+        self._wire_set -= doomed
+        self._wires = [w for w in self._wires if w not in doomed]
+        self._invalidate_kernel()
+
+    def watch_wires(self, wires: Iterable[Wire]) -> None:
+        """Declare *wires* as inputs: a committed change wakes this
+        component's schedulable unit."""
+        changed = False
         for w in wires:
-            if w in self._wires:
-                self._wires.remove(w)
+            if w not in self._inputs:
+                self._inputs.append(w)
+                changed = True
+        if changed:
+            self._invalidate_kernel()
+
+    def unwatch_wires(self, wires: Iterable[Wire]) -> None:
+        """Stop watching previously declared input wires."""
+        drop = set(wires)
+        kept = [w for w in self._inputs if w not in drop]
+        if len(kept) != len(self._inputs):
+            self._inputs = kept
+            self._invalidate_kernel()
 
     def add_child(self, child: "Component") -> "Component":
         self._children.append(child)
+        self._invalidate_kernel()
         return child
+
+    def remove_child(self, child: "Component") -> None:
+        """Detach a child (dynamic reconfiguration); no-op if absent."""
+        try:
+            self._children.remove(child)
+        except ValueError:
+            return
+        self._invalidate_kernel()
+
+    def _invalidate_kernel(self) -> None:
+        """Wiring changed after elaboration: make the kernel re-elaborate."""
+        k = self._kernel
+        if k is None and self._sched is not None:
+            k = self._sched._kernel
+        if k is not None:
+            k.invalidate_elaboration()
+
+    # -- activity protocol ----------------------------------------------
+
+    def is_quiescent(self) -> bool:
+        """True when the next ``eval`` is a no-op given unchanged inputs.
+
+        The default (``False``) keeps legacy components evaluated every
+        cycle.  Overriders must guarantee that a quiescent component's
+        ``eval`` neither changes internal state nor drives new wire
+        values until an input wire changes, :meth:`wake`/:meth:`wake_at`
+        fires, or an external call mutates it.
+        """
+        return False
+
+    def on_wake(self, skipped_cycles: int) -> None:
+        """Called once before the first ``eval`` after a quiescent span.
+
+        *skipped_cycles* is the number of evals the kernel skipped.
+        Override to credit per-cycle accounting (e.g. stall counters)
+        that lock-step evaluation would have accumulated.
+        """
+
+    def wake(self) -> None:
+        """Mark this component's schedulable unit as active.
+
+        Call from every externally visible mutation (queueing work,
+        activating a core...).  Cheap no-op while already awake or before
+        kernel elaboration.
+        """
+        unit = self._sched
+        if unit is not None and not unit._awake:
+            k = unit._kernel
+            if k is not None:
+                k.wake_unit(unit)
+
+    def wake_at(self, cycle: int) -> None:
+        """Schedule a wake-up for this component's unit at *cycle*.
+
+        Quiescence predicates may call this every cycle while their unit
+        is still awake (another sibling is busy); repeating the same
+        future cycle is deduplicated so the wake heap stays small.
+        """
+        unit = self._sched
+        if unit is None:
+            return
+        k = unit._kernel
+        if k is not None:
+            req = (k, cycle)
+            if req != self._last_wake_req:
+                self._last_wake_req = req
+                k.schedule_wake(unit, cycle)
 
     # -- simulation protocol --------------------------------------------
 

@@ -1,15 +1,40 @@
 """Cycle-based simulation kernel.
 
 The kernel owns a set of top-level :class:`~repro.sim.component.Component`
-instances and advances them in lock-step: every cycle it calls ``eval`` on
-each component (which reads last cycle's wire values and schedules new
-ones) and then commits every wire.  This two-phase discipline makes the
-result independent of evaluation order, exactly like synchronous RTL.
+instances and advances them with two-phase (evaluate, then commit)
+semantics, exactly like synchronous RTL.
+
+Historically every component was evaluated every cycle.  The kernel is
+now *quiescence-aware*: at elaboration it flattens the component tree
+into schedulable units (components overriding ``eval``), wires input
+declarations into per-wire sink lists, and installs a driven-wire queue
+so commit touches only wires actually driven that cycle.  A unit that
+reports :meth:`~repro.sim.component.Component.is_quiescent` after its
+eval is put to sleep until an input wire changes, an external call wakes
+it, or a scheduled ``wake_at`` fires.  When *every* unit sleeps, the
+kernel fast-forwards ``self.cycle`` straight to the earliest scheduled
+wake (or the step/run budget) instead of spinning.
+
+The results are cycle-exact with respect to the legacy schedule: a
+quiescent component's eval is by contract a no-op, and skipped idle
+evals are credited through ``on_wake`` so per-cycle counters (CPU stall
+accounting, PC samples) match bit for bit.  ``Simulator(
+strict_lockstep=True)`` keeps the original evaluate-everything loop for
+A/B comparison, and an attached profiler also forces lock-step so wall
+clock attribution stays per-component.
+
+Watcher semantics across a fast-forwarded span: plain watchers run once
+at the landing cycle (state is frozen during the span, so change-based
+tracers/VCD observe nothing, same as lock-step); strided observers that
+must fire *inside* the span (health watchdogs, time-series samplers)
+register a skip listener via :meth:`Simulator.add_skip_listener` and are
+called with ``(start, end)`` before the landing-cycle watchers.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Callable, List, Optional, Set
 
 from .component import Component
 
@@ -29,7 +54,7 @@ class SimulationTimeout(Exception):
 
 
 class Simulator:
-    """Lock-step clock driver for a set of components.
+    """Clock driver for a set of components.
 
     Parameters
     ----------
@@ -37,21 +62,44 @@ class Simulator:
         Nominal clock frequency; only used to convert cycle counts into
         wall-clock figures for reports (the paper's board runs at 25 MHz
         after the clkdll division of the 50 MHz oscillator).
+    strict_lockstep:
+        When True, keep the legacy evaluate-everything-every-cycle loop
+        (recursive eval and commit, no idle skipping).  Architectural
+        results are identical either way; the flag exists for A/B
+        equivalence tests and as an escape hatch (CLI ``--no-idle-skip``).
     """
 
-    def __init__(self, clock_hz: float = 25_000_000.0):
+    def __init__(
+        self, clock_hz: float = 25_000_000.0, strict_lockstep: bool = False
+    ):
         self.clock_hz = clock_hz
         self.cycle = 0
+        self.strict_lockstep = strict_lockstep
         self._components: List[Component] = []
+        self._component_set: Set[Component] = set()
         self._watchers: List[Callable[[int], None]] = []
+        self._watcher_set: set = set()
+        #: listeners called as fn(start, end) when the kernel
+        #: fast-forwards over an idle span (cycles start..end, where the
+        #: landing cycle `end` additionally gets a normal watcher call).
+        self._skip_listeners: List[Callable[[int, int], None]] = []
         #: optional KernelProfiler (see repro.telemetry.profiler); when
-        #: set, step() takes the instrumented path — the plain loop is
-        #: untouched so disabled profiling costs one None-check per call.
+        #: set, step() takes the instrumented lock-step path — the plain
+        #: loop is untouched so disabled profiling costs one None-check.
         self.profiler = None
         #: optional HealthMonitor (see repro.telemetry.health); set by
         #: HealthMonitor.attach().  Only consulted on the cold timeout
         #: path, so an unmonitored run pays nothing per cycle.
         self.health = None
+        # -- quiescence machinery (built lazily by _elaborate) ------------
+        self._units: List[Component] = []
+        self._unit_set: Set[Component] = set()
+        self._n_awake = 0
+        self._wake_heap: list = []  # (cycle, seq, unit)
+        self._wake_seq = 0
+        self._driven: list = []  # wires driven since the last commit
+        self._tracked_wires: list = []
+        self._needs_elab = True
 
     # -- construction ----------------------------------------------------
 
@@ -61,8 +109,10 @@ class Simulator:
         Adding the same component twice is a no-op: double registration
         would evaluate it twice per cycle and corrupt its state.
         """
-        if component not in self._components:
+        if component not in self._component_set:
+            self._component_set.add(component)
             self._components.append(component)
+            self._needs_elab = True
         return component
 
     def add_watcher(self, fn: Callable[[int], None]) -> None:
@@ -70,8 +120,13 @@ class Simulator:
 
         Adding the same function twice is a no-op, like :meth:`add`:
         double registration would run the hook twice per cycle.
+
+        Across a fast-forwarded idle span watchers fire once, at the
+        landing cycle; observers needing the skipped stride points should
+        also register a skip listener (:meth:`add_skip_listener`).
         """
-        if fn not in self._watchers:
+        if fn not in self._watcher_set:
+            self._watcher_set.add(fn)
             self._watchers.append(fn)
 
     def remove_watcher(self, fn: Callable[[int], None]) -> None:
@@ -80,10 +135,123 @@ class Simulator:
         Removing a function that is not registered is a no-op, so
         monitors and exporters can detach unconditionally.
         """
-        try:
+        if fn in self._watcher_set:
+            self._watcher_set.discard(fn)
             self._watchers.remove(fn)
+
+    def add_skip_listener(self, fn: Callable[[int, int], None]) -> None:
+        """Call *fn(start, end)* whenever the kernel fast-forwards.
+
+        The span covers skipped cycles ``(start, end)`` exclusive of
+        *end*: the landing cycle still gets the regular watcher pass, so
+        a listener replaying strided work must stop short of *end*.
+        """
+        if fn not in self._skip_listeners:
+            self._skip_listeners.append(fn)
+
+    def remove_skip_listener(self, fn: Callable[[int, int], None]) -> None:
+        try:
+            self._skip_listeners.remove(fn)
         except ValueError:
             pass
+
+    def invalidate_elaboration(self) -> None:
+        """Re-elaborate before the next step (wiring/topology changed)."""
+        self._needs_elab = True
+
+    # -- elaboration -----------------------------------------------------
+
+    def _elaborate(self) -> None:
+        """Flatten the tree into schedulable units and index the wires.
+
+        A component whose class overrides ``eval`` is a unit (its whole
+        subtree evaluates inside that call); default-eval composites are
+        descended through, so the flattened unit order exactly matches
+        the legacy recursive evaluation order.  Re-elaboration preserves
+        units' sleep state (new units start awake).
+        """
+        self._needs_elab = False
+        for w in self._tracked_wires:
+            w._queue = None
+            w._sinks = ()
+        tracked: list = []
+        tracked_set: set = set()
+        units: List[Component] = []
+        self._tracked_wires = tracked
+        self._units = units
+        if self.strict_lockstep:
+            self._unit_set = set()
+            self._n_awake = 0
+            return
+        pending = self._driven
+        default_eval = Component.eval
+        default_quiescent = Component.is_quiescent
+
+        def walk(comp: Component, unit: Optional[Component]) -> None:
+            if unit is None and type(comp).eval is not default_eval:
+                unit = comp
+                units.append(comp)
+                comp._can_sleep = (
+                    type(comp).is_quiescent is not default_quiescent
+                )
+            comp._kernel = self
+            comp._sched = unit
+            for w in comp._wires:
+                if w not in tracked_set:
+                    tracked_set.add(w)
+                    tracked.append(w)
+                    w._queue = pending
+            for child in comp._children:
+                walk(child, unit)
+
+        for top in self._components:
+            walk(top, None)
+        self._unit_set = set(units)
+
+        def wire_sinks(comp: Component) -> None:
+            unit = comp._sched
+            if unit is not None:
+                for w in comp._inputs:
+                    sinks = w._sinks
+                    if sinks == ():
+                        w._sinks = [unit]
+                        if w not in tracked_set:
+                            tracked_set.add(w)
+                            tracked.append(w)
+                    elif unit not in sinks:
+                        sinks.append(unit)
+            for child in comp._children:
+                wire_sinks(child)
+
+        for top in self._components:
+            wire_sinks(top)
+        self._n_awake = sum(1 for u in units if u._awake)
+
+    # -- wake management -------------------------------------------------
+
+    def wake_unit(self, unit: Component) -> None:
+        """Mark a sleeping unit runnable (external mutation arrived)."""
+        if not unit._awake and unit in self._unit_set:
+            unit._awake = True
+            self._n_awake += 1
+
+    def schedule_wake(self, unit: Component, cycle: int) -> None:
+        """Wake *unit* at *cycle* (processed before that cycle's evals)."""
+        self._wake_seq += 1
+        heappush(self._wake_heap, (cycle, self._wake_seq, unit))
+
+    def _flush_sleep_credits(self) -> None:
+        """Wake everything, crediting skipped idle evals (used when
+        switching to the lock-step profiled path mid-run)."""
+        for u in self._units:
+            if not u._awake:
+                u._awake = True
+                self._n_awake += 1
+            s = u._slept_since
+            if s is not None:
+                u._slept_since = None
+                if self.cycle > s:
+                    u.on_wake(self.cycle - s)
 
     # -- execution ---------------------------------------------------------
 
@@ -92,11 +260,76 @@ class Simulator:
         self.cycle = 0
         for c in self._components:
             c.reset()
+            for cc in c.iter_components():
+                cc._last_wake_req = None
+        for w in self._driven:
+            w._queued = False
+        self._driven.clear()
+        self._wake_heap.clear()
+        for u in self._units:
+            u._awake = True
+            u._slept_since = None
+        self._n_awake = len(self._units)
 
     def step(self, cycles: int = 1) -> int:
         """Advance the simulation by *cycles* clock cycles."""
         if self.profiler is not None:
             return self._step_profiled(cycles)
+        if self.strict_lockstep:
+            return self._step_lockstep(cycles)
+        if self._needs_elab:
+            self._elaborate()
+        units = self._units
+        watchers = self._watchers
+        heap = self._wake_heap
+        driven = self._driven
+        unit_set = self._unit_set
+        target = self.cycle + cycles
+        while self.cycle < target:
+            cyc = self.cycle
+            while heap and heap[0][0] <= cyc:
+                unit = heappop(heap)[2]
+                if not unit._awake and unit in unit_set:
+                    unit._awake = True
+                    self._n_awake += 1
+            if self._n_awake == 0 and units:
+                land = heap[0][0] if heap else target
+                if land > target:
+                    land = target
+                self._fast_forward(cyc, land)
+                continue
+            for u in units:
+                if u._awake:
+                    s = u._slept_since
+                    if s is not None:
+                        u._slept_since = None
+                        if cyc > s:
+                            u.on_wake(cyc - s)
+                    u.eval(cyc)
+                    if u._can_sleep and u.is_quiescent():
+                        u._awake = False
+                        u._slept_since = cyc + 1
+                        self._n_awake -= 1
+            if driven:
+                n_awake = self._n_awake
+                for w in driven:
+                    w._queued = False
+                    nxt = w._next
+                    if w.value != nxt:
+                        w.value = nxt
+                        for su in w._sinks:
+                            if not su._awake:
+                                su._awake = True
+                                n_awake += 1
+                self._n_awake = n_awake
+                driven.clear()
+            self.cycle = cyc + 1
+            for fn in watchers:
+                fn(self.cycle)
+        return self.cycle
+
+    def _step_lockstep(self, cycles: int) -> int:
+        """The legacy loop: evaluate and commit everything, every cycle."""
         components = self._components
         watchers = self._watchers
         for _ in range(cycles):
@@ -110,16 +343,41 @@ class Simulator:
                 fn(self.cycle)
         return self.cycle
 
+    def _fast_forward(self, from_cycle: int, to_cycle: int) -> None:
+        """Jump over an idle span: every unit is asleep and no wake is
+        scheduled before *to_cycle*, so no architectural state can change
+        in between — advancing the cycle counter is exact."""
+        self.cycle = to_cycle
+        for fn in self._skip_listeners:
+            fn(from_cycle, to_cycle)
+        for fn in self._watchers:
+            fn(to_cycle)
+
     def _step_profiled(self, cycles: int) -> int:
         """Instrumented twin of :meth:`step`: every component eval,
-        commit and watcher call is timed by the attached profiler."""
+        commit and watcher call is timed by the attached profiler.
+
+        Profiling runs lock-step (no idle skipping) so wall-clock cost is
+        attributed per component per cycle; sleep credits are flushed
+        first to keep counters cycle-exact when switching paths mid-run.
+        """
         prof = self.profiler
+        if not self.strict_lockstep:
+            if self._needs_elab:
+                self._elaborate()
+            self._flush_sleep_credits()
+        driven = self._driven
         for _ in range(cycles):
             cyc = self.cycle
             for c in self._components:
                 prof.timed_eval(c, cyc)
             for c in self._components:
                 prof.timed_commit(c)
+            if driven:
+                # recursive commit already latched these; just clear flags
+                for w in driven:
+                    w._queued = False
+                driven.clear()
             self.cycle = cyc + 1
             for fn in self._watchers:
                 prof.timed_watcher(fn, self.cycle)
@@ -136,10 +394,17 @@ class Simulator:
 
         Raises :class:`SimulationTimeout` after *max_cycles* additional
         cycles so a deadlocked model fails loudly instead of spinning.
+
+        On the quiescent path the predicate is evaluated at every cycle
+        with activity plus the budget boundary; while every unit sleeps
+        the state it could observe is frozen, so skipping the idle span
+        between activity points is exact for state-based predicates.
         """
         start = self.cycle
+        budget = start + max_cycles
+        fast = self.profiler is None and not self.strict_lockstep
         while not predicate():
-            if self.cycle - start >= max_cycles:
+            if self.cycle >= budget:
                 what = label or getattr(predicate, "__name__", "condition")
                 message = (
                     f"{what} not reached within {max_cycles} cycles "
@@ -150,6 +415,21 @@ class Simulator:
                     diagnostics = self.health.diagnostics()
                     message += "\n" + self.health.describe(diagnostics)
                 raise SimulationTimeout(message, diagnostics=diagnostics)
+            if fast:
+                if self._needs_elab:
+                    self._elaborate()
+                heap = self._wake_heap
+                if (
+                    self._n_awake == 0
+                    and self._units
+                    and not (heap and heap[0][0] <= self.cycle)
+                ):
+                    land = heap[0][0] if heap else budget
+                    if land > budget:
+                        land = budget
+                    if land > self.cycle:
+                        self._fast_forward(self.cycle, land)
+                        continue
             self.step()
         return self.cycle - start
 

@@ -6,6 +6,19 @@ During the *evaluate* phase of a clock cycle components read ``wire.value``
 to schedule the value for the next edge.  The kernel then *commits* all
 wires at once, which models a synchronous register boundary and makes the
 simulation independent of component evaluation order.
+
+Two kernel-facing refinements keep the hot path flat:
+
+* **Driven-wire queue.**  When the quiescence-aware kernel elaborates a
+  design it installs its pending-commit list as each wire's ``_queue``;
+  the first :meth:`drive` of a cycle enqueues the wire, so the commit
+  phase touches only wires that were actually driven instead of walking
+  the whole component tree.  ``_sinks`` holds the schedulable units that
+  declared the wire as an input — a committed value *change* wakes them.
+* **Checked/unchecked split.**  Width checking lives in the
+  :class:`CheckedWire` subclass; ``Wire(name, width=8)`` transparently
+  builds one.  Wires created without a width run a :meth:`drive` with no
+  per-call width branch at all.
 """
 
 from __future__ import annotations
@@ -23,29 +36,50 @@ class Wire:
     reset:
         Value the wire holds at cycle zero and after :meth:`reset`.
     width:
-        Optional bit width.  When given, driven integer values are checked
-        against ``[0, 2**width)`` which catches encoding bugs early.
+        Optional bit width.  When given, the constructor returns a
+        :class:`CheckedWire` whose :meth:`drive` validates values against
+        ``[0, 2**width)``, catching encoding bugs early.  Without a
+        width, drives are entirely unchecked (the fast path).
     """
 
-    __slots__ = ("name", "value", "reset_value", "width", "_next", "_max")
+    __slots__ = (
+        "name",
+        "value",
+        "reset_value",
+        "width",
+        "_next",
+        "_queue",
+        "_queued",
+        "_sinks",
+    )
+
+    def __new__(cls, name: str, reset: Any = 0, width: int | None = None):
+        if cls is Wire and width is not None:
+            return object.__new__(CheckedWire)
+        return object.__new__(cls)
 
     def __init__(self, name: str, reset: Any = 0, width: int | None = None):
         self.name = name
         self.reset_value = reset
         self.width = width
-        self._max = (1 << width) if width is not None else None
         self.value = reset
         self._next = reset
+        #: kernel's pending-commit list (installed at elaboration) or None
+        self._queue = None
+        self._queued = False
+        #: schedulable units reading this wire (built at elaboration)
+        self._sinks: Any = ()
+        if width is not None:
+            self._max = 1 << width
 
     def drive(self, value: Any) -> None:
         """Schedule *value* to appear on the wire at the next clock edge."""
-        if self._max is not None:
-            if not isinstance(value, int) or not 0 <= value < self._max:
-                raise ValueError(
-                    f"wire {self.name!r}: value {value!r} does not fit in "
-                    f"{self.width} bits"
-                )
         self._next = value
+        if not self._queued:
+            q = self._queue
+            if q is not None:
+                q.append(self)
+                self._queued = True
 
     def commit(self) -> None:
         """Latch the scheduled value (called by the kernel, once per cycle)."""
@@ -58,6 +92,30 @@ class Wire:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Wire({self.name}={self.value!r})"
+
+
+class CheckedWire(Wire):
+    """A :class:`Wire` with a declared bit width and range-checked drives.
+
+    ``Wire(name, width=n)`` returns one of these; the precomputed bound
+    keeps the check to a single comparison, and width-less wires never
+    pay for it at all.
+    """
+
+    __slots__ = ("_max",)
+
+    def drive(self, value: Any) -> None:
+        if not isinstance(value, int) or not 0 <= value < self._max:
+            raise ValueError(
+                f"wire {self.name!r}: value {value!r} does not fit in "
+                f"{self.width} bits"
+            )
+        self._next = value
+        if not self._queued:
+            q = self._queue
+            if q is not None:
+                q.append(self)
+                self._queued = True
 
 
 class HandshakeTx:

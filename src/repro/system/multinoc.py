@@ -188,7 +188,9 @@ class MultiNoC(Component):
     def all_halted(self) -> bool:
         return all(p.cpu.halted for p in self.processors.values())
 
-    def make_simulator(self) -> Simulator:
-        sim = Simulator(clock_hz=self.config.clock_hz)
+    def make_simulator(self, strict_lockstep: bool = False) -> Simulator:
+        sim = Simulator(
+            clock_hz=self.config.clock_hz, strict_lockstep=strict_lockstep
+        )
         sim.add(self)
         return sim

@@ -235,11 +235,42 @@ class ProcessorIp(Component):
     def eval(self, cycle: int) -> None:
         if self.sink is not None:
             self._now = cycle
-        super().eval(cycle)  # cpu first (bus calls), then ni
+        # cpu first (bus calls), then ni; inlined from the generic
+        # child walk — these are the IP's only children and this call
+        # chain runs every active cycle.
+        self.cpu.eval(cycle)
+        self.ni.eval(cycle)
         self._complete_posted_ops()
         self._handle_incoming(cycle)
         self._serve_local_memory()
         self._proc_mem_used = False
+
+    def is_quiescent(self) -> bool:
+        """The whole IP sleeps only when the core cannot advance on its
+        own (halted, paused, or stalled on an external transaction), the
+        NI is idle with nothing undelivered, the local-memory server has
+        no work, and no posted operation is waiting to complete.  Every
+        possible resume path is covered by a wake: incoming flits wake
+        the NI's watched wires, and local completions keep the unit awake
+        until they land."""
+        if not self.cpu.sleepable:
+            return False
+        if self._srv_state != _SRV_IDLE or self._srv_backlog:
+            return False
+        p = self._pending
+        if p is not None and not p.done:
+            k = self._pending_kind
+            if k == AccessKind.NOTIFY or (
+                k in (AccessKind.REMOTE, AccessKind.IO) and p.is_write
+            ):
+                # fire-and-forget: completes locally on a later eval
+                return False
+        ni = self.ni
+        return not ni.received and ni.is_quiescent()
+
+    def on_wake(self, skipped_cycles: int) -> None:
+        """Credit the skipped idle evals to the core's stall counters."""
+        self.cpu.credit_idle_cycles(skipped_cycles)
 
     def reset(self) -> None:
         super().reset()

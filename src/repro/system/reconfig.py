@@ -168,7 +168,7 @@ class ReconfigurationManager:
         mem = system.memories.pop(index)
         system.config.memories.pop(index)
         mem.ni.detach()
-        system._children.remove(mem)
+        system.remove_child(mem)
         self._rebuild_address_maps()
         self.reconfigurations += 1
         return mem

@@ -375,6 +375,8 @@ class HealthMonitor:
             self._install_default_probes()
 
         sim.add_watcher(self.on_cycle)
+        if hasattr(sim, "add_skip_listener"):
+            sim.add_skip_listener(self.on_fast_forward)
         sim.health = self
         return self
 
@@ -382,6 +384,8 @@ class HealthMonitor:
         """Unhook from the simulator; the run continues unmonitored."""
         if self.sim is not None:
             self.sim.remove_watcher(self.on_cycle)
+            if hasattr(self.sim, "remove_skip_listener"):
+                self.sim.remove_skip_listener(self.on_fast_forward)
             if self.sim.health is self:
                 self.sim.health = None
 
@@ -418,6 +422,31 @@ class HealthMonitor:
             self.sampler.sample(cycle)
         if cycle % self.check_interval:
             return
+        self._run_checks(cycle)
+
+    def on_fast_forward(self, start: int, end: int) -> None:
+        """Simulator skip listener: keep strided samples and watchdog
+        checks firing *inside* a fast-forwarded idle span.
+
+        The kernel only fast-forwards while every component sleeps, so
+        all probed state is frozen at its ``start`` value — replaying the
+        stride points with that state is exactly what lock-step would
+        have observed.  The landing cycle ``end`` is excluded here; it
+        gets the regular :meth:`on_cycle` watcher call.
+        """
+        if self.sampler is not None:
+            k = self.sample_interval
+            c = start - start % k + k if start % k else start + k
+            while c < end:
+                self.sampler.sample(c)
+                c += k
+        k = self.check_interval
+        c = start - start % k + k if start % k else start + k
+        while c < end:
+            self._run_checks(c)
+            c += k
+
+    def _run_checks(self, cycle: int) -> None:
         self.checks_run += 1
         if self.stats is not None:
             self._update_movement(cycle)

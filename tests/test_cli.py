@@ -127,6 +127,15 @@ class TestSystem:
         assert "P2 printf" in out
         assert "halted at cycle" in out
 
+    def test_no_idle_skip_matches_default_kernel(self, asm_file, capsys):
+        """--no-idle-skip (strict lock-step) must reach the same cycle."""
+        assert main(["system", str(asm_file)]) == 0
+        quiescent = capsys.readouterr().out
+        assert main(["system", str(asm_file), "--no-idle-skip"]) == 0
+        strict = capsys.readouterr().out
+        assert "halted at cycle" in quiescent
+        assert quiescent == strict
+
     def test_stats_report(self, asm_file, capsys):
         assert main(["system", str(asm_file), "--stats"]) == 0
         out = capsys.readouterr().out
