@@ -23,6 +23,7 @@ Quick start::
 """
 
 from .core import MultiNoCPlatform, PlatformSession, Program
+from .debug import SystemDebugger
 from .system import MultiNoC, SystemConfig
 from .telemetry import (
     HealthMonitor,
@@ -44,6 +45,7 @@ __all__ = [
     "PlatformSession",
     "Program",
     "SystemConfig",
+    "SystemDebugger",
     "TelemetrySink",
     "__version__",
 ]

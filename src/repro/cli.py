@@ -79,11 +79,16 @@ def cmd_run(args) -> int:
 
 
 def cmd_debug(args) -> int:
-    dbg = Debugger()
-    dbg.load_object(_load_program(args.file))
     script = (
         sys.stdin.read() if args.script == "-" else Path(args.script).read_text()
     )
+    if args.system:
+        return _debug_system(args, script)
+    if not args.file:
+        print("error: debug needs a program file (or --system)", file=sys.stderr)
+        return 2
+    dbg = Debugger()
+    dbg.load_object(_load_program(args.file))
     for line in script.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
@@ -91,6 +96,49 @@ def cmd_debug(args) -> int:
         print(f"(r8db) {line}")
         print(dbg.execute(line))
     return 0
+
+
+def _debug_system(args, script: str) -> int:
+    """``debug --system``: a scripted full-system debugger session."""
+    from .core import MultiNoCPlatform
+    from .debug import SystemDebugger
+    from .r8.debugger import DebuggerError
+    from .telemetry import TelemetrySink
+
+    session = MultiNoCPlatform.standard().launch(
+        telemetry=TelemetrySink(), strict_lockstep=args.no_idle_skip
+    )
+    if args.file:
+        session.host.sync()
+        obj = _load_program(args.file)
+        addr = session.processor_address(args.proc)
+        session.host.load_program(addr, obj)
+        session.host.activate(addr)
+    dbg = SystemDebugger(
+        session, checkpoint_interval=args.checkpoint_interval
+    )
+    status = 0
+    for line in script.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        print(f"(mndb) {line}")
+        try:
+            print(dbg.execute(line))
+        except DebuggerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 1
+            break
+    if args.checkpoint:
+        from .sim import save_checkpoint
+
+        path = save_checkpoint(
+            session.sim,
+            args.checkpoint,
+            meta={"mesh": list(session.system.config.mesh)},
+        )
+        print(f"checkpoint -> {path}")
+    return status
 
 
 def cmd_cc(args) -> int:
@@ -325,8 +373,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("debug", help="run a debugger script")
-    p.add_argument("file")
+    p.add_argument("file", nargs="?", help="program (optional with --system)")
     p.add_argument("--script", required=True, help="script file or - for stdin")
+    p.add_argument(
+        "--system",
+        action="store_true",
+        help="debug the full MultiNoC platform instead of a lone R8 core",
+    )
+    p.add_argument(
+        "--proc",
+        type=int,
+        default=1,
+        help="processor to load FILE onto in --system mode",
+    )
+    p.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1000,
+        metavar="K",
+        help="record a reverse-step checkpoint every K cycles (--system)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="save a full-system checkpoint when the script ends (--system)",
+    )
+    p.add_argument(
+        "--no-idle-skip",
+        action="store_true",
+        help="strict lock-step kernel in --system mode",
+    )
     p.set_defaults(fn=cmd_debug)
 
     p = sub.add_parser("cc", help="compile R8C")

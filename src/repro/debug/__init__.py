@@ -1,0 +1,17 @@
+"""Full-system interactive debugging for MultiNoC.
+
+The paper positions MultiNoC as a teaching and prototyping platform;
+:mod:`repro.r8.debugger` covers the single-core half of that story.
+This package covers the whole board: :class:`SystemDebugger` drives a
+live :class:`~repro.core.platform.PlatformSession` with cross-IP break
+conditions (PC breakpoints on any core, memory watchpoints on local and
+remote memories, packet-arrival and link-activity conditions on the
+NoC, host-transaction events), watch expressions over the components'
+``probe_state`` probes, and time travel (reverse-step / goto-cycle)
+built on the deterministic checkpoint ring in
+:mod:`repro.sim.checkpoint`.
+"""
+
+from .system import CoreAdapter, SystemDebugger
+
+__all__ = ["CoreAdapter", "SystemDebugger"]

@@ -37,6 +37,27 @@ class InteractionMonitor:
                 return
         self.unmatched_answers.append((cycle, value))
 
+    # -- checkpoint format ------------------------------------------------
+
+    def to_state(self) -> dict:
+        return {
+            "proc": self.proc,
+            "printfs": [list(p) for p in self.printfs],
+            "scanfs": [list(s) for s in self.scanfs],
+            "unmatched_answers": [list(u) for u in self.unmatched_answers],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "InteractionMonitor":
+        return cls(
+            proc=state["proc"],
+            printfs=[tuple(p) for p in state["printfs"]],
+            scanfs=[tuple(s) for s in state["scanfs"]],
+            unmatched_answers=[
+                tuple(u) for u in state["unmatched_answers"]
+            ],
+        )
+
     @property
     def printf_values(self) -> List[int]:
         return [value for _, value in self.printfs]

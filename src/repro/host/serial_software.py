@@ -79,6 +79,10 @@ class SerialSoftware(Component):
         self.current_transaction: Optional[Tuple[str, int]] = None
         #: optional TelemetrySink; hooks are behind one None-check each
         self.sink = None
+        #: optional debugger hook: fn(message, cycle) called for every
+        #: board->host frame (read return, printf, scanf request) as it
+        #: is parsed; not serialized in checkpoints.
+        self.on_frame = None
 
     def attach_telemetry(self, sink) -> None:
         """Register the host as a track; transactions become spans."""
@@ -131,6 +135,8 @@ class SerialSoftware(Component):
                 self._dispatch(protocol.parse_board_frame(frame))
 
     def _dispatch(self, message) -> None:
+        if self.on_frame is not None:
+            self.on_frame(message, self._cycle)
         if isinstance(message, protocol.ReadReturnFrame):
             self.read_returns.append(message)
         elif isinstance(message, protocol.PrintfFrame):
@@ -162,6 +168,50 @@ class SerialSoftware(Component):
         flit = self.system.config.id_to_flit()[proc]
         self.uart_tx.send_bytes(protocol.frame_scanf_return(flit, value))
         self.monitor(proc).log_scanf_answer(value, cycle=self._cycle)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        # scanf_handlers are live callables and are deliberately NOT
+        # serialized; a fresh-context restore re-registers them.
+        return {
+            "frame": list(self._frame),
+            "read_returns": [
+                {"address": r.address, "words": list(r.words)}
+                for r in self.read_returns
+            ],
+            "scanf_requests": [
+                {"proc": r.proc} for r in self.scanf_requests
+            ],
+            "monitors": [
+                m.to_state() for _, m in sorted(self.monitors.items())
+            ],
+            "cycle": self._cycle,
+            "synced": self.synced,
+            "current_transaction": (
+                list(self.current_transaction)
+                if self.current_transaction is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._frame = list(state["frame"])
+        self.read_returns = deque(
+            protocol.ReadReturnFrame(r["address"], list(r["words"]))
+            for r in state["read_returns"]
+        )
+        self.scanf_requests = deque(
+            protocol.ScanfFrame(r["proc"]) for r in state["scanf_requests"]
+        )
+        self.monitors = {}
+        for m in state["monitors"]:
+            monitor = InteractionMonitor.from_state(m)
+            self.monitors[monitor.proc] = monitor
+        self._cycle = state["cycle"]
+        self.synced = state["synced"]
+        txn = state["current_transaction"]
+        self.current_transaction = tuple(txn) if txn is not None else None
 
     # -- low-level sending -----------------------------------------------------------
 

@@ -51,10 +51,15 @@ class MemoryBanks:
     def __init__(self, depth: int = 1024):
         self.depth = depth
         self.banks = [BlockRam(depth, self.NIBBLE) for _ in range(self.N_BANKS)]
+        #: optional debugger hook ``watch(is_write, addr, value)`` called
+        #: on every architectural word access (not instruction fetch).
+        self.watch = None
 
-    def read_word(self, addr: int) -> int:
+    def fetch_word(self, addr: int) -> int:
         # One bounds check and four direct nibble reads: word access sits
         # on the CPU fetch path, the hottest loop in the whole simulator.
+        # Fetches bypass the watch hook so instruction streaming never
+        # triggers data watchpoints (and the common case stays hook-free).
         if not 0 <= addr < self.depth:
             raise IndexError(
                 f"BlockRAM address {addr:#06x} out of range 0..{self.depth - 1}"
@@ -66,6 +71,12 @@ class MemoryBanks:
             | (b[2].data[addr] << 8)
             | (b[3].data[addr] << 12)
         )
+
+    def read_word(self, addr: int) -> int:
+        value = self.fetch_word(addr)
+        if self.watch is not None:
+            self.watch(False, addr, value)
+        return value
 
     def write_word(self, addr: int, value: int) -> None:
         if not 0 <= value <= 0xFFFF:
@@ -79,12 +90,20 @@ class MemoryBanks:
         b[1].data[addr] = (value >> 4) & 0xF
         b[2].data[addr] = (value >> 8) & 0xF
         b[3].data[addr] = (value >> 12) & 0xF
+        if self.watch is not None:
+            self.watch(True, addr, value)
 
     def load(self, words, base: int = 0) -> None:
-        for i, word in enumerate(words):
-            self.write_word(base + i, word & 0xFFFF)
+        # Bulk image loads (program download, checkpoint restore) are not
+        # architectural stores; keep them invisible to data watchpoints.
+        hook, self.watch = self.watch, None
+        try:
+            for i, word in enumerate(words):
+                self.write_word(base + i, word & 0xFFFF)
+        finally:
+            self.watch = hook
 
     def dump(self, start: int = 0, count: int = None) -> List[int]:
         if count is None:
             count = self.depth - start
-        return [self.read_word(start + i) for i in range(count)]
+        return [self.fetch_word(start + i) for i in range(count)]

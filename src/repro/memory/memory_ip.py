@@ -115,6 +115,32 @@ class MemoryIp(Component):
         self._op_remaining = 0
         self.dropped_packets = []
 
+    # -- checkpointing ---------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "mem": self.banks.dump(),
+            "proc_used": self._proc_used,
+            "state": self._state,
+            "op_addr": self._op_addr,
+            "op_words": list(self._op_words),
+            "op_remaining": self._op_remaining,
+            "op_reply_to": self._op_reply_to,
+            "dropped": [p.to_state() for p in self.dropped_packets],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.banks.load(state["mem"])
+        self._proc_used = state["proc_used"]
+        self._state = state["state"]
+        self._op_addr = state["op_addr"]
+        self._op_words = list(state["op_words"])
+        self._op_remaining = state["op_remaining"]
+        self._op_reply_to = state["op_reply_to"]
+        self.dropped_packets = [
+            Packet.from_state(p) for p in state["dropped"]
+        ]
+
     # -- NoC-side FSM ----------------------------------------------------------------
 
     def _start_next_operation(self) -> None:

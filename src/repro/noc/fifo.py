@@ -86,5 +86,16 @@ class CircularFifo:
             for i in range(self._count)
         ]
 
+    def restore(self, contents: List[int], watermark: int = 0) -> None:
+        """Rebuild from a :meth:`snapshot` list (checkpoint restore)."""
+        if len(contents) > self.capacity:
+            raise OverflowError(
+                f"{len(contents)} flits do not fit a {self.capacity}-flit FIFO"
+            )
+        self.clear()
+        for flit in contents:
+            self.push(flit)
+        self._watermark = max(watermark, self._count)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"CircularFifo({self.snapshot()}/{self.capacity})"

@@ -46,6 +46,9 @@ class NetworkInterface(Component):
         self._rx_flits: List[int] = []
         self._rx_expected = 0
         self.received: Deque[Packet] = deque()
+        #: optional debugger hook ``on_packet(ni, packet, cycle)`` called
+        #: when a packet finishes reassembly at this NI.
+        self.on_packet = None
 
     # -- wiring ------------------------------------------------------------
 
@@ -144,6 +147,50 @@ class NetworkInterface(Component):
         self._rx_flits = []
         self.received.clear()
         self._flow_seq = {}
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "tx_queue": [p.to_state() for p in self._tx_queue],
+            "tx_flits": list(self._tx_flits),
+            "tx_index": self._tx_index,
+            "tx_packet": (
+                self._tx_packet.to_state()
+                if self._tx_packet is not None
+                else None
+            ),
+            "tx_in_flight": self._tx_in_flight,
+            "rx_state": self._rx_state,
+            "rx_flits": list(self._rx_flits),
+            "rx_expected": self._rx_expected,
+            "received": [p.to_state() for p in self.received],
+            "flow_seq": sorted(
+                [list(target), seq]
+                for target, seq in self._flow_seq.items()
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._tx_queue = deque(
+            Packet.from_state(p) for p in state["tx_queue"]
+        )
+        self._tx_flits = list(state["tx_flits"])
+        self._tx_index = state["tx_index"]
+        tx_packet = state["tx_packet"]
+        self._tx_packet = (
+            Packet.from_state(tx_packet) if tx_packet is not None else None
+        )
+        self._tx_in_flight = state["tx_in_flight"]
+        self._rx_state = state["rx_state"]
+        self._rx_flits = list(state["rx_flits"])
+        self._rx_expected = state["rx_expected"]
+        self.received = deque(
+            Packet.from_state(p) for p in state["received"]
+        )
+        self._flow_seq = {
+            tuple(target): seq for target, seq in state["flow_seq"]
+        }
 
     def _eval_sender(self, cycle: int) -> None:
         ch = self.to_router
@@ -249,6 +296,8 @@ class NetworkInterface(Component):
                 f"{header_target}: routing is broken"
             )
         self.received.append(packet)
+        if self.on_packet is not None:
+            self.on_packet(self, packet, cycle)
         if self.stats is not None:
             self.stats.packet_delivered(packet, self.address)
         if self.sink is not None:

@@ -58,6 +58,31 @@ class Packet:
             )
         return cls(target=decode_address(flits[0]), payload=list(flits[2:]))
 
+    # -- checkpoint format -------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serialisable form, metadata stamps included."""
+        return {
+            "target": list(self.target),
+            "payload": list(self.payload),
+            "source": list(self.source) if self.source is not None else None,
+            "created_cycle": self.created_cycle,
+            "injected_cycle": self.injected_cycle,
+            "delivered_cycle": self.delivered_cycle,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Packet":
+        source = state.get("source")
+        return cls(
+            target=tuple(state["target"]),
+            payload=list(state.get("payload", [])),
+            source=tuple(source) if source is not None else None,
+            created_cycle=state.get("created_cycle"),
+            injected_cycle=state.get("injected_cycle"),
+            delivered_cycle=state.get("delivered_cycle"),
+        )
+
     # -- convenience -------------------------------------------------------
 
     @property

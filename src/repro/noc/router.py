@@ -151,6 +151,45 @@ class HermesRouter(Component):
         self._rx_phase = [_PH_HEADER] * self.N_PORTS
         self._rx_left = [0] * self.N_PORTS
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "fifos": [
+                [f.snapshot(), f.watermark] for f in self.fifos
+            ],
+            "in_conn": list(self.in_conn),
+            "in_phase": list(self.in_phase),
+            "in_remaining": list(self.in_remaining),
+            "out_owner": list(self.out_owner),
+            "in_flight": list(self._in_flight),
+            "last_grant": self.arbiter._last_grant,
+            "ctrl_state": self._ctrl_state,
+            "ctrl_input": self._ctrl_input,
+            "ctrl_counter": self._ctrl_counter,
+            "rx_phase": list(self._rx_phase),
+            "rx_left": list(self._rx_left),
+            "conn_opened": list(self._conn_opened),
+            "now": self._now,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for fifo, (contents, watermark) in zip(self.fifos, state["fifos"]):
+            fifo.restore(contents, watermark)
+        self.in_conn = list(state["in_conn"])
+        self.in_phase = list(state["in_phase"])
+        self.in_remaining = list(state["in_remaining"])
+        self.out_owner = list(state["out_owner"])
+        self._in_flight = list(state["in_flight"])
+        self.arbiter._last_grant = state["last_grant"]
+        self._ctrl_state = state["ctrl_state"]
+        self._ctrl_input = state["ctrl_input"]
+        self._ctrl_counter = state["ctrl_counter"]
+        self._rx_phase = list(state["rx_phase"])
+        self._rx_left = list(state["rx_left"])
+        self._conn_opened = list(state["conn_opened"])
+        self._now = state["now"]
+
     # -- output ports (handshake senders) -----------------------------------
 
     def _eval_senders(self) -> None:

@@ -127,6 +127,29 @@ Message = Union[
 ]
 
 
+# -- checkpoint format ---------------------------------------------------------
+
+_MESSAGE_TYPES = {}
+
+
+def message_to_state(message: Message) -> dict:
+    """JSON-serialisable form of a decoded service message."""
+    return {"type": type(message).__name__, **vars(message)}
+
+
+def message_from_state(state: dict) -> Message:
+    """Rebuild a message from :func:`message_to_state` output."""
+    if not _MESSAGE_TYPES:
+        for cls in Message.__args__:  # type: ignore[attr-defined]
+            _MESSAGE_TYPES[cls.__name__] = cls
+    fields = dict(state)
+    try:
+        cls = _MESSAGE_TYPES[fields.pop("type")]
+    except KeyError as exc:
+        raise ServiceError(f"unknown service message type in {state!r}") from exc
+    return cls(**fields)
+
+
 # -- encoders ------------------------------------------------------------------
 
 

@@ -75,6 +75,71 @@ class NetworkStats:
             "noc_packets_in_flight", "injected packets not yet delivered"
         ).set_function(lambda: self.in_flight_count)
 
+    # -- checkpointing ------------------------------------------------------
+
+    @staticmethod
+    def _key_out(key):
+        """Tuple (possibly nested) -> JSON-safe nested lists."""
+        if isinstance(key, tuple):
+            return [NetworkStats._key_out(k) for k in key]
+        return key
+
+    @staticmethod
+    def _key_in(key):
+        """Nested lists back to the tuple keys the hot paths use."""
+        if isinstance(key, list):
+            return tuple(NetworkStats._key_in(k) for k in key)
+        return key
+
+    def snapshot(self) -> dict:
+        def dump(samples):
+            return sorted(
+                [self._key_out(k), v] for k, v in samples.items()
+            )
+
+        return {
+            "flits_received": dump(self.flits_received),
+            "flits_sent": dump(self.flits_sent),
+            "stall_cycles": dump(self.stall_cycles),
+            "blocked_routings": dump(self.blocked_routings),
+            "connections_opened": dump(self.connections_opened),
+            "connections_closed": dump(self.connections_closed),
+            "packets_injected": self._packets_injected.value,
+            "packets_delivered": self._packets_delivered.value,
+            "delivered_flits": self._delivered_flits.value,
+            "unmatched": self._unmatched.value,
+            "pruned": self._pruned.value,
+            "latencies": list(self.latencies),
+            "in_flight": sorted(
+                [self._key_out(k), list(stamps)]
+                for k, stamps in self._in_flight.items()
+            ),
+        }
+
+    def restore(self, state: dict) -> None:
+        def load(samples, dumped):
+            # mutate in place: the dicts are aliased by the hot paths
+            samples.clear()
+            for k, v in dumped:
+                samples[self._key_in(k)] = v
+
+        load(self.flits_received, state["flits_received"])
+        load(self.flits_sent, state["flits_sent"])
+        load(self.stall_cycles, state["stall_cycles"])
+        load(self.blocked_routings, state["blocked_routings"])
+        load(self.connections_opened, state["connections_opened"])
+        load(self.connections_closed, state["connections_closed"])
+        self._packets_injected._value = state["packets_injected"]
+        self._packets_delivered._value = state["packets_delivered"]
+        self._delivered_flits._value = state["delivered_flits"]
+        self._unmatched._value = state["unmatched"]
+        self._pruned._value = state["pruned"]
+        self.latencies[:] = state["latencies"]
+        self._in_flight = {
+            self._key_in(k): list(stamps)
+            for k, stamps in state["in_flight"]
+        }
+
     # -- hooks called by the models ---------------------------------------
 
     def flit_received(self, router: Address, port: int) -> None:

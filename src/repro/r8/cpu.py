@@ -210,6 +210,83 @@ class R8Cpu(Component):
         self._call_key = ()
         self._cur_pc = 0
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        st = self.state
+        txn = self._txn
+        return {
+            "regs": list(st.regs),
+            "pc": st.pc,
+            "sp": st.sp,
+            "flags": list(st.flags.as_tuple()),
+            "halted": st.halted,
+            "fsm": self._fsm,
+            "instr": None if self._instr is None else isa.encode(self._instr),
+            "txn": (
+                None
+                if txn is None
+                else [txn.is_write, txn.addr, txn.value, txn.done]
+            ),
+            "mem_settle": self._mem_settle,
+            "paused": self.paused,
+            "cycles_active": self.cycles_active,
+            "cycles_stalled": self.cycles_stalled,
+            "instructions_retired": self.instructions_retired,
+            "now": self._now,
+            "burst_start": self._burst_start,
+            "burst_base": self._burst_base,
+            "stall_start": self._stall_start,
+            "pc_samples": (
+                None
+                if self.pc_samples is None
+                else [
+                    [list(stack), pc, n]
+                    for (stack, pc), n in sorted(self.pc_samples.items())
+                ]
+            ),
+            "cur_pc": self._cur_pc,
+            "call_key": list(self._call_key),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        st = self.state
+        st.regs[:] = state["regs"]
+        st.pc = state["pc"]
+        st.sp = state["sp"]
+        n, z, c, v = state["flags"]
+        st.flags.n, st.flags.z, st.flags.c, st.flags.v = n, z, c, v
+        st.halted = state["halted"]
+        self._fsm = state["fsm"]
+        instr = state["instr"]
+        self._instr = None if instr is None else isa.decode(instr)
+        txn = state["txn"]
+        if txn is None:
+            self._txn = None
+        else:
+            is_write, addr, value, done = txn
+            t = Transaction(is_write, addr, value)
+            t.done = done
+            self._txn = t
+        self._mem_settle = state["mem_settle"]
+        self.paused = state["paused"]
+        self.cycles_active = state["cycles_active"]
+        self.cycles_stalled = state["cycles_stalled"]
+        self.instructions_retired = state["instructions_retired"]
+        self._now = state["now"]
+        self._burst_start = state["burst_start"]
+        self._burst_base = state["burst_base"]
+        self._stall_start = state["stall_start"]
+        samples = state["pc_samples"]
+        if samples is None:
+            self.pc_samples = None
+        else:
+            self.pc_samples = {
+                (tuple(stack), pc): n for stack, pc, n in samples
+            }
+        self._cur_pc = state["cur_pc"]
+        self._call_key = tuple(state["call_key"])
+
     def eval(self, cycle: int) -> None:
         if self._fsm == S_HALT:
             return

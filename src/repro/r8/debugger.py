@@ -18,6 +18,8 @@ Commands (as accepted by :meth:`Debugger.execute`)::
     break <addr>         set a breakpoint (label or address)
     unbreak <addr>       clear a breakpoint
     watch <addr>         set a memory watchpoint
+    unwatch <addr>       clear a memory watchpoint
+    info                 list breakpoints, watchpoints and symbols
     reset                reset processor state
     where                current PC with disassembly context
 """
@@ -50,6 +52,8 @@ class Debugger:
             "break": self._cmd_break,
             "unbreak": self._cmd_unbreak,
             "watch": self._cmd_watch,
+            "unwatch": self._cmd_unwatch,
+            "info": self._cmd_info,
             "reset": self._cmd_reset,
             "where": self._cmd_where,
         }
@@ -171,6 +175,41 @@ class Debugger:
         addr = self.resolve(args[0])
         self.sim.watchpoints.add(addr)
         return f"watchpoint set at {addr:04x}"
+
+    def _cmd_unwatch(self, args: List[str]) -> str:
+        if not args:
+            raise DebuggerError("unwatch needs an address")
+        addr = self.resolve(args[0])
+        self.sim.watchpoints.discard(addr)
+        return f"watchpoint cleared at {addr:04x}"
+
+    def _cmd_info(self, args: List[str]) -> str:
+        lines = []
+        if self.sim.breakpoints:
+            lines.append("breakpoints:")
+            lines += [
+                f"  {addr:04x}{self._symbol_at(addr)}"
+                for addr in sorted(self.sim.breakpoints)
+            ]
+        else:
+            lines.append("breakpoints: none")
+        if self.sim.watchpoints:
+            lines.append("watchpoints:")
+            lines += [
+                f"  {addr:04x}{self._symbol_at(addr)}"
+                for addr in sorted(self.sim.watchpoints)
+            ]
+        else:
+            lines.append("watchpoints: none")
+        if self.symbols:
+            lines.append("symbols:")
+            lines += [
+                f"  {name} = {addr:04x}"
+                for name, addr in sorted(self.symbols.items())
+            ]
+        else:
+            lines.append("symbols: none")
+        return "\n".join(lines)
 
     def _cmd_reset(self, args: List[str]) -> str:
         self.sim.state.reset()

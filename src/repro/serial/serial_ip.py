@@ -111,6 +111,24 @@ class SerialIp(Component):
         self.frames_processed = 0
         self.dropped_packets = []
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "frame": list(self._frame),
+            "frames_processed": self.frames_processed,
+            "dropped": [p.to_state() for p in self.dropped_packets],
+            "now": self._now,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._frame = list(state["frame"])
+        self.frames_processed = state["frames_processed"]
+        self.dropped_packets = [
+            Packet.from_state(p) for p in state["dropped"]
+        ]
+        self._now = state["now"]
+
     # -- host -> NoC -----------------------------------------------------------
 
     def _assemble_host_frames(self) -> None:

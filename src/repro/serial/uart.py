@@ -111,6 +111,25 @@ class UartTx(Component):
         self.queue.clear()
         self._bits = []
 
+    def snapshot_state(self) -> dict:
+        return {
+            "queue": list(self.queue),
+            "bits": list(self._bits),
+            "bit_index": self._bit_index,
+            "phase": self._phase,
+            "cycle": self._cycle,
+            # learned at runtime when slaved to an auto-baud receiver
+            "divisor": self.divisor,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.queue = deque(state["queue"])
+        self._bits = list(state["bits"])
+        self._bit_index = state["bit_index"]
+        self._phase = state["phase"]
+        self._cycle = state["cycle"]
+        self.divisor = state["divisor"]
+
 
 class UartRx(Component):
     """Deserialises bytes from a 1-bit line at a known divisor."""
@@ -197,6 +216,26 @@ class UartRx(Component):
         self.framing_errors = 0
         self._sampling = False
 
+    def snapshot_state(self) -> dict:
+        return {
+            "received": list(self.received),
+            "framing_errors": self.framing_errors,
+            "sampling": self._sampling,
+            "count": self._count,
+            "bits": list(self._bits),
+            "cycle": self._cycle,
+            "divisor": self.divisor,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.received = deque(state["received"])
+        self.framing_errors = state["framing_errors"]
+        self._sampling = state["sampling"]
+        self._count = state["count"]
+        self._bits = list(state["bits"])
+        self._cycle = state["cycle"]
+        self.divisor = state["divisor"]
+
 
 class AutoBaudUartRx(UartRx):
     """UART receiver that learns its divisor from the 0x55 sync byte.
@@ -248,3 +287,20 @@ class AutoBaudUartRx(UartRx):
         self._last_level = 1
         self._last_edge_cycle = None
         self._intervals = []
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state.update(
+            synced=self.synced,
+            last_level=self._last_level,
+            last_edge_cycle=self._last_edge_cycle,
+            intervals=list(self._intervals),
+        )
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.synced = state["synced"]
+        self._last_level = state["last_level"]
+        self._last_edge_cycle = state["last_edge_cycle"]
+        self._intervals = list(state["intervals"])

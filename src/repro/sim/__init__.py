@@ -10,21 +10,38 @@ lock-step mode behind ``strict_lockstep=True``).  Everything in
 classes.
 """
 
-from .component import Component
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointEntry,
+    CheckpointError,
+    CheckpointRing,
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from .component import Component, SnapshotError
 from .kernel import SimulationTimeout, Simulator
 from .trace import TraceEvent, Tracer
 from .vcd import VcdWriter
 from .wire import CheckedWire, HandshakeTx, Wire, make_channel
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
     "CheckedWire",
+    "CheckpointEntry",
+    "CheckpointError",
+    "CheckpointRing",
     "Component",
     "HandshakeTx",
     "SimulationTimeout",
     "Simulator",
+    "SnapshotError",
     "TraceEvent",
     "Tracer",
     "VcdWriter",
     "Wire",
+    "load_checkpoint",
     "make_channel",
+    "restore_checkpoint",
+    "save_checkpoint",
 ]

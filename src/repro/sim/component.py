@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import Iterable, List, Optional, Set
 
 from .wire import Wire
+
+
+class SnapshotError(Exception):
+    """A snapshot does not match the component tree it is restored into."""
 
 
 class Component:
@@ -189,6 +193,68 @@ class Component:
             w.reset()
         for child in self._children:
             child.reset()
+
+    # -- checkpoint protocol ---------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture this subtree's full state as a JSON-serialisable dict.
+
+        The generic walk records every owned wire (both phases) and
+        recurses into children; component-local registers are contributed
+        by :meth:`snapshot_state` overrides.  Valid only at a cycle
+        boundary (between :meth:`commit` and the next :meth:`eval`), when
+        ``value == _next`` for every undriven wire and no drive is
+        pending — exactly where :class:`~repro.sim.kernel.Simulator`
+        watchers run.
+        """
+        state: dict = {
+            "wires": [[w.value, w._next] for w in self._wires],
+            "children": [c.snapshot() for c in self._children],
+        }
+        local = self.snapshot_state()
+        if local is not None:
+            state["state"] = local
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Restore a subtree from a :meth:`snapshot` dict.
+
+        Children are restored before this component's own
+        :meth:`restore_state`, so a parent override can re-link shared
+        objects (e.g. an in-flight bus transaction aliased between a CPU
+        and its IP) after the child state exists.
+        """
+        wires = state.get("wires", [])
+        if len(wires) != len(self._wires):
+            raise SnapshotError(
+                f"{self.name}: snapshot has {len(wires)} wires, "
+                f"component owns {len(self._wires)} (topology mismatch)"
+            )
+        for w, (value, nxt) in zip(self._wires, wires):
+            w.value = value
+            w._next = nxt
+            w._queued = False
+        children = state.get("children", [])
+        if len(children) != len(self._children):
+            raise SnapshotError(
+                f"{self.name}: snapshot has {len(children)} children, "
+                f"component has {len(self._children)} (topology mismatch)"
+            )
+        for child, child_state in zip(self._children, children):
+            child.restore(child_state)
+        self.restore_state(state.get("state", {}))
+
+    def snapshot_state(self) -> Optional[dict]:
+        """Component-local registers as a JSON-serialisable dict.
+
+        Return ``None`` (the default) when the component keeps no state
+        beyond its wires and children.  Overrides must round-trip through
+        :meth:`restore_state` bit-identically.
+        """
+        return None
+
+    def restore_state(self, state: dict) -> None:
+        """Restore what :meth:`snapshot_state` captured (default: nothing)."""
 
     def iter_components(self) -> Iterable["Component"]:
         """Yield this component and all descendants (pre-order)."""

@@ -33,10 +33,10 @@ called with ``(start, end)`` before the landing-cycle watchers.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Callable, List, Optional, Set
 
-from .component import Component
+from .component import Component, SnapshotError
 
 
 class SimulationTimeout(Exception):
@@ -270,6 +270,148 @@ class Simulator:
             u._awake = True
             u._slept_since = None
         self._n_awake = len(self._units)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def _flat_units(self) -> List[Component]:
+        """The schedulable-unit list in flattened evaluation order,
+        computed without touching elaboration state (usable even in
+        strict mode, where :meth:`_elaborate` builds no unit list)."""
+        default_eval = Component.eval
+        out: List[Component] = []
+
+        def walk(comp: Component, inside: bool) -> None:
+            if not inside and type(comp).eval is not default_eval:
+                out.append(comp)
+                inside = True
+            for child in comp._children:
+                walk(child, inside)
+
+        for top in self._components:
+            walk(top, False)
+        return out
+
+    def _flat_components(self) -> List[Component]:
+        return [
+            cc for c in self._components for cc in c.iter_components()
+        ]
+
+    def snapshot(self) -> dict:
+        """Capture the full simulation state (components + scheduler).
+
+        Only valid at a cycle boundary — inside a watcher or between
+        :meth:`step` calls — when no drive is pending commit.  The
+        returned dict is JSON-serialisable and kernel-mode portable:
+        a snapshot taken under either scheduling mode restores into
+        either mode with bit-identical continuation.
+        """
+        if not self.strict_lockstep and self._needs_elab:
+            self._elaborate()
+        doc: dict = {
+            "cycle": self.cycle,
+            "components": [c.snapshot() for c in self._components],
+        }
+        units = self._units if not self.strict_lockstep else []
+        if units:
+            index = {u: i for i, u in enumerate(units)}
+            heap = sorted(
+                [cyc, seq, index[u]]
+                for (cyc, seq, u) in self._wake_heap
+                if u in index
+            )
+            doc["scheduler"] = {
+                "awake": [bool(u._awake) for u in units],
+                "slept_since": [u._slept_since for u in units],
+                "wake_heap": heap,
+                "wake_seq": self._wake_seq,
+                "wake_reqs": [
+                    (
+                        cc._last_wake_req[1]
+                        if cc._last_wake_req is not None
+                        else None
+                    )
+                    for cc in self._flat_components()
+                ],
+            }
+        return doc
+
+    def restore(self, doc: dict) -> None:
+        """Restore a :meth:`snapshot`; continuation is bit-identical.
+
+        The component tree must have the same topology as the one the
+        snapshot was taken from (same construction order, wires and
+        children) — a mismatch raises
+        :class:`~repro.sim.component.SnapshotError`.
+        """
+        if not self.strict_lockstep and self._needs_elab:
+            self._elaborate()
+        components = doc.get("components", [])
+        if len(components) != len(self._components):
+            raise SnapshotError(
+                f"snapshot has {len(components)} top-level components, "
+                f"simulator has {len(self._components)}"
+            )
+        for comp, state in zip(self._components, components):
+            comp.restore(state)
+        for w in self._driven:
+            w._queued = False
+        self._driven.clear()
+        self.cycle = doc["cycle"]
+        self._restore_scheduler(doc.get("scheduler"))
+
+    def _restore_scheduler(self, sched: Optional[dict]) -> None:
+        if self.strict_lockstep:
+            # Lock-step evaluates everything anyway; the only snapshot
+            # state that matters is pending idle credit from a quiescent
+            # source — materialise it so per-cycle counters stay exact.
+            if sched is not None:
+                units = self._flat_units()
+                slept = sched.get("slept_since", [])
+                if len(slept) == len(units):
+                    for u, s in zip(units, slept):
+                        if s is not None and self.cycle > s:
+                            u.on_wake(self.cycle - s)
+            for cc in self._flat_components():
+                cc._last_wake_req = None
+                cc._awake = True
+                cc._slept_since = None
+            return
+        units = self._units
+        comps = self._flat_components()
+        usable = (
+            sched is not None
+            and len(sched.get("awake", [])) == len(units)
+            and len(sched.get("slept_since", [])) == len(units)
+        )
+        if usable:
+            for u, awake, slept in zip(
+                units, sched["awake"], sched["slept_since"]
+            ):
+                u._awake = awake
+                u._slept_since = slept
+            self._n_awake = sum(1 for u in units if u._awake)
+            self._wake_heap = [
+                (cyc, seq, units[i])
+                for cyc, seq, i in sched.get("wake_heap", [])
+            ]
+            heapify(self._wake_heap)
+            self._wake_seq = sched.get("wake_seq", 0)
+            reqs = sched.get("wake_reqs")
+            if reqs is not None and len(reqs) == len(comps):
+                for cc, req in zip(comps, reqs):
+                    cc._last_wake_req = None if req is None else (self, req)
+                return
+        else:
+            # Cross-mode (or legacy) snapshot: waking every unit is
+            # always safe — a quiescent unit's eval is a no-op and it
+            # goes straight back to sleep, re-booking its own wakes.
+            self._wake_heap.clear()
+            for u in units:
+                u._awake = True
+                u._slept_since = None
+            self._n_awake = len(units)
+        for cc in comps:
+            cc._last_wake_req = None
 
     def step(self, cycles: int = 1) -> int:
         """Advance the simulation by *cycles* clock cycles."""

@@ -163,6 +163,16 @@ class MultiNoC(Component):
             try_add(mem_addr)
         return amap
 
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        # the shared NetworkStats is system-level state (latency matching
+        # keys in-flight packets); routers/NIs only hold references to it
+        return {"stats": self.stats.snapshot()}
+
+    def restore_state(self, state: dict) -> None:
+        self.stats.restore(state["stats"])
+
     # -- convenience -------------------------------------------------------------
 
     def processor(self, pid: int) -> ProcessorIp:

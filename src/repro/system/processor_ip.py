@@ -120,9 +120,13 @@ class ProcessorIp(Component):
     # ================= MemoryBus protocol (called by the R8 core) ==========
 
     def fetch(self, addr: int) -> int:
-        """Instruction fetch: always from local memory, processor priority."""
+        """Instruction fetch: always from local memory, processor priority.
+
+        Uses the hook-free ``fetch_word`` path so debugger data
+        watchpoints never fire on instruction streaming.
+        """
         self._proc_mem_used = True
-        return self.banks.read_word(addr % self.banks.depth)
+        return self.banks.fetch_word(addr % self.banks.depth)
 
     def read(self, addr: int) -> Transaction:
         access = self.address_map.classify(addr)
@@ -455,6 +459,80 @@ class ProcessorIp(Component):
             )
             self._srv_state = _SRV_IDLE
             self._srv_words = []
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "mem": self.banks.dump(),
+            # the pending transaction itself lives in the CPU snapshot
+            # (self._pending aliases cpu._txn); record only the kind.
+            "pending_kind": (
+                self._pending_kind.value
+                if self._pending_kind is not None
+                else None
+            ),
+            "wait_source": self._wait_source,
+            "notify_counts": sorted(
+                [src, n] for src, n in self._notify_counts.items()
+            ),
+            "srv_state": self._srv_state,
+            "srv_addr": self._srv_addr,
+            "srv_words": list(self._srv_words),
+            "srv_remaining": self._srv_remaining,
+            "srv_reply_to": self._srv_reply_to,
+            "srv_backlog": [
+                services.message_to_state(m) for m in self._srv_backlog
+            ],
+            "proc_mem_used": self._proc_mem_used,
+            "dropped": [p.to_state() for p in self.dropped_packets],
+            "activations": self.activations,
+            "symbols": self.symbols,
+            "now": self._now,
+            "wait_start": self._wait_start,
+            "remote_start": self._remote_start,
+            "scanf_start": self._scanf_start,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.banks.load(state["mem"])
+        kind = state["pending_kind"]
+        if kind is None:
+            self._pending = None
+            self._pending_kind = None
+        else:
+            # children restored first, so the CPU already rebuilt its
+            # transaction object: re-link the alias (the IP completes the
+            # very object the core is stalled on).
+            self._pending = self.cpu._txn
+            self._pending_kind = AccessKind(kind)
+            if self._pending is None:
+                raise RuntimeError(
+                    f"{self.name}: pending {kind} access without a CPU "
+                    f"transaction in the snapshot"
+                )
+        self._wait_source = state["wait_source"]
+        self._notify_counts = {
+            src: n for src, n in state["notify_counts"]
+        }
+        self._srv_state = state["srv_state"]
+        self._srv_addr = state["srv_addr"]
+        self._srv_words = list(state["srv_words"])
+        self._srv_remaining = state["srv_remaining"]
+        self._srv_reply_to = state["srv_reply_to"]
+        self._srv_backlog = [
+            services.message_from_state(m) for m in state["srv_backlog"]
+        ]
+        self._proc_mem_used = state["proc_mem_used"]
+        self.dropped_packets = [
+            Packet.from_state(p) for p in state["dropped"]
+        ]
+        self.activations = state["activations"]
+        self.symbols = state["symbols"]
+        self._now = state["now"]
+        self._wait_start = state["wait_start"]
+        self._remote_start = state["remote_start"]
+        self._scanf_start = state["scanf_start"]
 
     @property
     def server_idle(self) -> bool:

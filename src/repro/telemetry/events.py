@@ -196,6 +196,29 @@ class TelemetrySink:
             )
         return out.getvalue()
 
+    def truncate_to(self, n: int) -> int:
+        """Drop every event after index *n* (checkpoint-restore rewind).
+
+        When the debugger restores an earlier checkpoint, deterministic
+        replay re-emits the tail of the trace; truncating first keeps the
+        stream free of duplicates.  Returns the number of events dropped.
+        Refuses (returning 0) on a ring-buffered sink that has already
+        discarded events — indices no longer align with emission order.
+        """
+        if n < 0:
+            raise ValueError(f"cannot truncate to negative length {n}")
+        if self.dropped_events:
+            return 0
+        dropped = len(self.events) - n
+        if dropped <= 0:
+            return 0
+        if isinstance(self.events, deque):
+            for _ in range(dropped):
+                self.events.pop()
+        else:
+            del self.events[n:]
+        return dropped
+
     def clear(self) -> None:
         self.events.clear()
         self.dropped_events = 0

@@ -80,6 +80,87 @@ class TestDebug:
         assert "(r8db) run" in out
         assert "HALT" in out
 
+    def test_needs_file_or_system(self, tmp_path, capsys):
+        script = tmp_path / "s.dbg"
+        script.write_text("cycle\n")
+        assert main(["debug", "--script", str(script)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_system_session(self, asm_file, tmp_path, capsys):
+        script = tmp_path / "s.dbg"
+        script.write_text("hbreak printf\ncontinue\ninfo\nregs 1\ncontinue\n")
+        assert (
+            main(["debug", str(asm_file), "--system", "--script", str(script)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "(mndb) continue" in out
+        assert "host printf frame" in out
+        assert "checkpoint ring" in out
+        assert "PC=" in out
+        assert "quiescent" in out
+
+    def test_system_checkpoint_artifact(self, asm_file, tmp_path, capsys):
+        import json
+
+        script = tmp_path / "s.dbg"
+        script.write_text("continue\n")
+        ckpt = tmp_path / "state.ckpt"
+        assert (
+            main(
+                [
+                    "debug",
+                    str(asm_file),
+                    "--system",
+                    "--script",
+                    str(script),
+                    "--checkpoint",
+                    str(ckpt),
+                ]
+            )
+            == 0
+        )
+        assert "checkpoint ->" in capsys.readouterr().out
+        doc = json.loads(ckpt.read_text())
+        assert doc["schema"].startswith("multinoc-checkpoint/")
+        assert doc["meta"]["mesh"] == [2, 2]
+
+    def test_system_bad_command_fails(self, tmp_path, capsys):
+        script = tmp_path / "s.dbg"
+        script.write_text("frobnicate\n")
+        assert main(["debug", "--system", "--script", str(script)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_system_reverse_step_script(self, asm_file, tmp_path, capsys):
+        script = tmp_path / "s.dbg"
+        script.write_text(
+            "hbreak printf\ncontinue\nreverse-step 100\ncontinue\ncycle\n"
+        )
+        assert (
+            main(
+                [
+                    "debug",
+                    str(asm_file),
+                    "--system",
+                    "--script",
+                    str(script),
+                    "--checkpoint-interval",
+                    "200",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # the frame break hit, we rewound >= 100 cycles, and the replay
+        # re-hit it at the identical cycle
+        hits = [
+            line
+            for line in out.splitlines()
+            if "host printf frame" in line and "stopped" not in line
+        ]
+        assert len(hits) == 2
+        assert hits[0] == hits[1]
+
 
 class TestCc:
     def test_emit_asm(self, tmp_path, capsys):

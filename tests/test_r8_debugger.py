@@ -75,6 +75,35 @@ class TestCommands:
         assert dbg.sim.watch_hits
         assert dbg.sim.watch_hits[0][0] == "write"
 
+    def test_unwatch(self, dbg):
+        dbg.execute("watch 0x40")
+        out = dbg.execute("unwatch 0x40")
+        assert "cleared" in out
+        dbg.execute("run")
+        assert not dbg.sim.watch_hits
+
+    def test_unwatch_by_symbol(self, dbg):
+        dbg.execute("watch result")
+        dbg.execute("unwatch result")
+        assert not dbg.sim.watchpoints
+
+    def test_unwatch_needs_address(self, dbg):
+        with pytest.raises(DebuggerError):
+            dbg.execute("unwatch")
+
+    def test_info_empty(self, dbg):
+        out = dbg.execute("info")
+        assert "breakpoints: none" in out
+        assert "watchpoints: none" in out
+
+    def test_info_lists_conditions_and_symbols(self, dbg):
+        dbg.execute("break done")
+        dbg.execute("watch 0x40")
+        out = dbg.execute("info")
+        assert "done" in out
+        assert "0040" in out
+        assert "loop" in out  # symbol table listing
+
     def test_where_marks_pc(self, dbg):
         dbg.execute("step 2")
         out = dbg.execute("where")
