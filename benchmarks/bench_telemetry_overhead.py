@@ -1,0 +1,92 @@
+"""Live observation plane overhead on the edge detection workload.
+
+The observation plane's contract is "watchable for (nearly) free": a
+:class:`~repro.telemetry.live.LiveStream` folding frames every stride
+must not meaningfully slow the simulation it observes.  This benchmark
+runs the full parallel edge detection flow (launch + deploy + Sobel on
+two processors) unobserved and again with a live stream, an in-process
+subscriber and a rendering :class:`~repro.telemetry.top.MeshTop`
+attached, and gates the wall-clock overhead at 15% — the same bound CI
+enforces through the benchmarks job.
+
+The two sides run as interleaved pairs and each takes its minimum, so
+neither a single scheduler hiccup nor slow machine-wide drift (thermal,
+noisy CI neighbours) lands on one side only.  The observed run's results
+are asserted bit-identical to the unobserved run (cycle count and
+output image), so the overhead being measured cannot come from
+divergent behaviour.
+"""
+
+import io
+import random
+import time
+
+from conftest import report
+from repro.apps import EdgeDetectionApp, reference_sobel
+from repro.core import MultiNoCPlatform
+from repro.telemetry import MeshTop
+
+#: CI gate: live observation may cost at most this fraction of runtime
+MAX_OVERHEAD = 0.15
+
+#: frame cadence: the LiveStream default, still dozens of frames here
+STRIDE = 1024
+
+
+def make_image(height=6, width=16, seed=11):
+    rng = random.Random(seed)
+    return [[rng.randrange(256) for _ in range(width)] for _ in range(height)]
+
+
+def run_flow(observe: bool):
+    """One full edge detection flow; returns (seconds, cycles, frames)."""
+    image = make_image()
+    t0 = time.perf_counter()
+    session = MultiNoCPlatform.standard().launch()
+    frames = 0
+    server = None
+    if observe:
+        live = session.live_stream(stride=STRIDE)
+        top = MeshTop(color=False, stream=io.StringIO())
+        top.attach(live)
+        live.subscribe(lambda frame: None)
+        server = session.serve_telemetry()
+    app = EdgeDetectionApp(session.host, processors=[1, 2])
+    app.deploy()
+    result = app.run(image)
+    elapsed = time.perf_counter() - t0
+    if server is not None:
+        server.close()
+    assert result.output == reference_sobel(image), "must match golden Sobel"
+    if observe:
+        frames = session.live.frames_emitted
+        assert frames > 0, "stride frames must fire during the flow"
+    return elapsed, result.cycles, frames
+
+
+def test_live_stream_overhead(benchmark):
+    def both():
+        # interleaved min-of-3 pairs: drift hits both sides equally
+        pairs = [
+            (run_flow(observe=False), run_flow(observe=True))
+            for _ in range(3)
+        ]
+        return min(p[0] for p in pairs), min(p[1] for p in pairs)
+
+    (base_s, base_cycles, _), (live_s, live_cycles, frames) = benchmark(both)
+    overhead = live_s / base_s - 1
+    report(
+        benchmark,
+        "Live observation plane overhead (edge detection)",
+        [
+            ("unobserved flow (s)", "(baseline)", f"{base_s:.3f}"),
+            ("observed flow (s)", "(+stream/top/HTTP)", f"{live_s:.3f}"),
+            ("frames emitted", f"every {STRIDE} cycles", frames),
+            ("cycles identical", "bit-identical run", base_cycles == live_cycles),
+            ("overhead", f"<= {MAX_OVERHEAD:.0%}", f"{overhead:+.1%}"),
+        ],
+    )
+    assert base_cycles == live_cycles, "observation must not perturb the run"
+    assert overhead <= MAX_OVERHEAD, (
+        f"live observation costs {overhead:+.1%}, gate is {MAX_OVERHEAD:.0%}"
+    )

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Live observation plane walkthrough: watch a simulation as it runs.
+
+1. **in-process** — attach a `LiveStream` and a `MeshTop` dashboard to
+   a session and run a program: the dashboard repaints on every frame
+   and a subscriber callback sees the raw `multinoc-live/1` dicts;
+2. **remote** — start the localhost HTTP server, then attach over HTTP
+   from this same script exactly as `multinoc top --url ...` would
+   from another terminal: scrape `/metrics`, fetch the latest `/frame`
+   and consume the `/frames` JSONL stream.
+
+The same thing from the command line:
+
+    multinoc system prog.asm --top                     # in-process
+    multinoc system prog.asm --serve 9777 --linger 30  # + HTTP
+    multinoc top --url http://127.0.0.1:9777           # remote attach
+"""
+
+import urllib.request
+
+from repro import MultiNoCPlatform
+from repro.telemetry import MeshTop
+from repro.telemetry.top import fetch_frame, stream_frames
+
+PROGRAM = """
+; count down from 20, printf each value, halt.
+        CLR  R0
+        LDI  R2, 0xFFFF
+        LDL  R1, 20
+        LDL  R3, 1
+loop:   ST   R1, R2, R0        ; printf(R1)
+        SUB  R1, R1, R3
+        JMPZD done
+        JMP  loop
+done:   HALT
+"""
+
+
+def in_process() -> None:
+    """Dashboard and subscriber attached directly to the session."""
+    print("== in-process attach ==")
+    session = MultiNoCPlatform.standard().launch()
+    live = session.live_stream(stride=512)
+
+    # raw frames via a subscriber (runs on the simulation thread)
+    peaks = []
+    live.subscribe(
+        lambda frame: peaks.append(frame["packets"]["in_flight"])
+    )
+
+    # the terminal dashboard repaints on every frame; color=False keeps
+    # this demo's output linear instead of clearing the screen
+    MeshTop(color=False).attach(live)
+
+    session.host.sync()
+    session.run(1, PROGRAM)
+    live.force()  # one final frame at the end-of-run state
+
+    print(f"\n{live.frames_emitted} frames; peak in-flight {max(peaks)}")
+
+
+def remote() -> None:
+    """The same plane consumed over localhost HTTP."""
+    print("\n== remote attach ==")
+    session = MultiNoCPlatform.standard().launch()
+    session.live_stream(stride=512)
+    server = session.serve_telemetry()  # port=0: pick a free port
+    print(f"serving at {server.address}")
+
+    session.host.sync()
+    session.run(1, PROGRAM)
+    session.live.force()
+
+    # Prometheus scrape — what a real monitoring stack would poll
+    with urllib.request.urlopen(server.address + "/metrics") as resp:
+        scraped = resp.read().decode()
+    delivered = [
+        line for line in scraped.splitlines()
+        if line.startswith("noc_packets_delivered_total ")
+    ]
+    print(f"scraped {len(scraped.splitlines())} metric lines; {delivered[0]}")
+
+    # latest frame + stream, as `multinoc top --url` consumes them
+    frame = fetch_frame(server.address)
+    print(f"latest frame: cycle {frame['cycle']}, seq {frame['seq']}")
+    top = MeshTop(color=False)
+    for streamed in stream_frames(server.address, limit=1):
+        top.display(streamed)
+    server.close()
+
+
+if __name__ == "__main__":
+    in_process()
+    remote()

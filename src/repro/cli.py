@@ -8,6 +8,7 @@ Run as ``python -m repro.cli <command>``::
     debug FILE          run a debugger script against a program
     cc FILE             compile R8C to assembly or object code
     system FILE         load and run on the full MultiNoC platform
+    top                 live terminal dashboard for a served simulation
     analyze TRACE       post-mortem analysis of a JSONL trace
     prototype           print the virtual FPGA implementation report
 
@@ -183,6 +184,19 @@ def cmd_system(args) -> int:
             sample_interval=args.sample_interval,
             invariants=True,
         )
+    live = server = None
+    if args.top or args.serve is not None:
+        live = session.live_stream(stride=args.live_stride)
+    if args.serve is not None:
+        server = session.serve_telemetry(port=args.serve)
+        print(
+            f"telemetry server -> {server.address}"
+            "  (/metrics /frame /frames)"
+        )
+    if args.top:
+        from .telemetry import MeshTop
+
+        MeshTop(color=False if args.no_color else None).attach(live)
     session.host.sync()
     obj = _load_program(args.file)
     addr = session.processor_address(args.proc)
@@ -203,6 +217,10 @@ def cmd_system(args) -> int:
         _report_health_failure(exc, health, args.health_report)
         return 1
     session.sim.step(6000)
+    if live is not None:
+        # one final off-stride frame so dashboards and post-run scrapes
+        # see the end-of-run state
+        live.force()
     monitor = session.host.monitor(args.proc)
     print(monitor.transcript() or "(no I/O)")
     print(
@@ -243,6 +261,16 @@ def cmd_system(args) -> int:
         print(f"health: {'OK, no violations' if n == 0 else f'{n} violation(s)'}")
         if args.health_report:
             _write_health_report(health, args.health_report)
+    if server is not None:
+        if args.linger:
+            import time
+
+            print(f"lingering {args.linger:g}s for scrapes (Ctrl-C to stop)")
+            try:
+                time.sleep(args.linger)
+            except KeyboardInterrupt:
+                pass
+        server.close()
     return 0
 
 
@@ -341,6 +369,14 @@ def cmd_analyze(args) -> int:
         print(f"error: cannot write output file: {exc}", file=sys.stderr)
         return 1
     return status
+
+
+def cmd_top(args) -> int:
+    """Attach the terminal dashboard to a remote telemetry server."""
+    from .telemetry.top import MeshTop, watch
+
+    top = MeshTop(color=False if args.no_color else None)
+    return watch(args.url, once=args.once, frames=args.frames, top=top)
 
 
 def cmd_prototype(args) -> int:
@@ -459,7 +495,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="strict lock-step kernel: evaluate every component every "
         "cycle (identical results, no quiescence fast-forward)",
     )
+    p.add_argument(
+        "--top",
+        action="store_true",
+        help="render the live terminal dashboard while the run executes",
+    )
+    p.add_argument(
+        "--serve",
+        type=int,
+        metavar="PORT",
+        help="serve live telemetry over localhost HTTP "
+        "(/metrics, /frame, /frames; 0 picks a free port)",
+    )
+    p.add_argument(
+        "--live-stride",
+        type=int,
+        default=1024,
+        metavar="K",
+        help="emit a live frame every K cycles (default 1024)",
+    )
+    p.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the telemetry server up this long after the run "
+        "(lets scrapers and remote dashboards catch the final frame)",
+    )
+    p.add_argument(
+        "--no-color",
+        action="store_true",
+        help="plain-ASCII dashboard output (also honours NO_COLOR)",
+    )
     p.set_defaults(fn=cmd_system)
+
+    p = sub.add_parser(
+        "top", help="live terminal dashboard for a served simulation"
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:9777",
+        help="telemetry server to attach to (see `system --serve`)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render the latest frame once and exit (CI snapshots)",
+    )
+    p.add_argument(
+        "--frames",
+        type=int,
+        metavar="N",
+        help="exit after rendering N streamed frames",
+    )
+    p.add_argument(
+        "--no-color",
+        action="store_true",
+        help="plain-ASCII output (also honours NO_COLOR)",
+    )
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser(
         "analyze", help="post-mortem analysis of a JSONL trace"

@@ -121,6 +121,39 @@ class PlatformSession:
     host: SerialSoftware
     telemetry: Optional[object] = None
     health: Optional[object] = None
+    live: Optional[object] = None
+
+    def live_stream(self, **kwargs):
+        """Attach a :class:`~repro.telemetry.live.LiveStream`.
+
+        Keyword arguments are forwarded to the stream's constructor
+        (``stride``, ``tracks``, ``max_links``, ...).  The stream is
+        wired to the system, simulator and host, stored as
+        ``session.live`` and returned; subscribe callbacks or pass it to
+        :meth:`serve_telemetry` / :class:`~repro.telemetry.top.MeshTop`.
+        """
+        from ..telemetry.live import LiveStream
+
+        stream = LiveStream(**kwargs)
+        stream.attach(self.sim, self.system, host=self.host)
+        self.live = stream
+        return stream
+
+    def serve_telemetry(self, port: int = 0, *, host: str = "127.0.0.1"):
+        """Serve this session's live stream over localhost HTTP.
+
+        Attaches a default :meth:`live_stream` first if none exists;
+        returns the started :class:`~repro.telemetry.server.TelemetryServer`
+        (its ``.address`` carries the bound port when ``port=0``).
+        """
+        from ..telemetry.server import TelemetryServer
+
+        if self.live is None:
+            self.live_stream()
+        server = TelemetryServer(
+            self.live, self.system.stats.registry, host=host, port=port
+        )
+        return server.start()
 
     def monitor_health(self, **kwargs):
         """Attach a :class:`~repro.telemetry.health.HealthMonitor`.

@@ -164,6 +164,9 @@ class SystemDebugger:
             capacity=checkpoint_capacity,
             sink=self.sink,
         ).attach()
+        # advertise the ring so the live observation plane can mark
+        # restore points in its frames without knowing about debuggers
+        self.sim.checkpoint_ring = self.ring
         self.vcd = VcdWriter(
             list(vcd_wires)
             if vcd_wires is not None
@@ -236,6 +239,8 @@ class SystemDebugger:
         self.sim.remove_watcher(self._on_cycle)
         self.sim.remove_watcher(self.vcd.sample)
         self.ring.detach()
+        if getattr(self.sim, "checkpoint_ring", None) is self.ring:
+            self.sim.checkpoint_ring = None
 
     # -- command dispatch --------------------------------------------------
 

@@ -34,9 +34,23 @@ called with ``(start, end)`` before the landing-cycle watchers.
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Callable, List, Optional, Set
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from .component import Component, SnapshotError
+
+
+def stride_points(start: int, end: int, stride: int) -> Iterator[int]:
+    """Multiples of *stride* strictly inside ``(start, end)``.
+
+    The canonical replay schedule for strided observers across a
+    fast-forwarded idle span: every stride boundary the lock-step loop
+    would have hit, excluding *end* (the landing cycle gets the regular
+    watcher pass).
+    """
+    c = start - start % stride + stride if start % stride else start + stride
+    while c < end:
+        yield c
+        c += stride
 
 
 class SimulationTimeout(Exception):
@@ -83,6 +97,11 @@ class Simulator:
         #: fast-forwards over an idle span (cycles start..end, where the
         #: landing cycle `end` additionally gets a normal watcher call).
         self._skip_listeners: List[Callable[[int, int], None]] = []
+        #: fn -> (watcher, skip listener) pairs installed by
+        #: add_stride_watcher, so one call detaches both halves.
+        self._stride_watchers: Dict[
+            Callable[[int], None], Tuple[Callable, Callable]
+        ] = {}
         #: optional KernelProfiler (see repro.telemetry.profiler); when
         #: set, step() takes the instrumented lock-step path — the plain
         #: loop is untouched so disabled profiling costs one None-check.
@@ -91,6 +110,13 @@ class Simulator:
         #: HealthMonitor.attach().  Only consulted on the cold timeout
         #: path, so an unmonitored run pays nothing per cycle.
         self.health = None
+        #: optional LiveStream (see repro.telemetry.live); set by
+        #: LiveStream.attach().  Frame production rides the stride
+        #: watchers, so an unobserved run pays nothing per cycle.
+        self.live = None
+        #: optional CheckpointRing advertised by whoever owns one (the
+        #: system debugger); the live plane reads it for frame marks.
+        self.checkpoint_ring = None
         # -- quiescence machinery (built lazily by _elaborate) ------------
         self._units: List[Component] = []
         self._unit_set: Set[Component] = set()
@@ -154,6 +180,43 @@ class Simulator:
             self._skip_listeners.remove(fn)
         except ValueError:
             pass
+
+    def add_stride_watcher(
+        self, fn: Callable[[int], None], stride: int
+    ) -> None:
+        """Call *fn(cycle)* at every multiple of *stride* cycles.
+
+        Unlike a plain watcher, the stride cadence survives idle
+        fast-forward: the kernel replays every stride boundary inside a
+        skipped span (state is frozen there, so the replayed call
+        observes exactly what lock-step evaluation would have shown).
+        Strided observers — samplers, live telemetry frames — should use
+        this instead of hand-wiring a watcher plus a skip listener.
+        Re-adding an already-registered function is a no-op.
+        """
+        if stride < 1:
+            raise ValueError("stride must be at least 1 cycle")
+        if fn in self._stride_watchers:
+            return
+
+        def on_cycle(cycle: int) -> None:
+            if cycle % stride == 0:
+                fn(cycle)
+
+        def on_skip(start: int, end: int) -> None:
+            for c in stride_points(start, end, stride):
+                fn(c)
+
+        self._stride_watchers[fn] = (on_cycle, on_skip)
+        self.add_watcher(on_cycle)
+        self.add_skip_listener(on_skip)
+
+    def remove_stride_watcher(self, fn: Callable[[int], None]) -> None:
+        """Detach both halves of an :meth:`add_stride_watcher` hook."""
+        pair = self._stride_watchers.pop(fn, None)
+        if pair is not None:
+            self.remove_watcher(pair[0])
+            self.remove_skip_listener(pair[1])
 
     def invalidate_elaboration(self) -> None:
         """Re-elaborate before the next step (wiring/topology changed)."""

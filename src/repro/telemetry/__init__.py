@@ -32,9 +32,18 @@ from .export import (
     write_jsonl,
     write_prometheus,
 )
-from .health import HealthMonitor, HealthViolation, TimeSeriesSampler
+from .health import (
+    HealthMonitor,
+    HealthViolation,
+    TimeSeriesSampler,
+    glyph_ramp,
+    terminal_is_rich,
+)
+from .live import LIVE_SCHEMA, LIVE_TRACKS, LiveStream
 from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
 from .profiler import KernelProfiler
+from .server import TelemetryServer
+from .top import MeshTop, fetch_frame, stream_frames
 
 __all__ = [
     "Counter",
@@ -46,10 +55,15 @@ __all__ = [
     "Histogram",
     "HopBreakdown",
     "KernelProfiler",
+    "LIVE_SCHEMA",
+    "LIVE_TRACKS",
+    "LiveStream",
+    "MeshTop",
     "MetricError",
     "MetricsRegistry",
     "PacketTrace",
     "Span",
+    "TelemetryServer",
     "TelemetrySink",
     "TimeSeriesSampler",
     "TraceAnalysis",
@@ -57,7 +71,11 @@ __all__ = [
     "analyze_trace",
     "chrome_trace",
     "diff_traces",
+    "fetch_frame",
+    "glyph_ramp",
     "load_jsonl",
+    "stream_frames",
+    "terminal_is_rich",
     "write_chrome_trace",
     "write_jsonl",
     "write_prometheus",

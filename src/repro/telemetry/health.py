@@ -45,6 +45,8 @@ attached.
 
 from __future__ import annotations
 
+import os
+import sys
 from collections import deque
 from typing import (
     Any,
@@ -58,6 +60,7 @@ from typing import (
 )
 
 from ..noc.routing import OPPOSITE, PORT_DELTA, Port, xy_route
+from ..sim.kernel import stride_points
 
 Address = Tuple[int, int]
 
@@ -121,7 +124,35 @@ class HealthViolation(Exception):
 # time-series sampler
 # ---------------------------------------------------------------------------
 
-_RAMP = " .:-=+*#%@"
+#: pure-ASCII intensity ramp — safe for CI logs, pipes and diffs
+RAMP_ASCII = " .:-=+*#%@"
+#: unicode block ramp — crisper on a real terminal
+RAMP_BLOCKS = " ▁▂▃▄▅▆▇█"
+_RAMP = RAMP_ASCII  # backwards-compatible alias
+
+
+def terminal_is_rich(stream=None) -> bool:
+    """True when *stream* (default stdout) is an interactive terminal
+    and the user has not opted out via the ``NO_COLOR`` convention.
+
+    Renderers use this to pick between unicode/ANSI output and the
+    pure-ASCII fallback, so piped output and CI logs stay readable.
+    """
+    if os.environ.get("NO_COLOR"):
+        return False
+    stream = stream if stream is not None else sys.stdout
+    isatty = getattr(stream, "isatty", None)
+    try:
+        return bool(isatty and isatty())
+    except (ValueError, OSError):  # closed/replaced stream
+        return False
+
+
+def glyph_ramp(ascii_only: Optional[bool] = None) -> str:
+    """The intensity ramp to render with; ``None`` auto-detects the TTY."""
+    if ascii_only is None:
+        ascii_only = not terminal_is_rich()
+    return RAMP_ASCII if ascii_only else RAMP_BLOCKS
 
 
 class TimeSeriesSampler:
@@ -172,6 +203,19 @@ class TimeSeriesSampler:
         for name, fn in self._probes.items():
             self.series[name].append((cycle, float(fn())))
 
+    def append(self, name: str, cycle: int, value: float) -> None:
+        """Record an externally produced sample point.
+
+        Creates the series on first use.  This is how consumers of
+        remote live frames (``multinoc top`` attached over HTTP) reuse
+        the sampler's windowing and sparkline rendering without having
+        local probes to call.
+        """
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = deque(maxlen=self.window)
+        series.append((cycle, float(value)))
+
     # -- export -----------------------------------------------------------
 
     def as_dict(self) -> Dict[str, Any]:
@@ -207,11 +251,19 @@ class TimeSeriesSampler:
 
     # -- rendering --------------------------------------------------------
 
-    def sparkline(self, name: str, width: int = 64) -> str:
-        """One series as an ASCII intensity strip (newest on the right)."""
+    def sparkline(
+        self, name: str, width: int = 64, ascii: Optional[bool] = None
+    ) -> str:
+        """One series as an intensity strip (newest on the right).
+
+        ``ascii=None`` auto-detects: unicode blocks on an interactive
+        terminal, the pure-ASCII ramp when output is piped/captured or
+        ``NO_COLOR`` is set, so CI logs stay readable.
+        """
         points = self.series.get(name)
         if not points:
             return ""
+        ramp = glyph_ramp(ascii)
         values = [v for _, v in points]
         if len(values) > width:
             # bucket-average down to `width` columns
@@ -225,11 +277,14 @@ class TimeSeriesSampler:
         hi = max(values)
         span = (hi - lo) or 1.0
         return "".join(
-            _RAMP[int((v - lo) / span * (len(_RAMP) - 1))] for v in values
+            ramp[int((v - lo) / span * (len(ramp) - 1))] for v in values
         )
 
     def timeline(
-        self, names: Optional[Iterable[str]] = None, width: int = 64
+        self,
+        names: Optional[Iterable[str]] = None,
+        width: int = 64,
+        ascii: Optional[bool] = None,
     ) -> str:
         """All (or selected) series as aligned sparkline rows."""
         names = list(names) if names is not None else sorted(self.series)
@@ -250,7 +305,7 @@ class TimeSeriesSampler:
         for name in populated:
             lines.append(
                 f"{name:<{label_w}} {ranges[name]:>{range_w}} "
-                f"|{self.sparkline(name, width)}|"
+                f"|{self.sparkline(name, width, ascii=ascii)}|"
             )
         return "\n".join(lines)
 
@@ -435,16 +490,10 @@ class HealthMonitor:
         gets the regular :meth:`on_cycle` watcher call.
         """
         if self.sampler is not None:
-            k = self.sample_interval
-            c = start - start % k + k if start % k else start + k
-            while c < end:
+            for c in stride_points(start, end, self.sample_interval):
                 self.sampler.sample(c)
-                c += k
-        k = self.check_interval
-        c = start - start % k + k if start % k else start + k
-        while c < end:
+        for c in stride_points(start, end, self.check_interval):
             self._run_checks(c)
-            c += k
 
     def _run_checks(self, cycle: int) -> None:
         self.checks_run += 1

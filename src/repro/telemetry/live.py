@@ -1,0 +1,388 @@
+"""Live observation plane: streaming schema'd telemetry frames.
+
+The passive telemetry layer records what the platform did and the health
+monitor raises when something is wrong; this module makes a *running*
+simulation watchable.  A :class:`LiveStream` attaches to a
+:class:`~repro.sim.kernel.Simulator` through the kernel's stride-watcher
+machinery (:meth:`~repro.sim.kernel.Simulator.add_stride_watcher`, so
+frames keep their cadence across idle fast-forward spans) and, every
+``stride`` cycles, folds the raw counters into one compact, JSON-ready
+frame (schema ``multinoc-live/1``):
+
+* per-link flit-rate deltas (utilisation against the 2-cycle handshake
+  bound), filtered to the busiest ``max_links`` so frame size stays
+  bounded on large meshes;
+* per-router FIFO occupancy and high-water marks;
+* per-CPU state, program counter and windowed IPC;
+* packet counters, windowed throughput and windowed latency;
+* health-monitor status (violations, checks run) when one is attached;
+* checkpoint-ring marks when a ring is attached;
+* the wall-clock simulation rate (simulated cycles per real second).
+
+Frames fan out three ways: in-process subscriber callbacks (this
+module), a localhost HTTP endpoint (:mod:`repro.telemetry.server`:
+``/metrics`` Prometheus scrape + ``/frames`` SSE/JSONL stream), and the
+``multinoc top`` terminal dashboard (:mod:`repro.telemetry.top`).
+
+The stream only *reads* simulator state — an observed run is
+bit-identical to an unobserved one (``tests/test_live.py`` guards this
+in both kernel modes, like the health monitor's equivalence test).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..noc.routing import Port
+from .health import TimeSeriesSampler
+
+Address = Tuple[int, int]
+
+LIVE_SCHEMA = "multinoc-live/1"
+
+#: every track a frame can carry; construct with ``tracks=`` to restrict
+LIVE_TRACKS = frozenset(
+    {"packets", "links", "routers", "cpus", "health", "checkpoints"}
+)
+
+
+class LiveStream:
+    """Strided live-telemetry frame producer for one simulation.
+
+    Parameters
+    ----------
+    stride:
+        Cycles between frames.  Each frame's rates are computed over the
+        cycles since the previous frame ("the window").
+    tracks:
+        Subset of :data:`LIVE_TRACKS` to include; ``None`` means all.
+        Dropping tracks is the coarse overhead knob for big meshes.
+    max_links:
+        Keep only the busiest N links per frame (by flit rate); the
+        number of elided active links is reported as ``links_elided``.
+    min_link_rate:
+        Drop links below this flits-per-cycle rate (0 drops only
+        completely idle links).
+    window:
+        Samples kept per sparkline series in :attr:`sampler`.
+    """
+
+    def __init__(
+        self,
+        *,
+        stride: int = 1024,
+        tracks: Optional[Iterable[str]] = None,
+        max_links: int = 64,
+        min_link_rate: float = 0.0,
+        window: int = 256,
+    ):
+        if stride < 1:
+            raise ValueError("live stream stride must be at least 1 cycle")
+        if max_links < 1:
+            raise ValueError("max_links must keep at least 1 link")
+        tracks = LIVE_TRACKS if tracks is None else frozenset(tracks)
+        unknown = tracks - LIVE_TRACKS
+        if unknown:
+            raise ValueError(
+                f"unknown live tracks {sorted(unknown)}; "
+                f"choose from {sorted(LIVE_TRACKS)}"
+            )
+        self.stride = stride
+        self.tracks = tracks
+        self.max_links = max_links
+        self.min_link_rate = min_link_rate
+        #: windowed series (throughput, in_flight, latency, sim rate)
+        #: for sparkline rendering; fed once per frame.
+        self.sampler = TimeSeriesSampler(stride, window)
+
+        self.sim = None
+        self.mesh = None
+        self.stats = None
+        self.processors: List[Any] = []
+        self.host = None
+        self.ring = None
+
+        self.frames_emitted = 0
+        self.latest: Optional[Dict[str, Any]] = None
+        self._subscribers: List[Callable[[Dict[str, Any]], None]] = []
+
+        self._last_cycle = 0
+        self._last_wall = 0.0
+        self._prev_links: Dict[tuple, int] = {}
+        self._prev_retired: Dict[str, int] = {}
+        self._prev_injected = 0
+        self._prev_delivered = 0
+        self._prev_flits = 0
+        self._prev_lat_count = 0
+        self._router_names: Dict[Address, str] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(
+        self,
+        sim,
+        system=None,
+        *,
+        mesh=None,
+        stats=None,
+        processors: Iterable[Any] = (),
+        host=None,
+        ring=None,
+    ) -> "LiveStream":
+        """Hook into *sim* on the frame stride; returns self.
+
+        Pass a :class:`~repro.system.multinoc.MultiNoC` as *system* to
+        wire mesh, stats and processors automatically (the same shape as
+        :meth:`HealthMonitor.attach`).  *ring* defaults to
+        ``sim.checkpoint_ring`` when a debugger has installed one.
+        """
+        if system is not None:
+            mesh = system.mesh
+            stats = system.stats
+            processors = list(system.processors.values())
+        self.sim = sim
+        self.mesh = mesh
+        self.stats = stats
+        self.processors = list(processors)
+        self.host = host
+        self.ring = ring if ring is not None else getattr(
+            sim, "checkpoint_ring", None
+        )
+        if mesh is not None:
+            self._router_names = {
+                addr: router.name for addr, router in mesh.routers.items()
+            }
+
+        self._last_cycle = sim.cycle
+        self._last_wall = time.perf_counter()
+        if stats is not None:
+            if "links" in self.tracks or "routers" in self.tracks:
+                self._prev_links = dict(stats.flits_sent)
+            self._prev_injected = stats.packets_injected
+            self._prev_delivered = stats.packets_delivered
+            self._prev_flits = stats.delivered_flits
+            self._prev_lat_count = len(stats.latencies)
+        for proc in self.processors:
+            self._prev_retired[proc.name] = proc.cpu.instructions_retired
+
+        sim.add_stride_watcher(self.on_stride, self.stride)
+        sim.live = self
+        return self
+
+    def detach(self) -> None:
+        """Unhook from the simulator; the run continues unobserved."""
+        if self.sim is not None:
+            self.sim.remove_stride_watcher(self.on_stride)
+            if getattr(self.sim, "live", None) is self:
+                self.sim.live = None
+
+    # -- subscribers -------------------------------------------------------
+
+    def subscribe(self, fn: Callable[[Dict[str, Any]], None]):
+        """Call *fn(frame)* for every emitted frame; returns *fn*.
+
+        Subscribers run on the simulation thread and must only observe
+        (an exception from a subscriber aborts the run loudly).
+        """
+        if fn not in self._subscribers:
+            self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn) -> None:
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    # -- frame production --------------------------------------------------
+
+    def on_stride(self, cycle: int) -> None:
+        """Kernel stride watcher: build and publish one frame."""
+        self.emit(self.build_frame(cycle))
+
+    def force(self, cycle: Optional[int] = None) -> Dict[str, Any]:
+        """Emit a frame now, off-stride (end of run, tests); returns it."""
+        if cycle is None:
+            cycle = self.sim.cycle if self.sim is not None else 0
+        frame = self.build_frame(cycle)
+        self.emit(frame)
+        return frame
+
+    def emit(self, frame: Dict[str, Any]) -> None:
+        self.latest = frame
+        self.frames_emitted += 1
+        for fn in self._subscribers:
+            fn(frame)
+
+    def build_frame(self, cycle: int) -> Dict[str, Any]:
+        """Fold current counters into one ``multinoc-live/1`` frame."""
+        window = max(cycle - self._last_cycle, 1)
+        wall = time.perf_counter()
+        wall_dt = wall - self._last_wall
+        sim_rate = (cycle - self._last_cycle) / wall_dt if wall_dt > 0 else 0.0
+        frame: Dict[str, Any] = {
+            "schema": LIVE_SCHEMA,
+            "seq": self.frames_emitted,
+            "cycle": cycle,
+            "stride": self.stride,
+            "window": window,
+            "wall_unix": time.time(),
+            "sim_rate_hz": round(sim_rate, 1),
+        }
+        if self.mesh is not None:
+            frame["mesh"] = [self.mesh.width, self.mesh.height]
+
+        router_rate: Dict[Address, float] = {}
+        if self.stats is not None:
+            if "links" in self.tracks or "routers" in self.tracks:
+                links, elided = self._link_rates(window, router_rate)
+                if "links" in self.tracks:
+                    frame["links"] = links
+                    frame["links_elided"] = elided
+            if "packets" in self.tracks:
+                frame["packets"] = self._packet_counters(window)
+                frame["latency"] = self._window_latency()
+        if "routers" in self.tracks and self.mesh is not None:
+            frame["routers"] = self._router_states(router_rate)
+        if "cpus" in self.tracks and self.processors:
+            frame["cpus"] = self._cpu_states(window)
+        if "health" in self.tracks:
+            frame["health"] = self._health_status()
+        if "checkpoints" in self.tracks:
+            ring = self.ring
+            if ring is None and self.sim is not None:
+                ring = getattr(self.sim, "checkpoint_ring", None)
+            frame["checkpoints"] = (
+                [entry.cycle for entry in ring.entries]
+                if ring is not None
+                else []
+            )
+
+        self._feed_sampler(cycle, frame, sim_rate)
+        self._last_cycle = cycle
+        self._last_wall = wall
+        return frame
+
+    # -- per-track folds ---------------------------------------------------
+
+    def _link_rates(
+        self, window: int, router_rate: Dict[Address, float]
+    ) -> Tuple[Dict[str, float], int]:
+        """Per-link utilisation deltas; fills *router_rate* as a side
+        product (per-router output flit rate for the heatmap)."""
+        current = self.stats.flits_sent
+        prev = self._prev_links
+        active: List[Tuple[float, str]] = []
+        for key, count in current.items():
+            delta = count - prev.get(key, 0)
+            if delta <= 0:
+                continue
+            addr, port = key
+            rate = delta / window
+            router_rate[addr] = router_rate.get(addr, 0.0) + rate
+            # 2-cycle handshake bound: rate*2 is utilisation in [0, 1]
+            util = rate * 2
+            if util < self.min_link_rate:
+                continue
+            active.append((util, f"{self._router_name(addr)}.{Port(port).name}"))
+        self._prev_links = dict(current)
+        active.sort(key=lambda item: (-item[0], item[1]))
+        kept = active[: self.max_links]
+        return (
+            {name: round(util, 4) for util, name in kept},
+            len(active) - len(kept),
+        )
+
+    def _router_name(self, addr: Address) -> str:
+        name = self._router_names.get(addr)
+        return name if name is not None else f"router{addr[0]}{addr[1]}"
+
+    def _packet_counters(self, window: int) -> Dict[str, Any]:
+        s = self.stats
+        injected = s.packets_injected
+        delivered = s.packets_delivered
+        flits = s.delivered_flits
+        out = {
+            "injected": injected,
+            "delivered": delivered,
+            "in_flight": s.in_flight_count,
+            "delta_injected": injected - self._prev_injected,
+            "delta_delivered": delivered - self._prev_delivered,
+            "throughput_flits_per_cycle": round(
+                (flits - self._prev_flits) / window, 4
+            ),
+        }
+        self._prev_injected = injected
+        self._prev_delivered = delivered
+        self._prev_flits = flits
+        return out
+
+    def _window_latency(self) -> Dict[str, float]:
+        """Latency of packets delivered inside this frame's window."""
+        latencies = self.stats.latencies
+        tail = latencies[self._prev_lat_count :]
+        self._prev_lat_count = len(latencies)
+        if not tail:
+            return {"count": 0}
+        ordered = sorted(tail)
+        return {
+            "count": len(ordered),
+            "mean": round(sum(ordered) / len(ordered), 2),
+            "p50": ordered[len(ordered) // 2],
+            "max": ordered[-1],
+        }
+
+    def _router_states(
+        self, router_rate: Dict[Address, float]
+    ) -> Dict[str, Dict[str, Any]]:
+        out: Dict[str, Dict[str, Any]] = {}
+        for addr, router in self.mesh.routers.items():
+            out[router.name] = {
+                "occupancy": sum(len(f) for f in router.fifos),
+                "watermark": max(f.watermark for f in router.fifos),
+                "rate": round(router_rate.get(addr, 0.0), 4),
+            }
+        return out
+
+    def _cpu_states(self, window: int) -> Dict[str, Dict[str, Any]]:
+        out: Dict[str, Dict[str, Any]] = {}
+        for proc in self.processors:
+            cpu = proc.cpu
+            retired = cpu.instructions_retired
+            delta = retired - self._prev_retired.get(proc.name, 0)
+            self._prev_retired[proc.name] = retired
+            out[proc.name] = {
+                "state": "halted" if cpu.halted else cpu.fsm_state,
+                "pc": cpu.state.pc,
+                "retired": retired,
+                "ipc": round(delta / window, 4),
+            }
+        return out
+
+    def _health_status(self) -> Dict[str, Any]:
+        monitor = getattr(self.sim, "health", None) if self.sim else None
+        if monitor is None:
+            return {"attached": False}
+        out: Dict[str, Any] = {
+            "attached": True,
+            "checks_run": monitor.checks_run,
+            "violations": len(monitor.violations),
+        }
+        if monitor.violations:
+            out["last_violation"] = monitor.violations[-1].as_dict()
+        return out
+
+    def _feed_sampler(
+        self, cycle: int, frame: Dict[str, Any], sim_rate: float
+    ) -> None:
+        packets = frame.get("packets")
+        if packets is not None:
+            self.sampler.append(
+                "throughput", cycle, packets["throughput_flits_per_cycle"]
+            )
+            self.sampler.append("in_flight", cycle, packets["in_flight"])
+        latency = frame.get("latency")
+        if latency is not None:
+            self.sampler.append("latency", cycle, latency.get("mean", 0.0))
+        self.sampler.append("sim_rate", cycle, sim_rate)

@@ -212,35 +212,55 @@ class MetricsRegistry:
         return out
 
     def prometheus_text(self) -> str:
-        """Prometheus exposition-format dump of every metric."""
+        """Prometheus exposition-format dump of every metric.
+
+        Format compliance: ``# HELP`` text and label values are escaped
+        per the exposition format (backslash, newline, and — for label
+        values — double quote), and counters follow the ``_total``
+        suffix convention (appended when the registered name lacks it).
+        """
         lines: List[str] = []
         for m in self:
+            name = m.name
+            if isinstance(m, Counter) and not name.endswith("_total"):
+                name += "_total"
             if m.help:
-                lines.append(f"# HELP {m.name} {m.help}")
-            lines.append(f"# TYPE {m.name} {m.kind}")
+                lines.append(f"# HELP {name} {_escape_help(m.help)}")
+            lines.append(f"# TYPE {name} {m.kind}")
             if isinstance(m, Counter):
-                lines.append(f"{m.name} {m.value}")
+                lines.append(f"{name} {m.value}")
                 for label, value in sorted(
                     m.samples.items(), key=lambda kv: _label_str(kv[0])
                 ):
-                    lines.append(
-                        f'{m.name}{{label="{_label_str(label)}"}} {value}'
-                    )
+                    escaped = _escape_label_value(_label_str(label))
+                    lines.append(f'{name}{{label="{escaped}"}} {value}')
             elif isinstance(m, Gauge):
-                lines.append(f"{m.name} {m.read()}")
+                lines.append(f"{name} {m.read()}")
             elif isinstance(m, Histogram):
                 if m.count:
                     for q in (50, 90, 99):
                         lines.append(
-                            f'{m.name}{{quantile="0.{q}"}} {m.percentile(q)}'
+                            f'{name}{{quantile="0.{q}"}} {m.percentile(q)}'
                         )
-                lines.append(f"{m.name}_sum {m.total}")
-                lines.append(f"{m.name}_count {m.count}")
+                lines.append(f"{name}_sum {m.total}")
+                lines.append(f"{name}_count {m.count}")
         return "\n".join(lines) + "\n"
 
 
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text per the exposition format."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(text: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        text.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
 def _label_str(label: Hashable) -> str:
-    """Stable, quote-free text form of an arbitrary hashable label."""
+    """Stable text form of an arbitrary hashable label."""
     if isinstance(label, tuple):
         return "/".join(_label_str(part) for part in label)
-    return str(label).replace('"', "'")
+    return str(label)

@@ -1,0 +1,241 @@
+"""Localhost HTTP endpoint for the live observation plane.
+
+:class:`TelemetryServer` bridges a :class:`~repro.telemetry.live.LiveStream`
+to anything that speaks HTTP, using only the standard library:
+
+* ``/metrics`` — Prometheus exposition text
+  (:meth:`~repro.telemetry.metrics.MetricsRegistry.prometheus_text`),
+  ready for a scrape config pointed at the simulation host;
+* ``/frame`` — the latest ``multinoc-live/1`` frame as one JSON object;
+* ``/frames`` — the frame stream, as Server-Sent Events by default
+  (``data: <json>\\n\\n``) or as JSON Lines with ``?format=jsonl``;
+  ``?limit=N`` closes the stream after N frames (handy for ``curl`` in
+  CI).  A newly connected client immediately receives the latest frame,
+  so a scrape that lands after the run finished still sees data.
+
+Thread-safety: the HTTP server runs on daemon threads, but *all*
+telemetry state is read on the simulation thread — the server
+subscribes to the stream and snapshots each frame (and the registry's
+exposition text) into immutable byte strings at frame time.  Handler
+threads only ever serve those snapshots, so the simulator's hot-path
+dicts are never iterated concurrently with mutation.
+
+Every send to a slow client goes through a bounded per-client queue
+with drop-oldest semantics: a stalled dashboard loses intermediate
+frames, never the simulation's pace.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from .live import LiveStream
+
+#: frames buffered per streaming client before drop-oldest kicks in
+CLIENT_QUEUE_DEPTH = 16
+
+
+class TelemetryServer:
+    """Serve a live stream (and its metrics registry) over localhost HTTP."""
+
+    def __init__(
+        self,
+        live: LiveStream,
+        registry=None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.live = live
+        self.registry = registry
+        self._lock = threading.Lock()
+        self._latest_frame: Optional[bytes] = None
+        self._metrics_text = b"# no frames emitted yet\n"
+        self._clients: List["queue.Queue[bytes]"] = []
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.telemetry = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        live.subscribe(self._on_frame)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def start(self) -> "TelemetryServer":
+        """Serve on a daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="multinoc-telemetry-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self.live.unsubscribe(self._on_frame)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- frame intake (simulation thread) ----------------------------------
+
+    def _on_frame(self, frame: Dict[str, Any]) -> None:
+        """Snapshot the frame and metrics text; runs on the sim thread."""
+        payload = json.dumps(frame, separators=(",", ":")).encode()
+        metrics = (
+            self.registry.prometheus_text().encode()
+            if self.registry is not None
+            else self._metrics_text
+        )
+        with self._lock:
+            self._latest_frame = payload
+            self._metrics_text = metrics
+            clients = list(self._clients)
+        for q in clients:
+            _offer(q, payload)
+
+    # -- handler-side accessors (HTTP threads) -----------------------------
+
+    def latest_frame(self) -> Optional[bytes]:
+        with self._lock:
+            return self._latest_frame
+
+    def metrics_text(self) -> bytes:
+        with self._lock:
+            return self._metrics_text
+
+    def add_client(self) -> "queue.Queue[bytes]":
+        q: "queue.Queue[bytes]" = queue.Queue(maxsize=CLIENT_QUEUE_DEPTH)
+        with self._lock:
+            latest = self._latest_frame
+            self._clients.append(q)
+        if latest is not None:
+            _offer(q, latest)
+        return q
+
+    def remove_client(self, q) -> None:
+        with self._lock:
+            try:
+                self._clients.remove(q)
+            except ValueError:
+                pass
+
+
+def _offer(q: "queue.Queue[bytes]", payload: bytes) -> None:
+    """Enqueue, dropping the oldest frame when the client lags."""
+    while True:
+        try:
+            q.put_nowait(payload)
+            return
+        except queue.Full:
+            try:
+                q.get_nowait()
+            except queue.Empty:
+                pass
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def telemetry(self) -> TelemetryServer:
+        return self.server.telemetry  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep the simulation's stdout clean
+
+    def do_GET(self):  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/metrics":
+            self._send(200, "text/plain; version=0.0.4", self.telemetry.metrics_text())
+        elif route == "/frame":
+            frame = self.telemetry.latest_frame()
+            if frame is None:
+                self._send(404, "text/plain", b"no frames emitted yet\n")
+            else:
+                self._send(200, "application/json", frame + b"\n")
+        elif route == "/frames":
+            self._stream_frames(parse_qs(parsed.query))
+        elif route == "/":
+            body = (
+                b"multinoc live telemetry\n"
+                b"  /metrics  Prometheus exposition text\n"
+                b"  /frame    latest multinoc-live/1 frame (JSON)\n"
+                b"  /frames   frame stream (SSE; ?format=jsonl, ?limit=N)\n"
+            )
+            self._send(200, "text/plain", body)
+        else:
+            self._send(404, "text/plain", b"unknown endpoint\n")
+
+    def _send(self, status: int, ctype: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _stream_frames(self, params: Dict[str, List[str]]) -> None:
+        fmt = params.get("format", ["sse"])[0]
+        limit = None
+        if "limit" in params:
+            try:
+                limit = max(int(params["limit"][0]), 1)
+            except ValueError:
+                self._send(400, "text/plain", b"limit must be an integer\n")
+                return
+        if fmt == "jsonl":
+            ctype = "application/x-ndjson"
+        elif fmt == "sse":
+            ctype = "text/event-stream"
+        else:
+            self._send(400, "text/plain", b"format must be sse or jsonl\n")
+            return
+
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+
+        client = self.telemetry.add_client()
+        sent = 0
+        try:
+            while limit is None or sent < limit:
+                try:
+                    payload = client.get(timeout=1.0)
+                except queue.Empty:
+                    continue
+                if fmt == "sse":
+                    self.wfile.write(b"data: " + payload + b"\n\n")
+                else:
+                    self.wfile.write(payload + b"\n")
+                self.wfile.flush()
+                sent += 1
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        finally:
+            self.telemetry.remove_client(client)
+            self.close_connection = True

@@ -1,0 +1,322 @@
+"""``multinoc top`` — a real-time terminal dashboard for a running mesh.
+
+Dependency-free (ANSI escapes + stdlib only).  The dashboard renders one
+``multinoc-live/1`` frame per screen: an NxM mesh heatmap showing link
+utilisation and router FIFO occupancy side by side, CPU state badges
+with windowed IPC, packet/latency counters, health-monitor status,
+checkpoint-ring marks, and sparklines of throughput / in-flight /
+simulation rate built from the frame history it has seen.
+
+Two attachment modes:
+
+* **in-process** — ``MeshTop().attach(live)`` subscribes to a
+  :class:`~repro.telemetry.live.LiveStream` and repaints on every frame
+  (``multinoc run ... --top`` wires this up);
+* **remote** — :func:`stream_frames` consumes a
+  :mod:`~repro.telemetry.server` ``/frames?format=jsonl`` stream over
+  plain :mod:`urllib`, so ``multinoc top --url http://127.0.0.1:9777``
+  watches a simulation in another process.  :func:`fetch_frame` grabs
+  ``/frame`` once for ``--once`` snapshots (CI smoke uses this).
+
+Colour / glyph policy follows the rest of the telemetry layer: unicode
+block ramps and ANSI colour only when the output is a real terminal and
+``NO_COLOR`` is unset (:func:`~repro.telemetry.health.terminal_is_rich`);
+pure-ASCII everywhere else.  ``Ctrl-C`` quits the interactive loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from .health import TimeSeriesSampler, glyph_ramp, terminal_is_rich
+
+_CLEAR = "\x1b[2J\x1b[H"
+_RESET = "\x1b[0m"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_RED = "\x1b[31m"
+_CYAN = "\x1b[36m"
+
+#: CPU badge colour by state (rich mode only)
+_STATE_COLOURS = {
+    "halted": _DIM,
+    "fetch": _GREEN,
+    "decode": _GREEN,
+    "execute": _GREEN,
+}
+
+
+class MeshTop:
+    """Render ``multinoc-live/1`` frames as a terminal dashboard.
+
+    ``color=None`` auto-detects (TTY and no ``NO_COLOR``); pass False
+    for the plain-ASCII rendering used by tests and CI artifacts.
+    """
+
+    def __init__(
+        self,
+        *,
+        color: Optional[bool] = None,
+        stream=None,
+        sparkline_width: int = 48,
+    ):
+        self.stream = stream if stream is not None else sys.stdout
+        self.color = (
+            terminal_is_rich(self.stream) if color is None else bool(color)
+        )
+        self.ramp = glyph_ramp(ascii_only=not self.color)
+        self.sparkline_width = sparkline_width
+        self._sampler: Optional[TimeSeriesSampler] = None
+        self._live = None
+
+    # -- in-process attachment --------------------------------------------
+
+    def attach(self, live) -> "MeshTop":
+        """Repaint on every frame of an in-process live stream."""
+        self._live = live
+        live.subscribe(self.display)
+        return self
+
+    def detach(self) -> None:
+        if self._live is not None:
+            self._live.unsubscribe(self.display)
+            self._live = None
+
+    # -- painting ----------------------------------------------------------
+
+    def display(self, frame: Dict[str, Any]) -> None:
+        """Clear the screen (when interactive) and paint one frame."""
+        text = self.render(frame)
+        if self.color:
+            self.stream.write(_CLEAR)
+        self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def render(self, frame: Dict[str, Any]) -> str:
+        """One frame as a multi-line string (no screen control codes)."""
+        self._observe(frame)
+        lines: List[str] = []
+        lines.append(self._header(frame))
+        packets = frame.get("packets")
+        if packets is not None:
+            lines.append(self._packets_line(packets, frame.get("latency")))
+        if "mesh" in frame and "routers" in frame:
+            lines.append("")
+            lines.extend(self._mesh_heatmap(frame))
+        links_elided = frame.get("links_elided", 0)
+        if links_elided:
+            lines.append(
+                self._dim(f"  (+{links_elided} quieter links not shown)")
+            )
+        cpus = frame.get("cpus")
+        if cpus:
+            lines.append("")
+            lines.extend(self._cpu_badges(cpus))
+        lines.append("")
+        lines.append(self._health_line(frame.get("health")))
+        checkpoints = frame.get("checkpoints")
+        if checkpoints:
+            marks = "  ".join(f"@{c}" for c in checkpoints[-6:])
+            lines.append(f"checkpoints: {marks}")
+        if self._sampler is not None:
+            lines.append("")
+            lines.extend(self._sparklines())
+        return "\n".join(lines)
+
+    # -- sections ----------------------------------------------------------
+
+    def _observe(self, frame: Dict[str, Any]) -> None:
+        """Fold the frame into the local sparkline history (remote
+        dashboards have no access to the producer's sampler)."""
+        if self._sampler is None:
+            self._sampler = TimeSeriesSampler(
+                max(frame.get("stride", 1), 1), window=self.sparkline_width
+            )
+        cycle = frame.get("cycle", 0)
+        packets = frame.get("packets")
+        if packets is not None:
+            self._sampler.append(
+                "throughput", cycle, packets.get("throughput_flits_per_cycle", 0.0)
+            )
+            self._sampler.append("in_flight", cycle, packets.get("in_flight", 0))
+        self._sampler.append("sim_rate", cycle, frame.get("sim_rate_hz", 0.0))
+
+    def _header(self, frame: Dict[str, Any]) -> str:
+        rate = frame.get("sim_rate_hz", 0.0)
+        rate_text = (
+            f"{rate / 1000:.1f} kHz" if rate >= 1000 else f"{rate:.1f} Hz"
+        )
+        mesh = frame.get("mesh")
+        mesh_text = f"  mesh {mesh[0]}x{mesh[1]}" if mesh else ""
+        return self._bold(
+            f"MultiNoC live  cycle {frame.get('cycle', 0):,}"
+            f"  frame #{frame.get('seq', 0)}{mesh_text}"
+            f"  window {frame.get('window', 0)}  sim {rate_text}"
+        )
+
+    def _packets_line(
+        self, packets: Dict[str, Any], latency: Optional[Dict[str, Any]]
+    ) -> str:
+        parts = [
+            f"packets: {packets.get('delivered', 0)}/{packets.get('injected', 0)}"
+            f" delivered (+{packets.get('delta_delivered', 0)})",
+            f"in-flight {packets.get('in_flight', 0)}",
+            f"thru {packets.get('throughput_flits_per_cycle', 0.0):.3f} flit/cyc",
+        ]
+        if latency and latency.get("count"):
+            parts.append(
+                f"lat p50 {latency['p50']} max {latency['max']} cyc"
+            )
+        return "  ".join(parts)
+
+    def _mesh_heatmap(self, frame: Dict[str, Any]) -> List[str]:
+        width, height = frame["mesh"]
+        routers = frame["routers"]
+        rates = []
+        occs = []
+        for y in range(height):
+            for x in range(width):
+                r = routers.get(f"router{x}{y}", {})
+                rates.append(r.get("rate", 0.0))
+                occs.append(r.get("occupancy", 0))
+        max_rate = max(max(rates), 1e-9)
+        max_occ = max(max(occs), 1)
+
+        def cell(value: float, peak: float) -> str:
+            idx = int(value / peak * (len(self.ramp) - 1) + 0.5)
+            return self.ramp[max(0, min(idx, len(self.ramp) - 1))] * 2
+
+        lines = [
+            self._cyan(
+                f"{'link util (out)':<{2 * width + 6}} fifo occupancy"
+            )
+        ]
+        for y in range(height - 1, -1, -1):  # row y=0 at the bottom
+            util_row = "".join(
+                cell(rates[y * width + x], max_rate) for x in range(width)
+            )
+            occ_row = "".join(
+                cell(occs[y * width + x], max_occ) for x in range(width)
+            )
+            lines.append(f"  y{y} [{util_row}]   y{y} [{occ_row}]")
+        lines.append(
+            self._dim(
+                f"  peak util {max(rates) if rates else 0.0:.3f}"
+                f"  peak occupancy {max(occs) if occs else 0} flits"
+                f"  watermark {max((r.get('watermark', 0) for r in routers.values()), default=0)}"
+            )
+        )
+        return lines
+
+    def _cpu_badges(self, cpus: Dict[str, Dict[str, Any]]) -> List[str]:
+        lines = []
+        for name in sorted(cpus):
+            cpu = cpus[name]
+            state = str(cpu.get("state", "?"))
+            badge = f"[{state.upper():^7}]"
+            if self.color:
+                colour = _STATE_COLOURS.get(state, _YELLOW)
+                badge = f"{colour}{badge}{_RESET}"
+            lines.append(
+                f"  {name:<8} {badge}"
+                f" pc=0x{cpu.get('pc', 0):04x}"
+                f" retired={cpu.get('retired', 0):<8}"
+                f" ipc={cpu.get('ipc', 0.0):.3f}"
+            )
+        return lines
+
+    def _health_line(self, health: Optional[Dict[str, Any]]) -> str:
+        if not health or not health.get("attached"):
+            return self._dim("health: (no monitor attached)")
+        violations = health.get("violations", 0)
+        if violations:
+            last = health.get("last_violation", {})
+            text = (
+                f"health: {violations} violation(s)"
+                f"  last: {last.get('check', '?')} @cycle {last.get('cycle', '?')}"
+            )
+            return f"{_RED}{text}{_RESET}" if self.color else text
+        text = f"health: OK  ({health.get('checks_run', 0)} checks run)"
+        return f"{_GREEN}{text}{_RESET}" if self.color else text
+
+    def _sparklines(self) -> List[str]:
+        lines = []
+        ascii_only = not self.color
+        for name, label in (
+            ("throughput", "thru"),
+            ("in_flight", "infl"),
+            ("sim_rate", "rate"),
+        ):
+            spark = self._sampler.sparkline(
+                name, width=self.sparkline_width, ascii=ascii_only
+            )
+            if spark:
+                lines.append(f"  {label} {spark}")
+        return lines
+
+    # -- tiny style helpers ------------------------------------------------
+
+    def _bold(self, text: str) -> str:
+        return f"{_BOLD}{text}{_RESET}" if self.color else text
+
+    def _dim(self, text: str) -> str:
+        return f"{_DIM}{text}{_RESET}" if self.color else text
+
+    def _cyan(self, text: str) -> str:
+        return f"{_CYAN}{text}{_RESET}" if self.color else text
+
+
+# -- remote attachment -----------------------------------------------------
+
+
+def fetch_frame(url: str, *, timeout: float = 5.0) -> Dict[str, Any]:
+    """GET one latest frame from a telemetry server's ``/frame``."""
+    with urllib.request.urlopen(
+        url.rstrip("/") + "/frame", timeout=timeout
+    ) as resp:
+        return json.loads(resp.read())
+
+
+def stream_frames(
+    url: str,
+    *,
+    limit: Optional[int] = None,
+    timeout: float = 30.0,
+) -> Iterator[Dict[str, Any]]:
+    """Yield frames from a telemetry server's JSONL ``/frames`` stream."""
+    target = url.rstrip("/") + "/frames?format=jsonl"
+    if limit is not None:
+        target += f"&limit={limit}"
+    with urllib.request.urlopen(target, timeout=timeout) as resp:
+        for line in resp:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def watch(
+    url: str,
+    *,
+    once: bool = False,
+    frames: Optional[int] = None,
+    top: Optional[MeshTop] = None,
+) -> int:
+    """Drive a :class:`MeshTop` from a remote server; returns exit code."""
+    top = top if top is not None else MeshTop()
+    try:
+        if once:
+            top.display(fetch_frame(url))
+            return 0
+        for frame in stream_frames(url, limit=frames):
+            top.display(frame)
+        return 0
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print(f"multinoc top: cannot reach {url}: {exc}", file=sys.stderr)
+        return 1

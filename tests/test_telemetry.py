@@ -144,6 +144,36 @@ class TestMetrics:
         assert "h_count 1" in text
         assert 'h{quantile="0.50"} 10' in text
 
+    def test_prometheus_counter_total_suffix_convention(self):
+        """Counters registered without ``_total`` gain it on export."""
+        reg = MetricsRegistry()
+        reg.counter("events", "raw event count").inc(2)
+        reg.counter("events").inc(1, label="a")
+        text = reg.prometheus_text()
+        assert "# HELP events_total raw event count" in text
+        assert "# TYPE events_total counter" in text
+        assert "events_total 3" in text  # unlabelled line carries the total
+        assert 'events_total{label="a"} 1' in text
+        # only the suffixed name is exposed
+        assert "\nevents " not in text and not text.startswith("events ")
+
+    def test_prometheus_help_text_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "line one\nline two \\ done").inc(1)
+        text = reg.prometheus_text()
+        # real newline/backslash become the two-character escapes
+        assert "# HELP c_total line one\\nline two \\\\ done" in text
+        assert "\n# TYPE" in text  # HELP still fits on a single line
+
+    def test_prometheus_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(4, label='quo"te\nnew\\slash')
+        text = reg.prometheus_text()
+        assert 'c_total{label="quo\\"te\\nnew\\\\slash"} 4' in text
+        # every sample line must stay a single physical line
+        for line in text.splitlines():
+            assert "\r" not in line
+
     def test_snapshot_is_json_serialisable(self):
         reg = MetricsRegistry()
         reg.counter("c").inc(1, label=(3, 4))
