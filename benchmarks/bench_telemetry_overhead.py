@@ -19,15 +19,19 @@ divergent behaviour.
 
 import io
 import random
+import tempfile
 import time
 
 from conftest import report
 from repro.apps import EdgeDetectionApp, reference_sobel
 from repro.core import MultiNoCPlatform
-from repro.telemetry import MeshTop
+from repro.telemetry import MeshTop, RunRegistry
 
 #: CI gate: live observation may cost at most this fraction of runtime
 MAX_OVERHEAD = 0.15
+
+#: CI gate: appending one run record may cost at most this fraction
+MAX_RECORD_OVERHEAD = 0.02
 
 #: frame cadence: the LiveStream default, still dozens of frames here
 STRIDE = 1024
@@ -89,4 +93,53 @@ def test_live_stream_overhead(benchmark):
     assert base_cycles == live_cycles, "observation must not perturb the run"
     assert overhead <= MAX_OVERHEAD, (
         f"live observation costs {overhead:+.1%}, gate is {MAX_OVERHEAD:.0%}"
+    )
+
+
+def test_run_record_overhead(benchmark):
+    """Appending one registry record must stay within 2% of the flow.
+
+    The cross-run registry's contract mirrors the live plane's: history
+    for (nearly) free.  One record per run is a couple of ``json.dumps``
+    calls and two small file writes, so it is gated far tighter than the
+    streaming plane — 2% of the edge detection flow's wall clock.  The
+    registry root lives in a tempdir created outside the timed region,
+    and ``git_rev`` is passed explicitly so the subprocess-free hot path
+    is what gets measured.
+    """
+
+    def flow_then_record():
+        image = make_image()
+        t0 = time.perf_counter()
+        session = MultiNoCPlatform.standard().launch()
+        app = EdgeDetectionApp(session.host, processors=[1, 2])
+        app.deploy()
+        result = app.run(image)
+        flow_s = time.perf_counter() - t0
+        with tempfile.TemporaryDirectory() as tmp:
+            registry = RunRegistry(tmp)
+            t1 = time.perf_counter()
+            record = session.record_run(
+                registry=registry, git_rev="bench", kind="bench"
+            )
+            record_s = time.perf_counter() - t1
+            loaded = registry.load(record["run_id"])
+        assert result.output == reference_sobel(image)
+        assert loaded["metrics"]["cycles"] == float(session.sim.cycle)
+        return flow_s, record_s
+
+    flow_s, record_s = benchmark(flow_then_record)
+    overhead = record_s / flow_s
+    report(
+        benchmark,
+        "Run-record append overhead (cross-run registry)",
+        [
+            ("edge detection flow (s)", "(baseline)", f"{flow_s:.3f}"),
+            ("record append (s)", "(2 file writes)", f"{record_s:.4f}"),
+            ("overhead", f"<= {MAX_RECORD_OVERHEAD:.0%}", f"{overhead:+.2%}"),
+        ],
+    )
+    assert overhead <= MAX_RECORD_OVERHEAD, (
+        f"run record costs {overhead:+.2%} of the flow, "
+        f"gate is {MAX_RECORD_OVERHEAD:.0%}"
     )

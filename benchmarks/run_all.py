@@ -12,6 +12,17 @@ Usage::
     python benchmarks/run_all.py --preset full
     python benchmarks/run_all.py --files noc,router   # substring filter
     python benchmarks/run_all.py --output out.json
+    python benchmarks/run_all.py --history            # append to registry
+
+``--history`` appends the suite as one ``multinoc-run/1`` record to the
+cross-run registry (``--runs-dir``, default ``.multinoc/runs`` or
+``$MULTINOC_RUNS_DIR``) instead of clobbering ``BENCH_results.json``:
+the full report is embedded under ``bench`` and every per-test mean and
+numeric ``extra_info`` value is flattened into trendable metrics, so
+``multinoc runs trend`` can gate regressions against the whole
+trajectory.  The report always carries a machine fingerprint (python
+version, platform, CPU count) so records gathered on different machines
+are never trend-compared silently.
 
 Presets:
 
@@ -63,6 +74,10 @@ from pathlib import Path
 SCHEMA = "multinoc-bench/1"
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
+
+# the registry lives in the package; make it importable when this file
+# runs as a plain script (``python benchmarks/run_all.py``)
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 PRESETS = {
     "quick": [
@@ -133,6 +148,27 @@ def run_one(path: Path, preset: str) -> dict:
         Path(json_path).unlink(missing_ok=True)
 
 
+def trend_metrics(entries: list) -> dict:
+    """Flatten per-test means and numeric extra_info into metric names."""
+    metrics = {}
+    for entry in entries:
+        stem = entry["file"]
+        if stem.startswith("bench_"):
+            stem = stem[len("bench_"):]
+        if stem.endswith(".py"):
+            stem = stem[: -len(".py")]
+        for test in entry["tests"]:
+            base = f"{stem}.{test['name']}"
+            if isinstance(test.get("mean_seconds"), (int, float)):
+                metrics[f"{base}.mean_seconds"] = test["mean_seconds"]
+            for key, value in (test.get("extra_info") or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    metrics[f"{base}.{key}"] = value
+    return metrics
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -140,12 +176,23 @@ def main(argv=None) -> int:
         help="quick: 1 round/bench (CI); full: calibrated timing",
     )
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_results.json"),
-        metavar="FILE", help="where to write the JSON report",
+        "--output", default=None,
+        metavar="FILE", help="where to write the JSON report "
+        "(default BENCH_results.json; with --history: registry only)",
     )
     parser.add_argument(
         "--files", metavar="SUBSTR[,SUBSTR...]",
         help="only run bench files whose name contains a substring",
+    )
+    parser.add_argument(
+        "--history", action="store_true",
+        help="append the suite to the cross-run registry instead of "
+        "clobbering BENCH_results.json",
+    )
+    parser.add_argument(
+        "--runs-dir", metavar="DIR",
+        help="registry root for --history "
+        "(default: $MULTINOC_RUNS_DIR or .multinoc/runs)",
     )
     args = parser.parse_args(argv)
 
@@ -169,23 +216,56 @@ def main(argv=None) -> int:
         )
         entries.append(entry)
 
+    from repro.telemetry.registry import machine_fingerprint
+
+    machine = machine_fingerprint()
     report = {
         "schema": SCHEMA,
         "preset": args.preset,
-        "python": ".".join(map(str, sys.version_info[:3])),
-        "platform": sys.platform,
+        "python": machine["python"],
+        "platform": machine["platform"],
+        "machine": machine,
         "started_unix": started,
         "total_wall_seconds": round(time.perf_counter() - suite_start, 3),
         "benchmarks": entries,
     }
-    Path(args.output).write_text(json.dumps(report, indent=2))
-
     failed = [e["file"] for e in entries if e["status"] != "ok"]
+
+    destination = args.output
+    if destination is None and not args.history:
+        destination = str(REPO_ROOT / "BENCH_results.json")
+    if destination is not None:
+        Path(destination).write_text(json.dumps(report, indent=2))
+
+    if args.history:
+        from repro.telemetry.registry import AUTO, RunRegistry
+
+        metrics = trend_metrics(entries)
+        metrics["total_wall_seconds"] = report["total_wall_seconds"]
+        record = RunRegistry(args.runs_dir).record(
+            kind="bench",
+            status="failed" if failed else "ok",
+            exit_code=1 if failed else 0,
+            timestamp=started,
+            preset=args.preset,
+            metrics=metrics,
+            bench=report,
+            machine=machine,
+            artifacts={"report": destination} if destination else None,
+            meta={"files": [e["file"] for e in entries]},
+            git_rev=AUTO,
+        )
+        destination = (
+            f"{record['run_id']} (+{destination})"
+            if destination
+            else record["run_id"]
+        )
+
     total_tests = sum(len(e["tests"]) for e in entries)
     print(
         f"\n{len(files)} file(s), {total_tests} benchmark(s), "
         f"{len(failed)} failed, {report['total_wall_seconds']:.1f}s "
-        f"-> {args.output}"
+        f"-> {destination}"
     )
     for name in failed:
         print(f"  FAILED: {name}", file=sys.stderr)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Fleet telemetry walkthrough: many sessions, one observation plane.
+
+1. **aggregate** — two concurrent sessions multiplexed through one
+   `TelemetryServer`: the primary session plus a second attached with
+   `add_stream`, each frame tagged with its session name;
+2. **watch** — fetch the `/runs` fleet document and render the fleet
+   table (one row per session: cycle, sim rate, health, link-util
+   sparkline), exactly as `multinoc top --url ... --fleet` would;
+3. **history** — record both runs in a cross-run registry and see the
+   newest records surface in the same fleet view.
+
+The same thing from the command line:
+
+    multinoc system a.asm --serve 9777 --linger 60 &   # session one
+    multinoc top --url http://127.0.0.1:9777 --fleet   # fleet table
+    multinoc runs list                                 # the history
+"""
+
+import tempfile
+
+from repro import MultiNoCPlatform
+from repro.telemetry import MeshTop, RunRegistry, TelemetryServer
+from repro.telemetry.top import fetch_runs
+
+PROGRAM = """
+; count down from 20, printf each value, halt.
+        CLR  R0
+        LDI  R2, 0xFFFF
+        LDL  R1, 20
+        LDL  R3, 1
+loop:   ST   R1, R2, R0        ; printf(R1)
+        SUB  R1, R1, R3
+        JMPZD done
+        JMP  loop
+done:   HALT
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = RunRegistry(tmp)
+
+        # two independent sessions, one aggregator serving them both
+        alpha = MultiNoCPlatform.standard().launch()
+        beta = MultiNoCPlatform.standard().launch()
+        server = TelemetryServer(
+            alpha.live_stream(stride=512),
+            name="alpha",
+            run_registry=registry,
+        )
+        server.add_stream("beta", beta.live_stream(stride=512))
+        server.start()
+        print(f"fleet aggregator at {server.address}")
+
+        # run both workloads; interleave starts so the fleet is live
+        for session in (alpha, beta):
+            session.host.sync()
+            session.start(1, PROGRAM)
+        for session in (alpha, beta):
+            session.wait_all_halted()
+            session.live.force()
+
+        # durable history: one record per run, served at /runs too
+        for name, session in (("alpha", alpha), ("beta", beta)):
+            record = session.record_run(
+                registry=registry, meta={"session": name}, git_rev=None
+            )
+            print(f"recorded {name}: {record['run_id']}")
+
+        # the fleet view, as `multinoc top --fleet` renders it
+        document = fetch_runs(server.address)
+        print()
+        print(MeshTop(color=False).render_fleet(document))
+        server.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ Run as ``python -m repro.cli <command>``::
     system FILE         load and run on the full MultiNoC platform
     top                 live terminal dashboard for a served simulation
     analyze TRACE       post-mortem analysis of a JSONL trace
+    runs ...            cross-run registry: list/show/diff/trend/gc
     prototype           print the virtual FPGA implementation report
 
 Every command reads/writes the same text object format the Serial
@@ -215,6 +216,7 @@ def cmd_system(args) -> int:
         if health is None:
             raise
         _report_health_failure(exc, health, args.health_report)
+        _record_system_run(session, args, status="failed", exit_code=1)
         return 1
     session.sim.step(6000)
     if live is not None:
@@ -261,6 +263,7 @@ def cmd_system(args) -> int:
         print(f"health: {'OK, no violations' if n == 0 else f'{n} violation(s)'}")
         if args.health_report:
             _write_health_report(health, args.health_report)
+    _record_system_run(session, args, status="ok", exit_code=0)
     if server is not None:
         if args.linger:
             import time
@@ -272,6 +275,43 @@ def cmd_system(args) -> int:
                 pass
         server.close()
     return 0
+
+
+def _record_system_run(session, args, *, status: str, exit_code: int) -> None:
+    """Append the run to the cross-run registry (``multinoc runs ...``).
+
+    On by default — the registry is the durable history every later
+    ``runs trend`` gate reads — and disabled with ``--no-record``.
+    Registry failures must never fail the run they describe.
+    """
+    if getattr(args, "no_record", False):
+        return
+    from .telemetry.registry import AUTO
+
+    artifacts = {
+        name: str(value)
+        for name, value in (
+            ("trace", getattr(args, "trace", None)),
+            ("trace_jsonl", getattr(args, "trace_jsonl", None)),
+            ("vcd", getattr(args, "vcd", None)),
+            ("health_report", getattr(args, "health_report", None)),
+        )
+        if value
+    }
+    try:
+        record = session.record_run(
+            registry=getattr(args, "runs_dir", None),
+            kind="system",
+            status=status,
+            exit_code=exit_code,
+            artifacts=artifacts,
+            meta={"program": str(args.file), "proc": args.proc},
+            git_rev=AUTO,
+        )
+        # stderr: run ids are unique, stdout must stay comparable
+        print(f"run record {record['run_id']} -> registry", file=sys.stderr)
+    except OSError as exc:
+        print(f"warning: could not record run: {exc}", file=sys.stderr)
 
 
 def _write_health_report(monitor, path: str) -> None:
@@ -368,15 +408,169 @@ def cmd_analyze(args) -> int:
     except OSError as exc:
         print(f"error: cannot write output file: {exc}", file=sys.stderr)
         return 1
+    _record_analyze_run(analysis, document, args, status)
     return status
+
+
+def _record_analyze_run(analysis, document, args, status: int) -> None:
+    """Append the analysis outcome to the cross-run registry."""
+    if getattr(args, "no_record", False):
+        return
+    from .telemetry.registry import AUTO, RunRegistry
+
+    delivered = analysis.delivered()
+    metrics = {
+        "packets": float(len(delivered)),
+        "blocked_total": float(
+            sum(l.blocked_cycles for l in analysis.links.values())
+        ),
+    }
+    if delivered:
+        latencies = sorted(p.latency for p in delivered)
+        metrics["latency_mean"] = round(
+            sum(latencies) / len(latencies), 4
+        )
+        metrics["latency_max"] = float(latencies[-1])
+    artifacts = {
+        name: str(value)
+        for name, value in (
+            ("trace", args.trace),
+            ("json", args.json),
+            ("flamegraph", args.flamegraph),
+        )
+        if value
+    }
+    meta = {"baseline": args.baseline} if args.baseline else {}
+    if "diff" in document:
+        meta["diff_ok"] = document["diff"]["ok"]
+    try:
+        record = RunRegistry(getattr(args, "runs_dir", None)).record(
+            kind="analyze",
+            status="ok" if status == 0 else "failed",
+            exit_code=status,
+            metrics=metrics,
+            artifacts=artifacts,
+            meta=meta,
+            git_rev=AUTO,
+        )
+        print(f"run record {record['run_id']} -> registry", file=sys.stderr)
+    except OSError as exc:
+        print(f"warning: could not record run: {exc}", file=sys.stderr)
 
 
 def cmd_top(args) -> int:
     """Attach the terminal dashboard to a remote telemetry server."""
-    from .telemetry.top import MeshTop, watch
+    from .telemetry.top import MeshTop, watch, watch_fleet
 
     top = MeshTop(color=False if args.no_color else None)
-    return watch(args.url, once=args.once, frames=args.frames, top=top)
+    if args.fleet:
+        return watch_fleet(
+            args.url,
+            once=args.once,
+            frames=args.frames,
+            interval=args.interval,
+            top=top,
+        )
+    return watch(
+        args.url,
+        once=args.once,
+        frames=args.frames,
+        top=top,
+        retries=args.retries,
+    )
+
+
+def cmd_runs(args) -> int:
+    """The cross-run observatory: query and gate the run registry."""
+    import json
+
+    from .telemetry.registry import RegistryError, RunRegistry
+    from .telemetry.trend import compute_trend, diff_records
+
+    registry = RunRegistry(args.dir)
+    try:
+        if args.runs_command == "list":
+            entries = registry.index()
+            if args.limit is not None:
+                entries = entries[-args.limit:]
+            if args.json:
+                print(json.dumps(entries, indent=2))
+                return 0
+            if not entries:
+                print(f"no runs recorded in {registry.root}")
+                return 0
+            print(
+                f"{'RUN':<34} {'KIND':<8} {'STATUS':<7} "
+                f"{'PRESET':<7} {'MACHINE':<13} GIT"
+            )
+            for e in entries:
+                print(
+                    f"{e.get('run_id', '?'):<34} {e.get('kind') or '-':<8} "
+                    f"{e.get('status') or '-':<7} "
+                    f"{e.get('preset') or '-':<7} "
+                    f"{e.get('fingerprint') or '-':<13} "
+                    f"{e.get('git_rev') or '-'}"
+                )
+            print(f"{len(entries)} run(s) in {registry.root}")
+            return 0
+
+        if args.runs_command == "show":
+            # verbatim file bytes: `runs show` round-trips bit-identically
+            sys.stdout.write(registry.raw(args.run_id))
+            return 0
+
+        if args.runs_command == "diff":
+            diff = diff_records(
+                registry.load(args.current),
+                registry.load(args.baseline),
+                threshold_pct=args.threshold_pct,
+                threshold_abs=args.threshold_abs,
+            )
+            print(diff.report())
+            if args.json:
+                Path(args.json).write_text(
+                    json.dumps(diff.to_dict(), indent=2)
+                )
+                print(f"diff -> {args.json}")
+            return 0 if diff.ok else 1
+
+        if args.runs_command == "trend":
+            metrics = None
+            if args.metric:
+                metrics = [
+                    m for arg in args.metric for m in arg.split(",") if m
+                ]
+            records = registry.records(kind=args.kind)
+            report = compute_trend(
+                records,
+                metrics=metrics,
+                window=args.window,
+                threshold_pct=args.threshold_pct,
+                threshold_abs=args.threshold_abs,
+                sustain=args.sustain,
+                allow_cross_machine=args.allow_cross_machine,
+            )
+            print(report.report())
+            if args.json:
+                Path(args.json).write_text(
+                    json.dumps(report.to_dict(), indent=2)
+                )
+                print(f"trend -> {args.json}")
+            return 0 if report.ok else 1
+
+        if args.runs_command == "gc":
+            removed = registry.gc(args.keep)
+            print(
+                f"removed {len(removed)} record(s), "
+                f"kept newest {args.keep} in {registry.root}"
+            )
+            for run_id in removed:
+                print(f"  gc {run_id}")
+            return 0
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled runs command {args.runs_command!r}")
 
 
 def cmd_prototype(args) -> int:
@@ -527,6 +721,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="plain-ASCII dashboard output (also honours NO_COLOR)",
     )
+    p.add_argument(
+        "--no-record",
+        action="store_true",
+        help="do not append this run to the cross-run registry",
+    )
+    p.add_argument(
+        "--runs-dir",
+        metavar="DIR",
+        help="registry root for the run record "
+        "(default: $MULTINOC_RUNS_DIR or .multinoc/runs)",
+    )
     p.set_defaults(fn=cmd_system)
 
     p = sub.add_parser(
@@ -552,6 +757,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-color",
         action="store_true",
         help="plain-ASCII output (also honours NO_COLOR)",
+    )
+    p.add_argument(
+        "--fleet",
+        action="store_true",
+        help="render the aggregator's /runs fleet table "
+        "(one row per session) instead of a single mesh",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="poll cadence for --fleet (default 1s)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=6,
+        metavar="N",
+        help="retry --once snapshots this many times (short backoff) "
+        "while the server has no frame yet",
     )
     p.set_defaults(fn=cmd_top)
 
@@ -589,7 +815,122 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="absolute regression threshold for --baseline",
     )
+    p.add_argument(
+        "--no-record",
+        action="store_true",
+        help="do not append this analysis to the cross-run registry",
+    )
+    p.add_argument(
+        "--runs-dir",
+        metavar="DIR",
+        help="registry root for the run record "
+        "(default: $MULTINOC_RUNS_DIR or .multinoc/runs)",
+    )
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "runs",
+        help="cross-run observatory: the persistent run registry",
+        description="Query, compare, trend and prune the append-only "
+        "run registry (.multinoc/runs or $MULTINOC_RUNS_DIR).",
+    )
+    p.add_argument(
+        "--dir",
+        metavar="DIR",
+        help="registry root (default: $MULTINOC_RUNS_DIR or .multinoc/runs)",
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    def _dir_flag(q):
+        # accepted both before and after the subcommand; SUPPRESS keeps
+        # the subparser from clobbering a value parsed by the parent
+        q.add_argument(
+            "--dir", metavar="DIR", default=argparse.SUPPRESS,
+            help="registry root (overrides the pre-subcommand --dir)",
+        )
+
+    q = runs_sub.add_parser("list", help="history index, oldest first")
+    _dir_flag(q)
+    q.add_argument("--limit", type=int, metavar="N", help="newest N only")
+    q.add_argument(
+        "--json", action="store_true", help="print index entries as JSON"
+    )
+    q.set_defaults(fn=cmd_runs)
+
+    q = runs_sub.add_parser(
+        "show", help="print one record verbatim (bit-identical JSON)"
+    )
+    _dir_flag(q)
+    q.add_argument("run_id")
+    q.set_defaults(fn=cmd_runs)
+
+    q = runs_sub.add_parser(
+        "diff", help="compare two records metric-by-metric (exit 1 on "
+        "regression)"
+    )
+    _dir_flag(q)
+    q.add_argument("baseline", help="baseline run id")
+    q.add_argument("current", help="current run id")
+    q.add_argument(
+        "--threshold-pct", type=float, default=10.0,
+        help="relative regression threshold (default 10%%)",
+    )
+    q.add_argument(
+        "--threshold-abs", type=float, default=0.0,
+        help="absolute regression threshold (default 0)",
+    )
+    q.add_argument("--json", metavar="FILE", help="write the diff as JSON")
+    q.set_defaults(fn=cmd_runs)
+
+    q = runs_sub.add_parser(
+        "trend",
+        help="rolling-median trend over the history; exit 1 on a "
+        "sustained regression (the CI gate)",
+    )
+    _dir_flag(q)
+    q.add_argument(
+        "--metric",
+        action="append",
+        metavar="NAME[,NAME...]",
+        help="metric(s) to trend (default: all in the newest record)",
+    )
+    q.add_argument(
+        "--kind", help="only trend records of this kind (system, bench, ...)"
+    )
+    q.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="rolling-median baseline window (default 5 records)",
+    )
+    q.add_argument(
+        "--sustain", type=int, default=2, metavar="K",
+        help="consecutive regressed records before flagging (default 2)",
+    )
+    q.add_argument(
+        "--threshold-pct", type=float, default=10.0,
+        help="relative regression threshold (default 10%%)",
+    )
+    q.add_argument(
+        "--threshold-abs", type=float, default=0.0,
+        help="absolute regression threshold (default 0)",
+    )
+    q.add_argument(
+        "--allow-cross-machine",
+        action="store_true",
+        help="compare records across machine fingerprints (off by "
+        "default: cross-machine histories are excluded, with a note)",
+    )
+    q.add_argument("--json", metavar="FILE", help="write the report as JSON")
+    q.set_defaults(fn=cmd_runs)
+
+    q = runs_sub.add_parser(
+        "gc", help="retention: delete all but the newest N records"
+    )
+    _dir_flag(q)
+    q.add_argument(
+        "--keep", type=int, required=True, metavar="N",
+        help="number of newest records to keep",
+    )
+    q.set_defaults(fn=cmd_runs)
 
     p = sub.add_parser("prototype", help="Section 3 implementation report")
     p.add_argument("--iterations", type=int, default=3000)

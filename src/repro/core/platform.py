@@ -139,19 +139,33 @@ class PlatformSession:
         self.live = stream
         return stream
 
-    def serve_telemetry(self, port: int = 0, *, host: str = "127.0.0.1"):
+    def serve_telemetry(
+        self,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        run_registry=None,
+        name: str = "default",
+    ):
         """Serve this session's live stream over localhost HTTP.
 
         Attaches a default :meth:`live_stream` first if none exists;
         returns the started :class:`~repro.telemetry.server.TelemetryServer`
         (its ``.address`` carries the bound port when ``port=0``).
+        Pass a :class:`~repro.telemetry.registry.RunRegistry` as
+        *run_registry* to also serve the run history at ``/runs``.
         """
         from ..telemetry.server import TelemetryServer
 
         if self.live is None:
             self.live_stream()
         server = TelemetryServer(
-            self.live, self.system.stats.registry, host=host, port=port
+            self.live,
+            self.system.stats.registry,
+            host=host,
+            port=port,
+            run_registry=run_registry,
+            name=name,
         )
         return server.start()
 
@@ -169,6 +183,68 @@ class PlatformSession:
         self.system.attach_health(monitor, self.sim, host=self.host)
         self.health = monitor
         return monitor
+
+    def record_run(
+        self,
+        *,
+        registry=None,
+        status: str = "ok",
+        exit_code: int = 0,
+        metrics: Optional[Dict[str, float]] = None,
+        artifacts: Optional[Dict[str, str]] = None,
+        timestamp: Optional[float] = None,
+        meta: Optional[Dict[str, object]] = None,
+        kind: str = "session",
+        git_rev=None,
+    ):
+        """Append this session's outcome to the cross-run registry.
+
+        Builds a ``multinoc-run/1`` record — configuration digest,
+        machine fingerprint, cycle count, packet/latency summary, plus
+        any caller *metrics* and *artifacts* — and appends it to
+        *registry* (a :class:`~repro.telemetry.registry.RunRegistry`, a
+        path, or ``None`` for the default ``.multinoc/runs`` /
+        ``MULTINOC_RUNS_DIR`` root).  Returns the written record; the
+        run's history then feeds ``multinoc runs list|trend``.
+
+        ``git_rev=None`` skips the ``git rev-parse`` subprocess (hot
+        paths, benchmarks); pass ``registry_module.AUTO`` or a string to
+        record one.
+        """
+        from ..telemetry.registry import RunRegistry
+
+        if not isinstance(registry, RunRegistry):
+            registry = RunRegistry(registry)
+        stats = self.system.stats
+        summary = stats.latency_summary()
+        base_metrics: Dict[str, float] = {
+            "cycles": float(self.sim.cycle),
+            "packets_injected": float(stats.packets_injected),
+            "packets_delivered": float(stats.packets_delivered),
+        }
+        if summary["count"]:
+            base_metrics.update(
+                latency_mean=round(summary["mean"], 4),
+                latency_p50=float(summary["p50"]),
+                latency_p99=float(summary["p99"]),
+                latency_max=float(summary["max"]),
+            )
+        base_metrics.update(metrics or {})
+        return registry.record(
+            kind=kind,
+            status=status,
+            exit_code=exit_code,
+            timestamp=timestamp,
+            metrics=base_metrics,
+            config=self.system.config,
+            artifacts=artifacts,
+            meta={
+                "mesh": list(self.system.config.mesh),
+                "processors": len(self.system.config.processors),
+                **(meta or {}),
+            },
+            git_rev=git_rev,
+        )
 
     def analyze(self):
         """Post-mortem analysis of this session's telemetry.

@@ -42,13 +42,31 @@ from .health import (
 from .live import LIVE_SCHEMA, LIVE_TRACKS, LiveStream
 from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
 from .profiler import KernelProfiler
-from .server import TelemetryServer
-from .top import MeshTop, fetch_frame, stream_frames
+from .registry import (
+    RUN_SCHEMA,
+    RegistryError,
+    RunRegistry,
+    config_digest,
+    flatten_metrics,
+    git_revision,
+    machine_fingerprint,
+)
+from .server import FLEET_SCHEMA, TelemetryServer
+from .top import MeshTop, fetch_frame, fetch_runs, stream_frames, watch_fleet
+from .trend import (
+    TREND_SCHEMA,
+    RunDiff,
+    TrendEntry,
+    TrendReport,
+    compute_trend,
+    diff_records,
+)
 
 __all__ = [
     "Counter",
     "CpuProfile",
     "Event",
+    "FLEET_SCHEMA",
     "Gauge",
     "HealthMonitor",
     "HealthViolation",
@@ -62,20 +80,35 @@ __all__ = [
     "MetricError",
     "MetricsRegistry",
     "PacketTrace",
+    "RUN_SCHEMA",
+    "RegistryError",
+    "RunDiff",
+    "RunRegistry",
     "Span",
+    "TREND_SCHEMA",
     "TelemetryServer",
     "TelemetrySink",
     "TimeSeriesSampler",
     "TraceAnalysis",
     "TraceDiff",
+    "TrendEntry",
+    "TrendReport",
     "analyze_trace",
     "chrome_trace",
+    "compute_trend",
+    "config_digest",
+    "diff_records",
     "diff_traces",
     "fetch_frame",
+    "fetch_runs",
+    "flatten_metrics",
+    "git_revision",
     "glyph_ramp",
     "load_jsonl",
+    "machine_fingerprint",
     "stream_frames",
     "terminal_is_rich",
+    "watch_fleet",
     "write_chrome_trace",
     "write_jsonl",
     "write_prometheus",

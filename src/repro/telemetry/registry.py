@@ -1,0 +1,370 @@
+"""Persistent cross-run registry: one durable record per simulation run.
+
+Everything before this module observes a *single* run; the registry
+makes runs observable *across* time.  A :class:`RunRegistry` is an
+append-only local store rooted at ``.multinoc/runs/`` (override with the
+``MULTINOC_RUNS_DIR`` environment variable or an explicit path): every
+run — a ``multinoc system`` invocation, a :class:`~repro.core.platform.
+PlatformSession` the library user records, a ``benchmarks/run_all.py``
+suite, an ``analyze`` pass — appends one schema'd JSON record
+(``multinoc-run/1``) plus one line in ``index.jsonl``, the history
+index that ``multinoc runs list`` and the trend engine
+(:mod:`repro.telemetry.trend`) read without loading every record.
+
+Record schema ``multinoc-run/1``::
+
+    {
+      "schema": "multinoc-run/1",
+      "run_id": "run-20260808T120000-1a2b3c",   # unique, sortable
+      "kind": "system" | "session" | "bench" | "analyze",
+      "created_unix": 1754654400.0,     # caller-supplied timestamp
+      "status": "ok" | "failed",
+      "exit_code": 0,
+      "git_rev": "4868a27b9c01" | null, # rev-parse at record time
+      "config_digest": "9f3e..." | null,# SystemConfig content hash
+      "preset": "quick" | null,         # bench preset, when applicable
+      "machine": {                      # cross-machine comparison guard
+        "python": "3.12.3", "platform": "linux",
+        "cpu_count": 8, "fingerprint": "5d41402abc4b"
+      },
+      "metrics": {"latency_mean": 58.0, ...},   # flat numeric summary
+      "bench": {...} | null,            # full multinoc-bench/1 report
+      "artifacts": {"trace": "out.jsonl", ...}, # pointers, not content
+      "meta": {...}                     # free-form caller context
+    }
+
+Records are plain files: ``<run_id>.json`` next to ``index.jsonl``.
+Append-only means a run id is never overwritten — :meth:`RunRegistry.
+append` refuses collisions — and retention is explicit
+(:meth:`RunRegistry.gc` keeps the newest N records).  The machine
+fingerprint exists so histories gathered on different hosts are never
+trend-compared silently: the trend engine partitions on it by default.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+RUN_SCHEMA = "multinoc-run/1"
+
+#: file name of the history index inside the registry root
+INDEX_NAME = "index.jsonl"
+
+#: environment variable overriding the default registry root
+RUNS_DIR_ENV = "MULTINOC_RUNS_DIR"
+
+#: default registry root, relative to the current working directory
+DEFAULT_ROOT = ".multinoc/runs"
+
+#: sentinel: compute the value at record time
+AUTO = object()
+
+
+class RegistryError(Exception):
+    """A registry invariant was violated (collision, missing record)."""
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """Identify the executing machine for cross-machine comparison guards.
+
+    Deliberately coarse — python version, platform and CPU count — so
+    records from the same CI image class share a fingerprint while a
+    laptop and a CI runner never silently land in one trend series.
+    """
+    info: Dict[str, Any] = {
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "platform": sys.platform,
+        "cpu_count": os.cpu_count() or 1,
+    }
+    digest = hashlib.sha256(
+        json.dumps(info, sort_keys=True).encode()
+    ).hexdigest()
+    info["fingerprint"] = digest[:12]
+    return info
+
+
+def config_digest(config: Any) -> Optional[str]:
+    """Content hash of a system configuration (or any JSON-able value).
+
+    Two runs share a digest exactly when their configuration is
+    equal field-by-field — the unit of comparability for trends.
+    """
+    if config is None:
+        return None
+    if is_dataclass(config) and not isinstance(config, type):
+        doc = asdict(config)
+    else:
+        doc = config
+    canon = json.dumps(doc, sort_keys=True, default=repr)
+    return hashlib.sha256(canon.encode()).hexdigest()[:12]
+
+
+def git_revision(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """Short HEAD revision, or None outside a repository / without git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=str(cwd) if cwd is not None else None,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+class RunRegistry:
+    """Append-only store of ``multinoc-run/1`` records plus an index."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        if root is None:
+            root = os.environ.get(RUNS_DIR_ENV) or DEFAULT_ROOT
+        self.root = Path(root)
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / INDEX_NAME
+
+    # -- building records --------------------------------------------------
+
+    def build_record(
+        self,
+        *,
+        kind: str,
+        status: str = "ok",
+        exit_code: int = 0,
+        timestamp: Optional[float] = None,
+        metrics: Optional[Dict[str, Any]] = None,
+        config: Any = None,
+        preset: Optional[str] = None,
+        bench: Optional[Dict[str, Any]] = None,
+        artifacts: Optional[Dict[str, str]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        git_rev: Any = AUTO,
+        machine: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Assemble a record without writing it (see :meth:`record`).
+
+        ``timestamp`` is caller-supplied (defaults to ``time.time()``)
+        so replayed or imported histories keep their original ordering.
+        ``git_rev=registry.AUTO`` shells out once; pass a string or
+        ``None`` to skip the subprocess on hot paths.
+        """
+        created = time.time() if timestamp is None else float(timestamp)
+        record: Dict[str, Any] = {
+            "schema": RUN_SCHEMA,
+            "run_id": None,  # assigned by append()
+            "kind": kind,
+            "created_unix": created,
+            "status": status,
+            "exit_code": int(exit_code),
+            "git_rev": git_revision() if git_rev is AUTO else git_rev,
+            "config_digest": config
+            if isinstance(config, str)
+            else config_digest(config),
+            "preset": preset,
+            "machine": machine if machine is not None else machine_fingerprint(),
+            "metrics": dict(metrics or {}),
+            "bench": bench,
+            "artifacts": dict(artifacts or {}),
+            "meta": dict(meta or {}),
+        }
+        return record
+
+    def record(self, **kwargs) -> Dict[str, Any]:
+        """Build and append a record in one step; returns it (with id)."""
+        return self.append(self.build_record(**kwargs))
+
+    # -- persistence -------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Write ``<run_id>.json`` and one index line; returns the record.
+
+        Assigns a run id when the record has none.  Appending an id
+        that already exists raises :class:`RegistryError` — records are
+        immutable once written.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        if not record.get("run_id"):
+            record = dict(record)
+            record["run_id"] = self._new_run_id(record)
+        path = self.path_of(record["run_id"])
+        if path.exists():
+            raise RegistryError(
+                f"run {record['run_id']!r} already recorded; "
+                "the registry is append-only"
+            )
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        line = json.dumps(self.index_entry(record), sort_keys=True)
+        with open(self.index_path, "a") as fh:
+            fh.write(line + "\n")
+        return record
+
+    @staticmethod
+    def index_entry(record: Dict[str, Any]) -> Dict[str, Any]:
+        """The per-record line kept in ``index.jsonl``."""
+        machine = record.get("machine") or {}
+        return {
+            "run_id": record["run_id"],
+            "kind": record.get("kind"),
+            "created_unix": record.get("created_unix"),
+            "status": record.get("status"),
+            "exit_code": record.get("exit_code"),
+            "git_rev": record.get("git_rev"),
+            "config_digest": record.get("config_digest"),
+            "preset": record.get("preset"),
+            "fingerprint": machine.get("fingerprint"),
+        }
+
+    def path_of(self, run_id: str) -> Path:
+        return self.root / f"{run_id}.json"
+
+    def raw(self, run_id: str) -> str:
+        """The exact bytes of one record file (``runs show`` round-trip)."""
+        path = self.path_of(run_id)
+        if not path.exists():
+            raise RegistryError(f"no record {run_id!r} in {self.root}")
+        return path.read_text()
+
+    def load(self, run_id: str) -> Dict[str, Any]:
+        return json.loads(self.raw(run_id))
+
+    # -- reading the history -----------------------------------------------
+
+    def index(self) -> List[Dict[str, Any]]:
+        """Index entries in chronological order (oldest first).
+
+        Falls back to scanning record files when ``index.jsonl`` is
+        missing (e.g. the index was deleted but records survive).
+        """
+        entries: List[Dict[str, Any]] = []
+        if self.index_path.exists():
+            for line in self.index_path.read_text().splitlines():
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+        elif self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    entries.append(self.index_entry(json.loads(path.read_text())))
+                except (ValueError, KeyError):
+                    continue
+        entries.sort(key=lambda e: (e.get("created_unix") or 0, e["run_id"]))
+        return entries
+
+    def rebuild_index(self) -> int:
+        """Regenerate ``index.jsonl`` from the record files on disk."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entries = []
+        for path in self.root.glob("*.json"):
+            try:
+                entries.append(self.index_entry(json.loads(path.read_text())))
+            except (ValueError, KeyError):
+                continue
+        entries.sort(key=lambda e: (e.get("created_unix") or 0, e["run_id"]))
+        self.index_path.write_text(
+            "".join(json.dumps(e, sort_keys=True) + "\n" for e in entries)
+        )
+        return len(entries)
+
+    def records(
+        self,
+        *,
+        kind: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        config_digest: Optional[str] = None,
+        preset: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Full records, oldest first, optionally filtered; ``limit``
+        keeps only the newest N after filtering."""
+        selected = []
+        for entry in self.index():
+            if kind is not None and entry.get("kind") != kind:
+                continue
+            if (
+                fingerprint is not None
+                and entry.get("fingerprint") != fingerprint
+            ):
+                continue
+            if (
+                config_digest is not None
+                and entry.get("config_digest") != config_digest
+            ):
+                continue
+            if preset is not None and entry.get("preset") != preset:
+                continue
+            selected.append(entry)
+        if limit is not None:
+            selected = selected[-limit:]
+        return [self.load(e["run_id"]) for e in selected]
+
+    def latest(self) -> Optional[Dict[str, Any]]:
+        entries = self.index()
+        return self.load(entries[-1]["run_id"]) if entries else None
+
+    # -- retention ---------------------------------------------------------
+
+    def gc(self, keep: int) -> List[str]:
+        """Delete all but the newest *keep* records; returns removed ids."""
+        if keep < 0:
+            raise ValueError("gc keep count must be >= 0")
+        entries = self.index()
+        doomed = entries[: max(len(entries) - keep, 0)]
+        removed = []
+        for entry in doomed:
+            self.path_of(entry["run_id"]).unlink(missing_ok=True)
+            removed.append(entry["run_id"])
+        if removed:
+            survivors = entries[len(doomed):]
+            self.index_path.write_text(
+                "".join(
+                    json.dumps(e, sort_keys=True) + "\n" for e in survivors
+                )
+            )
+        return removed
+
+    # -- internals ---------------------------------------------------------
+
+    def _new_run_id(self, record: Dict[str, Any]) -> str:
+        """Unique, sortable, content-salted id for a new record."""
+        stamp = time.strftime(
+            "%Y%m%dT%H%M%S", time.gmtime(record.get("created_unix") or 0)
+        )
+        salt = hashlib.sha256(
+            json.dumps(record, sort_keys=True, default=repr).encode()
+        ).hexdigest()[:6]
+        for n in range(10_000):
+            run_id = f"run-{stamp}-{salt}" + (f"-{n}" if n else "")
+            if not self.path_of(run_id).exists():
+                return run_id
+        raise RegistryError("could not allocate a unique run id")
+
+
+def flatten_metrics(
+    doc: Any, prefix: str = "", out: Optional[Dict[str, float]] = None
+) -> Dict[str, float]:
+    """Flatten nested dicts of numbers into dotted metric names.
+
+    Non-numeric leaves (and booleans) are dropped — the trend engine
+    only compares numbers.
+    """
+    if out is None:
+        out = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            name = f"{prefix}.{key}" if prefix else str(key)
+            flatten_metrics(value, name, out)
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        out[prefix] = float(doc)
+    return out

@@ -1,6 +1,6 @@
 """Localhost HTTP endpoint for the live observation plane.
 
-:class:`TelemetryServer` bridges a :class:`~repro.telemetry.live.LiveStream`
+:class:`TelemetryServer` bridges one — or a *fleet* of — live streams
 to anything that speaks HTTP, using only the standard library:
 
 * ``/metrics`` — Prometheus exposition text
@@ -12,13 +12,31 @@ to anything that speaks HTTP, using only the standard library:
   ``?limit=N`` closes the stream after N frames (handy for ``curl`` in
   CI).  A newly connected client immediately receives the latest frame,
   so a scrape that lands after the run finished still sees data.
+* ``/runs`` — the fleet document (``multinoc-fleet/1``): the latest
+  frame of every attached session (in-process via :meth:`add_stream`,
+  remote via :meth:`add_remote`) plus the newest records of an attached
+  :class:`~repro.telemetry.registry.RunRegistry` (``?limit=N`` bounds
+  the record tail);
+* ``/healthz`` — liveness: uptime, frames seen, attached sessions.
+
+**Aggregator mode** is the multi-tenant substrate: construct with no
+primary stream (``TelemetryServer()``) and :meth:`add_stream` each
+in-process session (or :meth:`add_remote` another server's URL); the
+``multinoc top --fleet`` dashboard renders one row per session from
+``/runs``.  Frames from named sessions are tagged with a ``session``
+key so stream consumers can demultiplex.
+
+Every response carries a ``Server: multinoc/<version>`` header, and
+unknown paths return a JSON error body with status 404.
 
 Thread-safety: the HTTP server runs on daemon threads, but *all*
 telemetry state is read on the simulation thread — the server
 subscribes to the stream and snapshots each frame (and the registry's
 exposition text) into immutable byte strings at frame time.  Handler
 threads only ever serve those snapshots, so the simulator's hot-path
-dicts are never iterated concurrently with mutation.
+dicts are never iterated concurrently with mutation.  (``/runs`` also
+reads the run registry's index and polls remotes, but those live
+outside the simulator.)
 
 Every send to a slow client goes through a bounded per-client queue
 with drop-oldest semantics: a stalled dashboard loses intermediate
@@ -30,6 +48,7 @@ from __future__ import annotations
 import json
 import queue
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional
 from urllib.parse import parse_qs, urlparse
@@ -39,29 +58,59 @@ from .live import LiveStream
 #: frames buffered per streaming client before drop-oldest kicks in
 CLIENT_QUEUE_DEPTH = 16
 
+#: schema of the ``/runs`` fleet document
+FLEET_SCHEMA = "multinoc-fleet/1"
+
+#: registry records returned by ``/runs`` when ``?limit=`` is absent
+DEFAULT_RUNS_LIMIT = 20
+
+
+def server_version() -> str:
+    """The ``Server:`` header value (lazy: avoids an import cycle)."""
+    try:
+        from .. import __version__
+    except ImportError:  # pragma: no cover - partial package init
+        __version__ = "0"
+    return f"multinoc/{__version__}"
+
 
 class TelemetryServer:
-    """Serve a live stream (and its metrics registry) over localhost HTTP."""
+    """Serve live stream(s) and their metrics over localhost HTTP."""
 
     def __init__(
         self,
-        live: LiveStream,
+        live: Optional[LiveStream] = None,
         registry=None,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        name: str = "default",
+        run_registry=None,
     ):
+        """*registry* is the metrics registry scraped at ``/metrics``;
+        *run_registry* is a :class:`~repro.telemetry.registry.RunRegistry`
+        whose history tail is served at ``/runs``.  *live* may be None
+        for a pure aggregator — attach sessions with :meth:`add_stream`
+        / :meth:`add_remote` instead."""
         self.live = live
         self.registry = registry
+        self.run_registry = run_registry
         self._lock = threading.Lock()
         self._latest_frame: Optional[bytes] = None
         self._metrics_text = b"# no frames emitted yet\n"
         self._clients: List["queue.Queue[bytes]"] = []
+        self._streams: Dict[str, tuple] = {}  # name -> (live, callback)
+        self._remotes: Dict[str, str] = {}  # name -> base URL
+        self._session_frames: Dict[str, bytes] = {}
+        self._frames_seen = 0
+        self._started_wall = time.time()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.telemetry = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
-        live.subscribe(self._on_frame)
+        self._name = name
+        if live is not None:
+            live.subscribe(self._on_frame)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -86,7 +135,11 @@ class TelemetryServer:
         return self
 
     def close(self) -> None:
-        self.live.unsubscribe(self._on_frame)
+        if self.live is not None:
+            self.live.unsubscribe(self._on_frame)
+        for stream, callback in self._streams.values():
+            stream.unsubscribe(callback)
+        self._streams.clear()
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
@@ -99,19 +152,75 @@ class TelemetryServer:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- fleet wiring ------------------------------------------------------
+
+    def add_stream(self, name: str, live: LiveStream) -> "TelemetryServer":
+        """Multiplex another in-process session under *name*.
+
+        Its frames are tagged ``{"session": name}`` and fan out to the
+        same ``/frames`` clients; its latest frame appears in ``/runs``.
+        """
+        if name in self._streams or name in self._remotes:
+            raise ValueError(f"session name {name!r} already attached")
+
+        def callback(frame: Dict[str, Any], _name=name) -> None:
+            tagged = dict(frame)
+            tagged["session"] = _name
+            self._publish(_name, tagged)
+
+        self._streams[name] = (live, callback)
+        live.subscribe(callback)
+        return self
+
+    def remove_stream(self, name: str) -> None:
+        entry = self._streams.pop(name, None)
+        if entry is not None:
+            entry[0].unsubscribe(entry[1])
+        with self._lock:
+            self._session_frames.pop(name, None)
+
+    def add_remote(self, name: str, url: str) -> "TelemetryServer":
+        """Multiplex a session served by *another* telemetry server.
+
+        Remote sessions are polled lazily — their ``/frame`` is fetched
+        when ``/runs`` is requested, never on the simulation thread.
+        """
+        if name in self._streams or name in self._remotes:
+            raise ValueError(f"session name {name!r} already attached")
+        self._remotes[name] = url.rstrip("/")
+        return self
+
+    @property
+    def session_names(self) -> List[str]:
+        names = list(self._streams) + list(self._remotes)
+        if self.live is not None:
+            names.insert(0, self._name)
+        return names
+
     # -- frame intake (simulation thread) ----------------------------------
 
     def _on_frame(self, frame: Dict[str, Any]) -> None:
-        """Snapshot the frame and metrics text; runs on the sim thread."""
+        """Primary-stream frames; runs on the sim thread."""
+        # copy before tagging: the dict is shared with other subscribers
+        tagged = dict(frame)
+        tagged["session"] = self._name
+        self._publish(self._name, tagged)
+
+    def _publish(self, name: Optional[str], frame: Dict[str, Any]) -> None:
+        """Snapshot a frame (and metrics text) and fan out to clients."""
         payload = json.dumps(frame, separators=(",", ":")).encode()
         metrics = (
             self.registry.prometheus_text().encode()
             if self.registry is not None
-            else self._metrics_text
+            else None
         )
         with self._lock:
             self._latest_frame = payload
-            self._metrics_text = metrics
+            self._frames_seen += 1
+            if name is not None:
+                self._session_frames[name] = payload
+            if metrics is not None:
+                self._metrics_text = metrics
             clients = list(self._clients)
         for q in clients:
             _offer(q, payload)
@@ -125,6 +234,53 @@ class TelemetryServer:
     def metrics_text(self) -> bytes:
         with self._lock:
             return self._metrics_text
+
+    def health_document(self) -> Dict[str, Any]:
+        with self._lock:
+            frames = self._frames_seen
+            sessions = len(self._session_frames)
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self._started_wall, 3),
+            "frames_seen": frames,
+            "sessions_with_frames": sessions,
+            "sessions": self.session_names,
+        }
+
+    def runs_document(self, limit: int = DEFAULT_RUNS_LIMIT) -> Dict[str, Any]:
+        """The ``/runs`` fleet document: session frames + record tail."""
+        with self._lock:
+            sessions: Dict[str, Any] = {
+                name: json.loads(payload)
+                for name, payload in self._session_frames.items()
+            }
+        for name, url in self._remotes.items():
+            sessions[name] = self._poll_remote(name, url)
+        document: Dict[str, Any] = {
+            "schema": FLEET_SCHEMA,
+            "wall_unix": time.time(),
+            "sessions": sessions,
+            "records": [],
+        }
+        if self.run_registry is not None:
+            try:
+                document["records"] = self.run_registry.index()[-limit:]
+            except (OSError, ValueError) as exc:
+                document["registry_error"] = str(exc)
+        return document
+
+    @staticmethod
+    def _poll_remote(name: str, url: str) -> Dict[str, Any]:
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(url + "/frame", timeout=2) as resp:
+                frame = json.loads(resp.read())
+            frame.setdefault("session", name)
+            return frame
+        except (OSError, ValueError) as exc:
+            return {"session": name, "error": str(exc)}
 
     def add_client(self) -> "queue.Queue[bytes]":
         q: "queue.Queue[bytes]" = queue.Queue(maxsize=CLIENT_QUEUE_DEPTH)
@@ -163,32 +319,51 @@ class _Handler(BaseHTTPRequestHandler):
     def telemetry(self) -> TelemetryServer:
         return self.server.telemetry  # type: ignore[attr-defined]
 
+    def version_string(self) -> str:  # the ``Server:`` header value
+        return server_version()
+
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # keep the simulation's stdout clean
 
     def do_GET(self):  # noqa: N802 - stdlib casing
         parsed = urlparse(self.path)
         route = parsed.path.rstrip("/") or "/"
+        params = parse_qs(parsed.query)
         if route == "/metrics":
             self._send(200, "text/plain; version=0.0.4", self.telemetry.metrics_text())
         elif route == "/frame":
             frame = self.telemetry.latest_frame()
             if frame is None:
-                self._send(404, "text/plain", b"no frames emitted yet\n")
+                self._send_json(404, {"error": "no frames emitted yet"})
             else:
                 self._send(200, "application/json", frame + b"\n")
         elif route == "/frames":
-            self._stream_frames(parse_qs(parsed.query))
+            self._stream_frames(params)
+        elif route == "/runs":
+            limit = DEFAULT_RUNS_LIMIT
+            if "limit" in params:
+                try:
+                    limit = max(int(params["limit"][0]), 1)
+                except ValueError:
+                    self._send_json(400, {"error": "limit must be an integer"})
+                    return
+            self._send_json(200, self.telemetry.runs_document(limit))
+        elif route == "/healthz":
+            self._send_json(200, self.telemetry.health_document())
         elif route == "/":
             body = (
                 b"multinoc live telemetry\n"
                 b"  /metrics  Prometheus exposition text\n"
                 b"  /frame    latest multinoc-live/1 frame (JSON)\n"
                 b"  /frames   frame stream (SSE; ?format=jsonl, ?limit=N)\n"
+                b"  /runs     fleet document: session frames + run records\n"
+                b"  /healthz  server liveness\n"
             )
             self._send(200, "text/plain", body)
         else:
-            self._send(404, "text/plain", b"unknown endpoint\n")
+            self._send_json(
+                404, {"error": "unknown endpoint", "path": parsed.path}
+            )
 
     def _send(self, status: int, ctype: str, body: bytes) -> None:
         self.send_response(status)
@@ -197,6 +372,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_json(self, status: int, document: Dict[str, Any]) -> None:
+        body = json.dumps(document, separators=(",", ":")).encode() + b"\n"
+        self._send(status, "application/json", body)
+
     def _stream_frames(self, params: Dict[str, List[str]]) -> None:
         fmt = params.get("format", ["sse"])[0]
         limit = None
@@ -204,14 +383,14 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 limit = max(int(params["limit"][0]), 1)
             except ValueError:
-                self._send(400, "text/plain", b"limit must be an integer\n")
+                self._send_json(400, {"error": "limit must be an integer"})
                 return
         if fmt == "jsonl":
             ctype = "application/x-ndjson"
         elif fmt == "sse":
             ctype = "text/event-stream"
         else:
-            self._send(400, "text/plain", b"format must be sse or jsonl\n")
+            self._send_json(400, {"error": "format must be sse or jsonl"})
             return
 
         self.send_response(200)

@@ -16,7 +16,16 @@ Two attachment modes:
   :mod:`~repro.telemetry.server` ``/frames?format=jsonl`` stream over
   plain :mod:`urllib`, so ``multinoc top --url http://127.0.0.1:9777``
   watches a simulation in another process.  :func:`fetch_frame` grabs
-  ``/frame`` once for ``--once`` snapshots (CI smoke uses this).
+  ``/frame`` once for ``--once`` snapshots (CI smoke uses this); when
+  the server is up but no frame has been folded yet (HTTP 404), the
+  fetch retries with a short exponential backoff instead of erroring,
+  so attaching *while* a run warms up just works.
+
+**Fleet mode** (``multinoc top --fleet``) renders the aggregator's
+``/runs`` document instead of a single mesh: one row per session —
+cycle, simulation rate, health, a link-utilisation sparkline — plus the
+newest run-registry records.  This is the operator's view of a
+multi-session service.
 
 Colour / glyph policy follows the rest of the telemetry layer: unicode
 block ramps and ANSI colour only when the output is a real terminal and
@@ -28,6 +37,8 @@ from __future__ import annotations
 
 import json
 import sys
+import time
+import urllib.error
 import urllib.request
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -72,6 +83,7 @@ class MeshTop:
         self.ramp = glyph_ramp(ascii_only=not self.color)
         self.sparkline_width = sparkline_width
         self._sampler: Optional[TimeSeriesSampler] = None
+        self._fleet_samplers: Dict[str, TimeSeriesSampler] = {}
         self._live = None
 
     # -- in-process attachment --------------------------------------------
@@ -259,6 +271,92 @@ class MeshTop:
                 lines.append(f"  {label} {spark}")
         return lines
 
+    # -- fleet view --------------------------------------------------------
+
+    def display_fleet(self, document: Dict[str, Any]) -> None:
+        """Clear the screen (when interactive) and paint a fleet table."""
+        text = self.render_fleet(document)
+        if self.color:
+            self.stream.write(_CLEAR)
+        self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def render_fleet(self, document: Dict[str, Any]) -> str:
+        """One ``multinoc-fleet/1`` document as a session table.
+
+        One row per session — cycle, simulation rate, health status and
+        a link-utilisation sparkline accumulated across the documents
+        this dashboard has seen — followed by the newest run-registry
+        records the aggregator is serving.
+        """
+        sessions = document.get("sessions", {})
+        lines = [
+            self._bold(f"MultiNoC fleet  {len(sessions)} session(s)")
+        ]
+        if not sessions:
+            lines.append(self._dim("  (no sessions attached)"))
+        else:
+            width = max(len("SESSION"), *(len(n) for n in sessions)) + 2
+            lines.append(
+                self._cyan(
+                    f"  {'SESSION':<{width}}{'CYCLE':>12}  {'RATE':>10}"
+                    f"  {'HEALTH':<8} UTIL"
+                )
+            )
+            for name in sorted(sessions):
+                lines.append(self._fleet_row(name, sessions[name], width))
+        records = document.get("records") or []
+        if records:
+            lines.append("")
+            lines.append(self._cyan("recent runs:"))
+            for entry in records[-6:]:
+                status = entry.get("status", "?")
+                text = (
+                    f"  {entry.get('run_id', '?'):<34}"
+                    f" {entry.get('kind', '?'):<8} {status}"
+                )
+                lines.append(
+                    text if status == "ok" or not self.color
+                    else f"{_RED}{text}{_RESET}"
+                )
+        return "\n".join(lines)
+
+    def _fleet_row(
+        self, name: str, frame: Dict[str, Any], width: int
+    ) -> str:
+        if "error" in frame:
+            text = f"  {name:<{width}}{'—':>12}  {'—':>10}  unreachable"
+            return f"{_RED}{text}{_RESET}" if self.color else text
+        rate = frame.get("sim_rate_hz", 0.0)
+        rate_text = (
+            f"{rate / 1000:.1f} kHz" if rate >= 1000 else f"{rate:.1f} Hz"
+        )
+        health = frame.get("health") or {}
+        if not health.get("attached"):
+            health_text = "-"
+        elif health.get("violations"):
+            health_text = f"{health['violations']} viol"
+        else:
+            health_text = "OK"
+        util = max(frame.get("links", {}).values(), default=0.0)
+        sampler = self._fleet_samplers.get(name)
+        if sampler is None:
+            sampler = self._fleet_samplers[name] = TimeSeriesSampler(
+                1, window=self.sparkline_width
+            )
+        sampler.append("util", frame.get("cycle", 0), util)
+        spark = sampler.sparkline(
+            "util", width=min(self.sparkline_width, 24),
+            ascii=not self.color,
+        )
+        row = (
+            f"  {name:<{width}}{frame.get('cycle', 0):>12,}"
+            f"  {rate_text:>10}  {health_text:<8} {spark}"
+        )
+        if self.color and health.get("violations"):
+            row = f"{_RED}{row}{_RESET}"
+        return row
+
     # -- tiny style helpers ------------------------------------------------
 
     def _bold(self, text: str) -> str:
@@ -274,11 +372,42 @@ class MeshTop:
 # -- remote attachment -----------------------------------------------------
 
 
-def fetch_frame(url: str, *, timeout: float = 5.0) -> Dict[str, Any]:
-    """GET one latest frame from a telemetry server's ``/frame``."""
-    with urllib.request.urlopen(
-        url.rstrip("/") + "/frame", timeout=timeout
-    ) as resp:
+def fetch_frame(
+    url: str,
+    *,
+    timeout: float = 5.0,
+    retries: int = 0,
+    backoff: float = 0.2,
+) -> Dict[str, Any]:
+    """GET one latest frame from a telemetry server's ``/frame``.
+
+    A 404 means the server is up but no frame has been folded yet (the
+    run is still warming up); with ``retries`` > 0 the fetch backs off
+    (``backoff``, doubling per attempt) and tries again instead of
+    failing — the hardened path ``multinoc top --url`` attaches through.
+    """
+    attempt = 0
+    while True:
+        try:
+            with urllib.request.urlopen(
+                url.rstrip("/") + "/frame", timeout=timeout
+            ) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            if exc.code != 404 or attempt >= retries:
+                raise
+            time.sleep(backoff * (2 ** attempt))
+            attempt += 1
+
+
+def fetch_runs(
+    url: str, *, timeout: float = 5.0, limit: Optional[int] = None
+) -> Dict[str, Any]:
+    """GET the fleet document from a telemetry server's ``/runs``."""
+    target = url.rstrip("/") + "/runs"
+    if limit is not None:
+        target += f"?limit={limit}"
+    with urllib.request.urlopen(target, timeout=timeout) as resp:
         return json.loads(resp.read())
 
 
@@ -305,16 +434,60 @@ def watch(
     once: bool = False,
     frames: Optional[int] = None,
     top: Optional[MeshTop] = None,
+    retries: int = 6,
+    backoff: float = 0.2,
 ) -> int:
-    """Drive a :class:`MeshTop` from a remote server; returns exit code."""
+    """Drive a :class:`MeshTop` from a remote server; returns exit code.
+
+    When the server answers but has no frame yet, ``--once`` snapshots
+    retry with a short backoff (~12s total at the defaults) rather than
+    erroring; streaming connections already block until the first frame.
+    """
     top = top if top is not None else MeshTop()
     try:
         if once:
-            top.display(fetch_frame(url))
+            top.display(
+                fetch_frame(url, retries=retries, backoff=backoff)
+            )
             return 0
         for frame in stream_frames(url, limit=frames):
             top.display(frame)
         return 0
+    except KeyboardInterrupt:
+        return 0
+    except urllib.error.HTTPError as exc:
+        if exc.code == 404:
+            print(
+                f"multinoc top: {url} is up but has no frames yet "
+                f"(gave up after {retries} retries)",
+                file=sys.stderr,
+            )
+        else:
+            print(f"multinoc top: {url} answered {exc.code}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"multinoc top: cannot reach {url}: {exc}", file=sys.stderr)
+        return 1
+
+
+def watch_fleet(
+    url: str,
+    *,
+    once: bool = False,
+    frames: Optional[int] = None,
+    interval: float = 1.0,
+    top: Optional[MeshTop] = None,
+) -> int:
+    """Poll ``/runs`` and render the fleet table; returns exit code."""
+    top = top if top is not None else MeshTop()
+    rendered = 0
+    try:
+        while True:
+            top.display_fleet(fetch_runs(url))
+            rendered += 1
+            if once or (frames is not None and rendered >= frames):
+                return 0
+            time.sleep(interval)
     except KeyboardInterrupt:
         return 0
     except OSError as exc:

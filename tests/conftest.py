@@ -1,0 +1,14 @@
+"""Shared test fixtures.
+
+Every test gets its own cross-run registry root: the ``system`` and
+``analyze`` CLIs record runs automatically, and without this guard a
+full test run would append dozens of records to the developer's real
+``.multinoc/runs`` history (or the repo checkout in CI).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_registry(tmp_path, monkeypatch):
+    monkeypatch.setenv("MULTINOC_RUNS_DIR", str(tmp_path / "runs-registry"))

@@ -11,6 +11,7 @@ to an unobserved one in both kernel modes.
 
 import io
 import json
+import threading
 import urllib.error
 import urllib.request
 
@@ -19,13 +20,22 @@ import pytest
 from repro.core import MultiNoCPlatform
 from repro.sim import stride_points
 from repro.telemetry import (
+    FLEET_SCHEMA,
     LIVE_SCHEMA,
     LIVE_TRACKS,
     LiveStream,
     MeshTop,
+    TelemetryServer,
     TelemetrySink,
 )
-from repro.telemetry.top import fetch_frame, stream_frames
+from repro.telemetry.registry import RunRegistry
+from repro.telemetry.top import (
+    fetch_frame,
+    fetch_runs,
+    stream_frames,
+    watch,
+    watch_fleet,
+)
 
 PRINTF_LOOP = """
         CLR  R0
@@ -336,3 +346,195 @@ class TestMeshTop:
         )
         assert "MultiNoC live" in text
         assert "no monitor attached" in text
+
+
+class TestServerHardening:
+    def serve(self):
+        session = MultiNoCPlatform.standard().launch()
+        live = session.live_stream(stride=256)
+        server = session.serve_telemetry()
+        return session, live, server
+
+    def test_healthz_reports_server_state(self):
+        session, live, server = self.serve()
+        with urllib.request.urlopen(server.address + "/healthz") as resp:
+            assert resp.status == 200
+            doc = json.loads(resp.read())
+        assert doc["status"] == "ok"
+        assert doc["frames_seen"] == 0
+        assert doc["sessions"] == ["default"]
+        assert doc["uptime_seconds"] >= 0
+        session.host.sync()
+        session.run(1, PRINTF_LOOP)
+        with urllib.request.urlopen(server.address + "/healthz") as resp:
+            doc = json.loads(resp.read())
+        assert doc["frames_seen"] > 0
+        server.close()
+
+    def test_server_header_carries_version(self):
+        from repro import __version__
+
+        session, live, server = self.serve()
+        with urllib.request.urlopen(server.address + "/healthz") as resp:
+            assert resp.headers["Server"] == f"multinoc/{__version__}"
+        server.close()
+
+    def test_404_has_json_error_body(self):
+        session, live, server = self.serve()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.address + "/bogus")
+        assert excinfo.value.code == 404
+        assert excinfo.value.headers["Content-Type"] == "application/json"
+        body = json.loads(excinfo.value.read())
+        assert body == {"error": "unknown endpoint", "path": "/bogus"}
+        server.close()
+
+    def test_frame_404_is_json_too(self):
+        session, live, server = self.serve()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.address + "/frame")
+        assert "error" in json.loads(excinfo.value.read())
+        server.close()
+
+    def test_fetch_frame_retries_until_first_frame(self):
+        """An attach that races the warm-up must not error: the server
+        is up, the first frame just hasn't folded yet."""
+        session, live, server = self.serve()
+        timer = threading.Timer(0.15, live.force)
+        timer.start()
+        try:
+            frame = fetch_frame(server.address, retries=8, backoff=0.05)
+            assert frame["schema"] == LIVE_SCHEMA
+        finally:
+            timer.cancel()
+            server.close()
+
+    def test_fetch_frame_gives_up_after_retries(self):
+        session, live, server = self.serve()
+        with pytest.raises(urllib.error.HTTPError):
+            fetch_frame(server.address, retries=1, backoff=0.01)
+        server.close()
+
+    def test_watch_once_survives_late_first_frame(self):
+        session, live, server = self.serve()
+        out = io.StringIO()
+        timer = threading.Timer(0.15, live.force)
+        timer.start()
+        try:
+            code = watch(
+                server.address,
+                once=True,
+                top=MeshTop(color=False, stream=out),
+                retries=8,
+                backoff=0.05,
+            )
+        finally:
+            timer.cancel()
+            server.close()
+        assert code == 0
+        assert "MultiNoC live" in out.getvalue()
+
+
+class TestFleet:
+    PROGRAM = PRINTF_LOOP
+
+    def launch_pair(self):
+        """Two concurrent sessions multiplexed through one aggregator."""
+        s1 = MultiNoCPlatform.standard().launch()
+        s2 = MultiNoCPlatform.standard().launch()
+        l1 = s1.live_stream(stride=256)
+        l2 = s2.live_stream(stride=256)
+        server = TelemetryServer(l1, name="alpha")
+        server.add_stream("beta", l2)
+        server.start()
+        return (s1, s2), server
+
+    def run_both(self, sessions):
+        for session in sessions:
+            session.host.sync()
+            session.run(1, self.PROGRAM)
+
+    def test_runs_document_multiplexes_sessions(self):
+        sessions, server = self.launch_pair()
+        self.run_both(sessions)
+        doc = fetch_runs(server.address)
+        assert doc["schema"] == FLEET_SCHEMA
+        assert sorted(doc["sessions"]) == ["alpha", "beta"]
+        for name, frame in doc["sessions"].items():
+            assert frame["session"] == name
+            assert frame["cycle"] > 0
+        server.close()
+
+    def test_fleet_view_renders_two_sessions(self):
+        sessions, server = self.launch_pair()
+        self.run_both(sessions)
+        top = MeshTop(color=False)
+        text = top.render_fleet(fetch_runs(server.address))
+        assert "MultiNoC fleet  2 session(s)" in text
+        rows = [l for l in text.splitlines() if l.startswith("  alpha")
+                or l.startswith("  beta")]
+        assert len(rows) == 2
+        server.close()
+
+    def test_watch_fleet_loop(self):
+        sessions, server = self.launch_pair()
+        self.run_both(sessions)
+        out = io.StringIO()
+        code = watch_fleet(
+            server.address,
+            frames=2,
+            interval=0.01,
+            top=MeshTop(color=False, stream=out),
+        )
+        assert code == 0
+        assert out.getvalue().count("MultiNoC fleet") == 2
+        server.close()
+
+    def test_remove_stream_detaches(self):
+        sessions, server = self.launch_pair()
+        server.remove_stream("beta")
+        self.run_both(sessions)
+        doc = fetch_runs(server.address)
+        assert sorted(doc["sessions"]) == ["alpha"]
+        server.close()
+
+    def test_runs_endpoint_serves_registry_tail(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        for i in range(3):
+            registry.record(
+                kind="bench", timestamp=1_700_000_000 + i, git_rev=None
+            )
+        session = MultiNoCPlatform.standard().launch()
+        server = session.serve_telemetry(run_registry=registry)
+        doc = fetch_runs(server.address, limit=2)
+        assert len(doc["records"]) == 2
+        assert doc["records"][-1]["run_id"] == registry.latest()["run_id"]
+        text = MeshTop(color=False).render_fleet(doc)
+        assert "recent runs:" in text
+        server.close()
+
+    def test_aggregator_polls_remote_servers(self):
+        """A fleet aggregator can multiplex another server over HTTP."""
+        s1 = MultiNoCPlatform.standard().launch()
+        l1 = s1.live_stream(stride=256)
+        worker = TelemetryServer(l1, name="worker").start()
+        aggregator = TelemetryServer(None, name="hub")
+        aggregator.add_remote("remote-1", worker.address)
+        aggregator.start()
+        s1.host.sync()
+        s1.run(1, self.PROGRAM)
+        doc = fetch_runs(aggregator.address)
+        assert "remote-1" in doc["sessions"]
+        assert doc["sessions"]["remote-1"]["cycle"] > 0
+        aggregator.close()
+        worker.close()
+
+    def test_unreachable_remote_is_reported_not_fatal(self):
+        aggregator = TelemetryServer(None, name="hub")
+        aggregator.add_remote("gone", "http://127.0.0.1:1")
+        aggregator.start()
+        doc = fetch_runs(aggregator.address)
+        assert "error" in doc["sessions"]["gone"]
+        text = MeshTop(color=False).render_fleet(doc)
+        assert "unreachable" in text
+        aggregator.close()
