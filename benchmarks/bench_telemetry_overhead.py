@@ -33,8 +33,42 @@ MAX_OVERHEAD = 0.15
 #: CI gate: appending one run record may cost at most this fraction
 MAX_RECORD_OVERHEAD = 0.02
 
+#: CI gate: evaluating alert/SLO rules may cost at most this fraction
+#: on top of the live stream they subscribe to
+MAX_ALERT_OVERHEAD = 0.03
+
 #: frame cadence: the LiveStream default, still dozens of frames here
 STRIDE = 1024
+
+#: representative rule mix: vector + regex matcher, scalar thresholds,
+#: a for-duration, a string comparison and an SLO with burn-rate alert
+ALERT_RULES = """
+alert link_hot
+    expr: link_util{link=~".*"} > 0.9
+    for: 2048
+    severity: page
+    annotation: link {{link}} utilisation {{value}}
+
+alert queue_deep
+    expr: router_occupancy > 12
+    for: 1024
+
+alert mesh_stalled
+    expr: throughput < 0.00001
+    for: 8192
+
+alert cpu_wedged
+    expr: cpu_state{cpu=~"proc.*"} == "illegal"
+
+alert health_violating
+    expr: health == violating
+
+slo delivery_latency
+    expr: latency_p99 <= 200
+    target: 0.95
+    window: 16384
+    burn: 4.0
+"""
 
 
 def make_image(height=6, width=16, seed=11):
@@ -93,6 +127,64 @@ def test_live_stream_overhead(benchmark):
     assert base_cycles == live_cycles, "observation must not perturb the run"
     assert overhead <= MAX_OVERHEAD, (
         f"live observation costs {overhead:+.1%}, gate is {MAX_OVERHEAD:.0%}"
+    )
+
+
+def run_alert_flow(alerted: bool):
+    """One edge detection flow under a live stream; returns
+    (seconds, cycles, frames evaluated by the engine)."""
+    image = make_image()
+    t0 = time.perf_counter()
+    session = MultiNoCPlatform.standard().launch()
+    session.live_stream(stride=STRIDE)
+    if alerted:
+        session.alert_engine(ALERT_RULES)
+    app = EdgeDetectionApp(session.host, processors=[1, 2])
+    app.deploy()
+    result = app.run(image)
+    elapsed = time.perf_counter() - t0
+    assert result.output == reference_sobel(image), "must match golden Sobel"
+    frames = 0
+    if alerted:
+        frames = session.alerts.frames_seen
+        assert frames > 0, "the engine must evaluate stride frames"
+    return elapsed, result.cycles, frames
+
+
+def test_alert_engine_overhead(benchmark):
+    """Evaluating a representative rule set must stay within 3%.
+
+    Both sides carry the same live stream; the alerted side adds an
+    :class:`~repro.telemetry.alerts.AlertEngine` with six rules across
+    every expression shape (vector regex, scalar thresholds with
+    for-durations, string equality, an SLO with burn-rate alert), so
+    the 3% gate isolates pure rule-evaluation cost per frame.  Cycle
+    counts are asserted identical: alerting only reads frames.
+    """
+
+    def both():
+        pairs = [
+            (run_alert_flow(alerted=False), run_alert_flow(alerted=True))
+            for _ in range(3)
+        ]
+        return min(p[0] for p in pairs), min(p[1] for p in pairs)
+
+    (base_s, base_cycles, _), (alert_s, alert_cycles, frames) = benchmark(both)
+    overhead = alert_s / base_s - 1
+    report(
+        benchmark,
+        "Alert/SLO rule-engine overhead (edge detection)",
+        [
+            ("streamed flow (s)", "(baseline)", f"{base_s:.3f}"),
+            ("alerted flow (s)", "(+6-rule engine)", f"{alert_s:.3f}"),
+            ("frames evaluated", f"every {STRIDE} cycles", frames),
+            ("cycles identical", "bit-identical run", base_cycles == alert_cycles),
+            ("overhead", f"<= {MAX_ALERT_OVERHEAD:.0%}", f"{overhead:+.1%}"),
+        ],
+    )
+    assert base_cycles == alert_cycles, "alerting must not perturb the run"
+    assert overhead <= MAX_ALERT_OVERHEAD, (
+        f"rule evaluation costs {overhead:+.1%}, gate is {MAX_ALERT_OVERHEAD:.0%}"
     )
 
 

@@ -11,6 +11,7 @@ Run as ``python -m repro.cli <command>``::
     top                 live terminal dashboard for a served simulation
     analyze TRACE       post-mortem analysis of a JSONL trace
     runs ...            cross-run registry: list/show/diff/trend/gc
+    alerts ...          alert/SLO rules: lint, post-hoc check (CI gate)
     prototype           print the virtual FPGA implementation report
 
 Every command reads/writes the same text object format the Serial
@@ -185,19 +186,43 @@ def cmd_system(args) -> int:
             sample_interval=args.sample_interval,
             invariants=True,
         )
-    live = server = None
-    if args.top or args.serve is not None:
+    live = server = engine = None
+    if args.top or args.serve is not None or args.alerts:
         live = session.live_stream(stride=args.live_stride)
+    if args.alerts:
+        from .telemetry.alerts import RuleError, load_rules
+
+        try:
+            rules = load_rules(args.alerts)
+        except (OSError, RuleError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        engine = session.alert_engine(
+            rules,
+            log=args.alert_log,
+            notify=sys.stderr,
+            sink=telemetry,
+            registry=session.system.stats.registry,
+        )
+        if telemetry is not None:
+            # mirror frames into the event log so `multinoc alerts
+            # check RULES --trace` replays the exact frames this run
+            # was alerted on
+            live.mirror_to(telemetry)
     if args.serve is not None:
         server = session.serve_telemetry(port=args.serve)
         print(
             f"telemetry server -> {server.address}"
-            "  (/metrics /frame /frames)"
+            "  (/metrics /frame /frames"
+            + (" /alerts" if engine is not None else "")
+            + ")"
         )
     if args.top:
         from .telemetry import MeshTop
 
-        MeshTop(color=False if args.no_color else None).attach(live)
+        top = MeshTop(color=False if args.no_color else None).attach(live)
+        if engine is not None:
+            top.attach_alerts(engine)
     session.host.sync()
     obj = _load_program(args.file)
     addr = session.processor_address(args.proc)
@@ -263,6 +288,11 @@ def cmd_system(args) -> int:
         print(f"health: {'OK, no violations' if n == 0 else f'{n} violation(s)'}")
         if args.health_report:
             _write_health_report(health, args.health_report)
+    if engine is not None:
+        print(engine.report())
+        if args.alert_log:
+            print(f"alert log -> {args.alert_log}")
+        engine.close()
     _record_system_run(session, args, status="ok", exit_code=0)
     if server is not None:
         if args.linger:
@@ -485,7 +515,7 @@ def cmd_runs(args) -> int:
     import json
 
     from .telemetry.registry import RegistryError, RunRegistry
-    from .telemetry.trend import compute_trend, diff_records
+    from .telemetry.trend import compute_trend, diff_records, metric_arrow
 
     registry = RunRegistry(args.dir)
     try:
@@ -499,16 +529,33 @@ def cmd_runs(args) -> int:
             if not entries:
                 print(f"no runs recorded in {registry.root}")
                 return 0
+            metric = getattr(args, "metric", None)
+            metric_col = ""
+            if metric:
+                title = metric if len(metric) <= 16 else metric[:15] + "…"
+                metric_col = f" {title.upper():>18}"
             print(
                 f"{'RUN':<34} {'KIND':<8} {'STATUS':<7} "
-                f"{'PRESET':<7} {'MACHINE':<13} GIT"
+                f"{'PRESET':<7} {'MACHINE':<13}{metric_col} GIT"
             )
+            values: list = []
             for e in entries:
+                cell = ""
+                if metric:
+                    value = registry.load(e["run_id"]).get(
+                        "metrics", {}
+                    ).get(metric)
+                    if value is None:
+                        cell = f" {'-':>18}"
+                    else:
+                        values.append(float(value))
+                        arrow = metric_arrow(values)
+                        cell = f" {f'{value:g} {arrow}':>18}"
                 print(
                     f"{e.get('run_id', '?'):<34} {e.get('kind') or '-':<8} "
                     f"{e.get('status') or '-':<7} "
                     f"{e.get('preset') or '-':<7} "
-                    f"{e.get('fingerprint') or '-':<13} "
+                    f"{e.get('fingerprint') or '-':<13}{cell} "
                     f"{e.get('git_rev') or '-'}"
                 )
             print(f"{len(entries)} run(s) in {registry.root}")
@@ -571,6 +618,85 @@ def cmd_runs(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     raise AssertionError(f"unhandled runs command {args.runs_command!r}")
+
+
+def cmd_alerts(args) -> int:
+    """Lint alert/SLO rules and replay them over stored artifacts."""
+    import json
+
+    from .telemetry.alerts import (
+        FIELD_HELP,
+        RuleError,
+        check_frames,
+        check_records,
+        frames_from_trace,
+        load_rules,
+    )
+
+    try:
+        rules = load_rules(args.rules)
+    except (OSError, RuleError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.alerts_command == "lint":
+        kinds = f"{len(rules.alerts)} alert(s), {len(rules.slos)} slo(s)"
+        print(f"{args.rules}: OK ({kinds})")
+        for name, rule in zip(rules.names(), rules.alerts + rules.slos):
+            print(f"  {name}: {rule.condition.source}")
+        if args.verbose:
+            print("fields:")
+            for field, help_text in FIELD_HELP.items():
+                print(f"  {field:<18} {help_text}")
+        return 0
+
+    if args.alerts_command == "check":
+        if (args.trace is None) == (args.runs_dir is None):
+            print(
+                "error: check needs exactly one of --trace or --runs-dir",
+                file=sys.stderr,
+            )
+            return 2
+        engine_kwargs = {"log": args.log} if args.log else {}
+        if args.trace:
+            from .telemetry import load_jsonl
+
+            frames = frames_from_trace(load_jsonl(args.trace))
+            if not frames:
+                print(
+                    f"error: {args.trace} has no mirrored live frames; "
+                    "produce one with `multinoc system --alerts RULES "
+                    "--trace-jsonl FILE` (alerting mirrors frames into "
+                    "the event log)",
+                    file=sys.stderr,
+                )
+                return 2
+            engine = check_frames(rules, frames, **engine_kwargs)
+        else:
+            from .telemetry.registry import RunRegistry
+
+            records = RunRegistry(args.runs_dir).records(
+                kind=args.kind, limit=args.limit
+            )
+            if not records:
+                print(
+                    f"error: no records in registry {args.runs_dir}",
+                    file=sys.stderr,
+                )
+                return 2
+            engine = check_records(rules, records, **engine_kwargs)
+        print(engine.report())
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(engine.document(), indent=2)
+            )
+            print(f"alerts document -> {args.json}")
+        engine.close()
+        fired = engine.fired_ever()
+        burning = [s for s in engine.slo_status() if not s["healthy"]]
+        return 1 if fired or burning else 0
+
+    raise AssertionError(f"unhandled alerts command {args.alerts_command!r}")
 
 
 def cmd_prototype(args) -> int:
@@ -717,6 +843,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(lets scrapers and remote dashboards catch the final frame)",
     )
     p.add_argument(
+        "--alerts",
+        metavar="RULES",
+        help="evaluate a declarative alert/SLO rule file against every "
+        "live frame (pending/firing/resolved notices on stderr, "
+        "verdict report at the end; see docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "--alert-log",
+        metavar="FILE",
+        help="append every alert transition as multinoc-alert/1 JSONL",
+    )
+    p.add_argument(
         "--no-color",
         action="store_true",
         help="plain-ASCII dashboard output (also honours NO_COLOR)",
@@ -853,6 +991,12 @@ def build_parser() -> argparse.ArgumentParser:
     _dir_flag(q)
     q.add_argument("--limit", type=int, metavar="N", help="newest N only")
     q.add_argument(
+        "--metric",
+        metavar="NAME",
+        help="add a column with this metric's value and a trend arrow "
+        "(latest vs the rolling-median baseline)",
+    )
+    q.add_argument(
         "--json", action="store_true", help="print index entries as JSON"
     )
     q.set_defaults(fn=cmd_runs)
@@ -931,6 +1075,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of newest records to keep",
     )
     q.set_defaults(fn=cmd_runs)
+
+    p = sub.add_parser(
+        "alerts",
+        help="alerting & SLO engine: lint rules, replay them post-hoc",
+        description="One rule syntax across live and post-mortem: the "
+        "same file `multinoc system --alerts` evaluates on live frames "
+        "can be linted here, or replayed over stored traces and "
+        "registry records as a CI gate.",
+    )
+    alerts_sub = p.add_subparsers(dest="alerts_command", required=True)
+
+    q = alerts_sub.add_parser(
+        "check",
+        help="replay rules over a stored trace or the run registry "
+        "(exit 1 if any alert fired or an SLO is burning)",
+    )
+    q.add_argument("rules", help="alert/SLO rule file")
+    q.add_argument(
+        "--trace",
+        metavar="JSONL",
+        help="replay the mirrored live frames of a JSONL event log "
+        "(written by `system --alerts ... --trace-jsonl`)",
+    )
+    q.add_argument(
+        "--runs-dir",
+        metavar="DIR",
+        help="evaluate over run-registry records instead "
+        "(one record = one rule step; `for: N` = N consecutive records)",
+    )
+    q.add_argument(
+        "--kind", help="only registry records of this kind (system, bench)"
+    )
+    q.add_argument(
+        "--limit", type=int, metavar="N", help="newest N records only"
+    )
+    q.add_argument(
+        "--log",
+        metavar="FILE",
+        help="append replayed transitions as multinoc-alert/1 JSONL",
+    )
+    q.add_argument(
+        "--json", metavar="FILE", help="write the verdict document as JSON"
+    )
+    q.set_defaults(fn=cmd_alerts)
+
+    q = alerts_sub.add_parser(
+        "lint", help="parse and validate a rule file (exit 2 on errors)"
+    )
+    q.add_argument("rules", help="alert/SLO rule file")
+    q.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print the frame-field reference",
+    )
+    q.set_defaults(fn=cmd_alerts)
 
     p = sub.add_parser("prototype", help="Section 3 implementation report")
     p.add_argument("--iterations", type=int, default=3000)

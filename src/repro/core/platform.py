@@ -122,6 +122,7 @@ class PlatformSession:
     telemetry: Optional[object] = None
     health: Optional[object] = None
     live: Optional[object] = None
+    alerts: Optional[object] = None
 
     def live_stream(self, **kwargs):
         """Attach a :class:`~repro.telemetry.live.LiveStream`.
@@ -167,7 +168,42 @@ class PlatformSession:
             run_registry=run_registry,
             name=name,
         )
+        if self.alerts is not None:
+            server.attach_alerts(self.alerts, name)
         return server.start()
+
+    def alert_engine(self, rules, **kwargs):
+        """Attach an alerting/SLO engine to this session's live stream.
+
+        *rules* is a :class:`~repro.telemetry.alerts.RuleSet`, rule-file
+        text, or a path to one; keyword arguments are forwarded to
+        :class:`~repro.telemetry.alerts.AlertEngine` (``log``,
+        ``notify``, ``sink``, ``registry``).  A default
+        :meth:`live_stream` is attached first if none exists; the
+        engine subscribes to its frames, is stored as
+        ``session.alerts`` and returned.  Evaluation only *reads*
+        frames — an alerted run stays bit-identical to an unalerted
+        one.
+        """
+        from ..telemetry.alerts import AlertEngine, RuleSet, load_rules, parse_rules
+
+        if isinstance(rules, str) and "\n" not in rules and len(rules) < 4096:
+            import os
+
+            if os.path.exists(rules):
+                rules = load_rules(rules)
+        if isinstance(rules, str):
+            rules = parse_rules(rules)
+        if not isinstance(rules, RuleSet):
+            raise TypeError(
+                "rules must be a RuleSet, rule-file text, or a path"
+            )
+        if self.live is None:
+            self.live_stream()
+        engine = AlertEngine(rules, **kwargs)
+        engine.attach(self.live)
+        self.alerts = engine
+        return engine
 
     def monitor_health(self, **kwargs):
         """Attach a :class:`~repro.telemetry.health.HealthMonitor`.

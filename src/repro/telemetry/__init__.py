@@ -15,6 +15,22 @@ and explain pathologies while the simulation runs.
 See ``docs/OBSERVABILITY.md`` for the event taxonomy and workflows.
 """
 
+from .alerts import (
+    ALERT_SCHEMA,
+    ALERTS_DOC_SCHEMA,
+    AlertEngine,
+    AlertRule,
+    Condition,
+    RuleError,
+    RuleSet,
+    SloObjective,
+    check_frames,
+    check_records,
+    frames_from_trace,
+    load_rules,
+    parse_condition,
+    parse_rules,
+)
 from .analysis import (
     CpuProfile,
     HopBreakdown,
@@ -60,9 +76,15 @@ from .trend import (
     TrendReport,
     compute_trend,
     diff_records,
+    metric_arrow,
 )
 
 __all__ = [
+    "ALERT_SCHEMA",
+    "ALERTS_DOC_SCHEMA",
+    "AlertEngine",
+    "AlertRule",
+    "Condition",
     "Counter",
     "CpuProfile",
     "Event",
@@ -82,8 +104,11 @@ __all__ = [
     "PacketTrace",
     "RUN_SCHEMA",
     "RegistryError",
+    "RuleError",
+    "RuleSet",
     "RunDiff",
     "RunRegistry",
+    "SloObjective",
     "Span",
     "TREND_SCHEMA",
     "TelemetryServer",
@@ -94,6 +119,8 @@ __all__ = [
     "TrendEntry",
     "TrendReport",
     "analyze_trace",
+    "check_frames",
+    "check_records",
     "chrome_trace",
     "compute_trend",
     "config_digest",
@@ -102,10 +129,15 @@ __all__ = [
     "fetch_frame",
     "fetch_runs",
     "flatten_metrics",
+    "frames_from_trace",
     "git_revision",
     "glyph_ramp",
     "load_jsonl",
+    "load_rules",
     "machine_fingerprint",
+    "metric_arrow",
+    "parse_condition",
+    "parse_rules",
     "stream_frames",
     "terminal_is_rich",
     "watch_fleet",

@@ -195,6 +195,27 @@ class LiveStream:
         except ValueError:
             pass
 
+    def mirror_to(self, sink) -> "LiveStream":
+        """Mirror every frame into *sink* as an instant event.
+
+        Each frame lands on track ``live`` as a ``frame`` event whose
+        args carry the frame verbatim, so a stored JSONL trace contains
+        the exact frames the run was observed with —
+        ``multinoc alerts check RULES --trace`` replays them through the
+        same rule engine for verdicts identical to the live run's.
+
+        Opt-in (never wired by default): mirroring adds events to the
+        sink, and the observed-vs-unobserved equivalence guard compares
+        event streams like for like.
+        """
+        sink.track("live", process="sim")
+
+        def _mirror(frame: Dict[str, Any], _sink=sink) -> None:
+            _sink.instant("live", "frame", frame.get("cycle", 0), frame=frame)
+
+        self.subscribe(_mirror)
+        return self
+
     # -- frame production --------------------------------------------------
 
     def on_stride(self, cycle: int) -> None:
@@ -326,10 +347,13 @@ class LiveStream:
         if not tail:
             return {"count": 0}
         ordered = sorted(tail)
+        last = len(ordered) - 1
         return {
             "count": len(ordered),
             "mean": round(sum(ordered) / len(ordered), 2),
             "p50": ordered[len(ordered) // 2],
+            "p90": ordered[min((len(ordered) * 9) // 10, last)],
+            "p99": ordered[min((len(ordered) * 99) // 100, last)],
             "max": ordered[-1],
         }
 

@@ -16,8 +16,17 @@ to anything that speaks HTTP, using only the standard library:
   frame of every attached session (in-process via :meth:`add_stream`,
   remote via :meth:`add_remote`) plus the newest records of an attached
   :class:`~repro.telemetry.registry.RunRegistry` (``?limit=N`` bounds
-  the record tail);
-* ``/healthz`` — liveness: uptime, frames seen, attached sessions.
+  the record tail); sessions with an alert engine attached carry an
+  ``alerts`` roll-up (rules/firing/pending counts), and a dead remote
+  degrades to an ``error`` row instead of failing the whole document;
+* ``/alerts`` — the alert engine's ``multinoc-alerts/1`` document
+  (firing/pending instances, SLO budgets, transition history) when one
+  is attached via :meth:`attach_alerts`;
+* ``/healthz`` — liveness: uptime, frames seen, attached sessions;
+* ``/`` — a JSON endpoint directory for discoverability.
+
+All error bodies — including stdlib-generated ones like 501 for an
+unsupported method — are JSON with ``Content-Type: application/json``.
 
 **Aggregator mode** is the multi-tenant substrate: construct with no
 primary stream (``TelemetryServer()``) and :meth:`add_stream` each
@@ -102,6 +111,8 @@ class TelemetryServer:
         self._streams: Dict[str, tuple] = {}  # name -> (live, callback)
         self._remotes: Dict[str, str] = {}  # name -> base URL
         self._session_frames: Dict[str, bytes] = {}
+        self._alert_engines: Dict[str, Any] = {}  # session -> AlertEngine
+        self._alert_docs: Dict[str, bytes] = {}  # session -> doc snapshot
         self._frames_seen = 0
         self._started_wall = time.time()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -190,6 +201,22 @@ class TelemetryServer:
         self._remotes[name] = url.rstrip("/")
         return self
 
+    def attach_alerts(self, engine, name: Optional[str] = None) -> "TelemetryServer":
+        """Serve *engine*'s document at ``/alerts`` (and roll it up into
+        ``/runs``) for session *name* (default: the primary session).
+
+        Like frames, the document is snapshotted to bytes on the
+        simulation thread each time that session publishes a frame —
+        the engine evaluates on frames, so its state only changes at
+        frame boundaries and handler threads never race it.
+        """
+        session = name if name is not None else self._name
+        doc = json.dumps(engine.document(), separators=(",", ":")).encode()
+        with self._lock:
+            self._alert_engines[session] = engine
+            self._alert_docs[session] = doc
+        return self
+
     @property
     def session_names(self) -> List[str]:
         names = list(self._streams) + list(self._remotes)
@@ -214,6 +241,12 @@ class TelemetryServer:
             if self.registry is not None
             else None
         )
+        engine = self._alert_engines.get(name) if name is not None else None
+        alerts_doc = (
+            json.dumps(engine.document(), separators=(",", ":")).encode()
+            if engine is not None
+            else None
+        )
         with self._lock:
             self._latest_frame = payload
             self._frames_seen += 1
@@ -221,6 +254,8 @@ class TelemetryServer:
                 self._session_frames[name] = payload
             if metrics is not None:
                 self._metrics_text = metrics
+            if alerts_doc is not None:
+                self._alert_docs[name] = alerts_doc
             clients = list(self._clients)
         for q in clients:
             _offer(q, payload)
@@ -234,6 +269,41 @@ class TelemetryServer:
     def metrics_text(self) -> bytes:
         with self._lock:
             return self._metrics_text
+
+    def alerts_document(self) -> Optional[Dict[str, Any]]:
+        """The ``/alerts`` document, or None when no engine is attached.
+
+        With one engine attached this is its ``multinoc-alerts/1``
+        document verbatim; with several (aggregator mode) the primary
+        session's document — if any — gains a ``sessions`` map of
+        per-session documents.
+        """
+        with self._lock:
+            docs = {
+                name: json.loads(snapshot)
+                for name, snapshot in self._alert_docs.items()
+            }
+        if not docs:
+            return None
+        if len(docs) == 1:
+            return next(iter(docs.values()))
+        primary = docs.get(self._name) or {"schema": "multinoc-alerts/1"}
+        primary["sessions"] = docs
+        return primary
+
+    @staticmethod
+    def _alerts_summary(document: Dict[str, Any]) -> Dict[str, Any]:
+        """Compact roll-up of an alerts document for the fleet view."""
+        out = {
+            "rules": len(document.get("rules") or []),
+            "firing": len(document.get("firing") or []),
+            "pending": len(document.get("pending") or []),
+            "transitions": document.get("transitions_total", 0),
+        }
+        slos = document.get("slos") or []
+        if slos:
+            out["slo_unhealthy"] = sum(1 for s in slos if not s.get("healthy"))
+        return out
 
     def health_document(self) -> Dict[str, Any]:
         with self._lock:
@@ -254,6 +324,13 @@ class TelemetryServer:
                 name: json.loads(payload)
                 for name, payload in self._session_frames.items()
             }
+            alert_docs = {
+                name: json.loads(snapshot)
+                for name, snapshot in self._alert_docs.items()
+            }
+        for name, doc in alert_docs.items():
+            if name in sessions:
+                sessions[name]["alerts"] = self._alerts_summary(doc)
         for name, url in self._remotes.items():
             sessions[name] = self._poll_remote(name, url)
         document: Dict[str, Any] = {
@@ -269,8 +346,8 @@ class TelemetryServer:
                 document["registry_error"] = str(exc)
         return document
 
-    @staticmethod
-    def _poll_remote(name: str, url: str) -> Dict[str, Any]:
+    @classmethod
+    def _poll_remote(cls, name: str, url: str) -> Dict[str, Any]:
         import urllib.error
         import urllib.request
 
@@ -278,9 +355,16 @@ class TelemetryServer:
             with urllib.request.urlopen(url + "/frame", timeout=2) as resp:
                 frame = json.loads(resp.read())
             frame.setdefault("session", name)
-            return frame
         except (OSError, ValueError) as exc:
             return {"session": name, "error": str(exc)}
+        # the alert roll-up is best-effort: a frame without alert state
+        # is a healthy row, not a degraded one
+        try:
+            with urllib.request.urlopen(url + "/alerts", timeout=2) as resp:
+                frame["alerts"] = cls._alerts_summary(json.loads(resp.read()))
+        except (OSError, ValueError):
+            pass
+        return frame
 
     def add_client(self) -> "queue.Queue[bytes]":
         q: "queue.Queue[bytes]" = queue.Queue(maxsize=CLIENT_QUEUE_DEPTH)
@@ -326,6 +410,19 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # keep the simulation's stdout clean
 
     def do_GET(self):  # noqa: N802 - stdlib casing
+        try:
+            self._route_get()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        except Exception as exc:  # noqa: BLE001 - one client, not the sim
+            try:
+                self._send_json(
+                    500, {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+                )
+            except OSError:
+                self.close_connection = True
+
+    def _route_get(self):
         parsed = urlparse(self.path)
         route = parsed.path.rstrip("/") or "/"
         params = parse_qs(parsed.query)
@@ -348,21 +445,35 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send_json(400, {"error": "limit must be an integer"})
                     return
             self._send_json(200, self.telemetry.runs_document(limit))
+        elif route == "/alerts":
+            document = self.telemetry.alerts_document()
+            if document is None:
+                self._send_json(
+                    404, {"error": "no alert engine attached", "status": 404}
+                )
+            else:
+                self._send_json(200, document)
         elif route == "/healthz":
             self._send_json(200, self.telemetry.health_document())
         elif route == "/":
-            body = (
-                b"multinoc live telemetry\n"
-                b"  /metrics  Prometheus exposition text\n"
-                b"  /frame    latest multinoc-live/1 frame (JSON)\n"
-                b"  /frames   frame stream (SSE; ?format=jsonl, ?limit=N)\n"
-                b"  /runs     fleet document: session frames + run records\n"
-                b"  /healthz  server liveness\n"
+            self._send_json(
+                200,
+                {
+                    "server": server_version(),
+                    "endpoints": {
+                        "/metrics": "Prometheus exposition text",
+                        "/frame": "latest multinoc-live/1 frame (JSON)",
+                        "/frames": "frame stream (SSE; ?format=jsonl, ?limit=N)",
+                        "/runs": "fleet document: session frames + run records",
+                        "/alerts": "alert/SLO engine state (multinoc-alerts/1)",
+                        "/healthz": "server liveness",
+                    },
+                },
             )
-            self._send(200, "text/plain", body)
         else:
             self._send_json(
-                404, {"error": "unknown endpoint", "path": parsed.path}
+                404,
+                {"error": "unknown endpoint", "path": parsed.path, "status": 404},
             )
 
     def _send(self, status: int, ctype: str, body: bytes) -> None:
@@ -375,6 +486,17 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_json(self, status: int, document: Dict[str, Any]) -> None:
         body = json.dumps(document, separators=(",", ":")).encode() + b"\n"
         self._send(status, "application/json", body)
+
+    def send_error(self, code, message=None, explain=None):  # noqa: D102
+        # stdlib send_error emits HTML bodies (unsupported methods,
+        # malformed requests); keep every error body JSON instead
+        short = message
+        if short is None:
+            short = self.responses.get(code, ("error",))[0]
+        try:
+            self._send_json(code, {"error": short, "status": int(code)})
+        except OSError:
+            self.close_connection = True
 
     def _stream_frames(self, params: Dict[str, List[str]]) -> None:
         fmt = params.get("format", ["sse"])[0]

@@ -85,6 +85,7 @@ class MeshTop:
         self._sampler: Optional[TimeSeriesSampler] = None
         self._fleet_samplers: Dict[str, TimeSeriesSampler] = {}
         self._live = None
+        self._alerts = None
 
     # -- in-process attachment --------------------------------------------
 
@@ -92,6 +93,11 @@ class MeshTop:
         """Repaint on every frame of an in-process live stream."""
         self._live = live
         live.subscribe(self.display)
+        return self
+
+    def attach_alerts(self, engine) -> "MeshTop":
+        """Show *engine*'s firing/pending alerts as a banner section."""
+        self._alerts = engine
         return self
 
     def detach(self) -> None:
@@ -131,6 +137,7 @@ class MeshTop:
             lines.extend(self._cpu_badges(cpus))
         lines.append("")
         lines.append(self._health_line(frame.get("health")))
+        lines.extend(self._alerts_section(frame))
         checkpoints = frame.get("checkpoints")
         if checkpoints:
             marks = "  ".join(f"@{c}" for c in checkpoints[-6:])
@@ -256,6 +263,56 @@ class MeshTop:
         text = f"health: OK  ({health.get('checks_run', 0)} checks run)"
         return f"{_GREEN}{text}{_RESET}" if self.color else text
 
+    def _alerts_section(self, frame: Dict[str, Any]) -> List[str]:
+        """The alert banner: firing (red) and pending (yellow) series.
+
+        Sources, in preference order: an in-process engine attached via
+        :meth:`attach_alerts`, else an ``alerts`` roll-up embedded in
+        the frame (fleet documents carry one per session).
+        """
+        engine = self._alerts
+        if engine is not None:
+            firing = engine.firing()
+            pending = engine.pending()
+            if not firing and not pending:
+                return [
+                    self._dim(
+                        f"alerts: none firing ({len(engine.rules)} rule(s))"
+                    )
+                ]
+            lines = []
+            for a in firing:
+                text = (
+                    f"ALERT firing   {a['series']}"
+                    f"  since cycle {a['since_cycle']} [{a['severity']}]"
+                )
+                lines.append(
+                    f"{_RED}{_BOLD}{text}{_RESET}" if self.color else text
+                )
+            for a in pending:
+                text = (
+                    f"ALERT pending  {a['series']}"
+                    f"  since cycle {a['since_cycle']} [{a['severity']}]"
+                )
+                lines.append(
+                    f"{_YELLOW}{text}{_RESET}" if self.color else text
+                )
+            return lines
+        summary = frame.get("alerts")
+        if not summary:
+            return []
+        firing = summary.get("firing", 0)
+        pending = summary.get("pending", 0)
+        text = (
+            f"alerts: {firing} firing, {pending} pending"
+            f" ({summary.get('rules', 0)} rule(s))"
+        )
+        if firing:
+            return [f"{_RED}{_BOLD}{text}{_RESET}" if self.color else text]
+        if pending:
+            return [f"{_YELLOW}{text}{_RESET}" if self.color else text]
+        return [self._dim(text)]
+
     def _sparklines(self) -> List[str]:
         lines = []
         ascii_only = not self.color
@@ -300,7 +357,7 @@ class MeshTop:
             lines.append(
                 self._cyan(
                     f"  {'SESSION':<{width}}{'CYCLE':>12}  {'RATE':>10}"
-                    f"  {'HEALTH':<8} UTIL"
+                    f"  {'HEALTH':<8} {'ALERTS':<9} UTIL"
                 )
             )
             for name in sorted(sessions):
@@ -338,6 +395,15 @@ class MeshTop:
             health_text = f"{health['violations']} viol"
         else:
             health_text = "OK"
+        alerts = frame.get("alerts")
+        if not alerts:
+            alert_text = "-"
+        elif alerts.get("firing"):
+            alert_text = f"{alerts['firing']} firing"
+        elif alerts.get("pending"):
+            alert_text = f"{alerts['pending']} pend"
+        else:
+            alert_text = "ok"
         util = max(frame.get("links", {}).values(), default=0.0)
         sampler = self._fleet_samplers.get(name)
         if sampler is None:
@@ -351,9 +417,11 @@ class MeshTop:
         )
         row = (
             f"  {name:<{width}}{frame.get('cycle', 0):>12,}"
-            f"  {rate_text:>10}  {health_text:<8} {spark}"
+            f"  {rate_text:>10}  {health_text:<8} {alert_text:<9} {spark}"
         )
-        if self.color and health.get("violations"):
+        if self.color and (
+            health.get("violations") or (alerts and alerts.get("firing"))
+        ):
             row = f"{_RED}{row}{_RESET}"
         return row
 
@@ -372,6 +440,22 @@ class MeshTop:
 # -- remote attachment -----------------------------------------------------
 
 
+def _retryable_attach_error(exc: BaseException) -> bool:
+    """Errors worth retrying while a server warms up.
+
+    Two transient shapes: HTTP 404 (server up, no frame folded yet) and
+    connection-refused (``--serve`` not listening yet — ``multinoc top``
+    launched before the run).  Anything else is a real failure.
+    """
+    if isinstance(exc, urllib.error.HTTPError):
+        return exc.code == 404
+    if isinstance(exc, ConnectionRefusedError):
+        return True
+    if isinstance(exc, urllib.error.URLError):
+        return isinstance(exc.reason, ConnectionRefusedError)
+    return False
+
+
 def fetch_frame(
     url: str,
     *,
@@ -381,10 +465,11 @@ def fetch_frame(
 ) -> Dict[str, Any]:
     """GET one latest frame from a telemetry server's ``/frame``.
 
-    A 404 means the server is up but no frame has been folded yet (the
-    run is still warming up); with ``retries`` > 0 the fetch backs off
-    (``backoff``, doubling per attempt) and tries again instead of
-    failing — the hardened path ``multinoc top --url`` attaches through.
+    A 404 means the server is up but no frame has been folded yet, and
+    connection-refused means it is not even listening yet (the run is
+    still warming up); with ``retries`` > 0 both back off (``backoff``,
+    doubling per attempt) and try again instead of failing — the
+    hardened path ``multinoc top --url`` attaches through.
     """
     attempt = 0
     while True:
@@ -393,8 +478,8 @@ def fetch_frame(
                 url.rstrip("/") + "/frame", timeout=timeout
             ) as resp:
                 return json.loads(resp.read())
-        except urllib.error.HTTPError as exc:
-            if exc.code != 404 or attempt >= retries:
+        except (urllib.error.URLError, OSError) as exc:
+            if not _retryable_attach_error(exc) or attempt >= retries:
                 raise
             time.sleep(backoff * (2 ** attempt))
             attempt += 1
@@ -416,12 +501,30 @@ def stream_frames(
     *,
     limit: Optional[int] = None,
     timeout: float = 30.0,
+    retries: int = 0,
+    backoff: float = 0.2,
 ) -> Iterator[Dict[str, Any]]:
-    """Yield frames from a telemetry server's JSONL ``/frames`` stream."""
+    """Yield frames from a telemetry server's JSONL ``/frames`` stream.
+
+    Connecting retries connection-refused with the same bounded backoff
+    as :func:`fetch_frame`, so a streaming dashboard can be launched
+    before ``--serve`` is listening; once connected, frames block until
+    the producer folds one.
+    """
     target = url.rstrip("/") + "/frames?format=jsonl"
     if limit is not None:
         target += f"&limit={limit}"
-    with urllib.request.urlopen(target, timeout=timeout) as resp:
+    attempt = 0
+    while True:
+        try:
+            resp = urllib.request.urlopen(target, timeout=timeout)
+            break
+        except (urllib.error.URLError, OSError) as exc:
+            if not _retryable_attach_error(exc) or attempt >= retries:
+                raise
+            time.sleep(backoff * (2 ** attempt))
+            attempt += 1
+    with resp:
         for line in resp:
             line = line.strip()
             if line:
@@ -450,7 +553,9 @@ def watch(
                 fetch_frame(url, retries=retries, backoff=backoff)
             )
             return 0
-        for frame in stream_frames(url, limit=frames):
+        for frame in stream_frames(
+            url, limit=frames, retries=retries, backoff=backoff
+        ):
             top.display(frame)
         return 0
     except KeyboardInterrupt:

@@ -319,6 +319,34 @@ def compute_trend(
     return report
 
 
+def metric_arrow(
+    values: List[float],
+    *,
+    window: int = 5,
+    threshold_pct: float = 5.0,
+) -> str:
+    """One trend glyph for a metric series: ``↑`` ``↓`` or ``→``.
+
+    The last value is compared to the rolling median of the preceding
+    ``window`` values; moves within ``threshold_pct`` percent are flat.
+    This is the at-a-glance column ``multinoc runs list --metric``
+    renders — ``↑`` only says "grew", whether that is a regression
+    (latency) or an improvement (throughput) depends on the metric.
+    """
+    if len(values) < 2:
+        return "→"
+    baseline = median(values[max(0, len(values) - 1 - window): -1])
+    current = values[-1]
+    if baseline == 0:
+        return "↑" if current > 0 else ("↓" if current < 0 else "→")
+    pct = (current - baseline) / abs(baseline) * 100.0
+    if pct > threshold_pct:
+        return "↑"
+    if pct < -threshold_pct:
+        return "↓"
+    return "→"
+
+
 # -- two-record diff ---------------------------------------------------------
 
 

@@ -386,7 +386,11 @@ class TestServerHardening:
         assert excinfo.value.code == 404
         assert excinfo.value.headers["Content-Type"] == "application/json"
         body = json.loads(excinfo.value.read())
-        assert body == {"error": "unknown endpoint", "path": "/bogus"}
+        assert body == {
+            "error": "unknown endpoint",
+            "path": "/bogus",
+            "status": 404,
+        }
         server.close()
 
     def test_frame_404_is_json_too(self):
@@ -413,6 +417,92 @@ class TestServerHardening:
         session, live, server = self.serve()
         with pytest.raises(urllib.error.HTTPError):
             fetch_frame(server.address, retries=1, backoff=0.01)
+        server.close()
+
+    def _free_port(self):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_fetch_frame_retries_connection_refused(self):
+        """An attach that races server *startup* must not error either:
+        nothing is listening yet, the dashboard was launched first."""
+        port = self._free_port()
+        session, live, frames = launch_observed(stride=256)
+        holder = {}
+
+        def start_late():
+            holder["server"] = TelemetryServer(live, port=port).start()
+            live.force()
+
+        timer = threading.Timer(0.15, start_late)
+        timer.start()
+        try:
+            frame = fetch_frame(
+                f"http://127.0.0.1:{port}", retries=8, backoff=0.05
+            )
+            assert frame["schema"] == LIVE_SCHEMA
+        finally:
+            timer.cancel()
+            if "server" in holder:
+                holder["server"].close()
+
+    def test_stream_frames_retries_connection_refused(self):
+        port = self._free_port()
+        session, live, frames = launch_observed(stride=256)
+        holder = {}
+
+        def start_late():
+            holder["server"] = TelemetryServer(live, port=port).start()
+            live.force()
+
+        timer = threading.Timer(0.15, start_late)
+        timer.start()
+        try:
+            streamed = next(
+                stream_frames(
+                    f"http://127.0.0.1:{port}",
+                    limit=1,
+                    retries=8,
+                    backoff=0.05,
+                )
+            )
+            assert streamed["schema"] == LIVE_SCHEMA
+        finally:
+            timer.cancel()
+            if "server" in holder:
+                holder["server"].close()
+
+    def test_connection_refused_without_retries_raises(self):
+        port = self._free_port()
+        with pytest.raises((urllib.error.URLError, OSError)):
+            fetch_frame(f"http://127.0.0.1:{port}")
+
+    def test_root_lists_endpoints_as_json(self):
+        session, live, server = self.serve()
+        with urllib.request.urlopen(server.address + "/") as resp:
+            assert resp.headers["Content-Type"] == "application/json"
+            doc = json.loads(resp.read())
+        assert doc["server"].startswith("multinoc/")
+        for path in ("/metrics", "/frame", "/frames", "/runs", "/alerts",
+                     "/healthz"):
+            assert path in doc["endpoints"]
+        server.close()
+
+    def test_unsupported_method_error_is_json(self):
+        """stdlib-generated errors (501 for POST) are JSON, not HTML."""
+        session, live, server = self.serve()
+        request = urllib.request.Request(
+            server.address + "/frame", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 501
+        assert excinfo.value.headers["Content-Type"] == "application/json"
+        body = json.loads(excinfo.value.read())
+        assert body["status"] == 501
         server.close()
 
     def test_watch_once_survives_late_first_frame(self):
@@ -538,3 +628,27 @@ class TestFleet:
         text = MeshTop(color=False).render_fleet(doc)
         assert "unreachable" in text
         aggregator.close()
+
+    def test_dead_remote_degrades_row_without_failing_scrape(self):
+        """One dead remote among live sessions degrades its own row;
+        the healthy sessions still scrape and render normally."""
+        s1 = MultiNoCPlatform.standard().launch()
+        l1 = s1.live_stream(stride=256)
+        worker = TelemetryServer(l1, name="worker").start()
+        aggregator = TelemetryServer(None, name="hub")
+        aggregator.add_remote("live-remote", worker.address)
+        aggregator.add_remote("dead-remote", "http://127.0.0.1:1")
+        aggregator.start()
+        s1.host.sync()
+        s1.run(1, self.PROGRAM)
+        doc = fetch_runs(aggregator.address)
+        assert doc["schema"] == FLEET_SCHEMA
+        assert doc["sessions"]["live-remote"]["cycle"] > 0
+        assert "error" in doc["sessions"]["dead-remote"]
+        text = MeshTop(color=False).render_fleet(doc)
+        rows = [l for l in text.splitlines() if "-remote" in l]
+        assert len(rows) == 2
+        assert any("unreachable" in row for row in rows)
+        assert not all("unreachable" in row for row in rows)
+        aggregator.close()
+        worker.close()

@@ -16,6 +16,7 @@ from repro.telemetry.registry import (
 from repro.telemetry.trend import (
     compute_trend,
     diff_records,
+    metric_arrow,
     select_comparable,
 )
 
@@ -229,6 +230,32 @@ class TestRunsCli:
         ) == 0
         entries = json.loads(capsys.readouterr().out)
         assert len(entries) == 1
+
+    def test_list_metric_column_renders_trend_arrows(
+        self, tmp_path, capsys
+    ):
+        registry = RunRegistry(tmp_path / "runs")
+        make_history(registry, [50.0, 50.0, 50.0, 90.0])
+        registry.record(
+            kind="bench", timestamp=1_700_001_000, machine=MACHINE,
+            metrics={"cycles": 1.0}, git_rev="rev9999",
+        )
+        assert main(
+            ["runs", "list", "--dir", str(registry.root),
+             "--metric", "latency_mean"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "LATENCY_MEAN" in out            # column header
+        assert "50 →" in out                    # flat early history
+        assert "90 ↑" in out                    # last value jumped
+        assert " - " in out                     # record without the metric
+        assert "5 run(s)" in out
+
+    def test_metric_arrow_glyphs(self):
+        assert metric_arrow([50.0]) == "→"
+        assert metric_arrow([50.0, 51.0]) == "→"
+        assert metric_arrow([50.0, 50.0, 90.0]) == "↑"
+        assert metric_arrow([50.0, 50.0, 20.0]) == "↓"
 
     def test_missing_record_exits_2(self, tmp_path, capsys):
         root = tmp_path / "runs"
