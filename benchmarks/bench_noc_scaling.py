@@ -9,8 +9,12 @@ than 10 or 5%."
 
 import pytest
 
-from conftest import report
-from repro.analysis import ip_scale_for_fraction, noc_fraction_sweep
+from conftest import noc_factory, report
+from repro.analysis import (
+    ip_scale_for_fraction,
+    noc_fraction_sweep,
+    sweep as load_sweep,
+)
 from repro.fpga import AreaModel
 
 
@@ -45,3 +49,65 @@ def test_noc_fraction_amortises(benchmark):
     assert curves[4.0][-1].noc_fraction < 0.10
     assert curves[8.0][-1].noc_fraction < 0.05
     assert 1.0 < ten_pct < five_pct < 16.0
+
+
+# -- topology sweep (Berejuck survey / Habib et al.: topology choice is
+# the first-order lever on area fraction and saturation latency) --------
+
+#: cmesh node grids are 2N wide at concentration 2, so the 4-bit header
+#: nibble caps its sweep at 8x8 routers (16x8 nodes)
+TOPOLOGY_SIZES = {"mesh": [2, 4, 8], "torus": [2, 4, 8], "cmesh": [2, 4, 8]}
+
+
+def area_sweep():
+    return {
+        kind: noc_fraction_sweep(sizes, topology=kind)
+        for kind, sizes in TOPOLOGY_SIZES.items()
+    }
+
+
+def test_topology_area_fraction(benchmark):
+    curves = benchmark(area_sweep)
+    rows = []
+    for kind, points in curves.items():
+        series = ", ".join(
+            f"{p.mesh[0]}x{p.mesh[1]}:{p.noc_fraction:.1%}" for p in points
+        )
+        rows.append((f"{kind} NoC area fraction", "topology-dependent", series))
+    report(benchmark, "E7b NoC area fraction vs topology", rows)
+    at8 = {kind: points[-1].noc_fraction for kind, points in curves.items()}
+    # wrap links add ports on the rim: the torus always pays more area
+    assert at8["torus"] > at8["mesh"]
+    # concentration shares routers between cores: cmesh pays the least
+    assert at8["cmesh"] < at8["mesh"]
+
+
+def saturation_sweep():
+    """Latency-load curves for a 4x4 mesh vs torus under uniform traffic."""
+    rates = [0.005, 0.02]
+    return {
+        spec: load_sweep(
+            noc_factory(spec), rates=rates, duration=1500, seed=11
+        )
+        for spec in ("mesh:4x4", "torus:4x4")
+    }
+
+
+def test_topology_saturation_latency(benchmark):
+    curves = benchmark(saturation_sweep)
+    rows = []
+    for spec, points in curves.items():
+        series = ", ".join(
+            f"@{p.offered_rate:g}:{p.average_latency:.0f}cyc" for p in points
+        )
+        rows.append((f"{spec} avg latency", "torus cuts hop count", series))
+    report(benchmark, "E7c saturation latency vs topology", rows)
+    for points in curves.values():
+        # latency grows (or holds) with offered load
+        assert points[-1].average_latency >= points[0].average_latency * 0.9
+        for p in points:
+            assert p.average_latency > 0
+    # wrap links halve the mean hop distance: the torus delivers faster
+    # at every measured load
+    for mesh_pt, torus_pt in zip(curves["mesh:4x4"], curves["torus:4x4"]):
+        assert torus_pt.average_latency < mesh_pt.average_latency

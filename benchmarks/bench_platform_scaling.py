@@ -9,42 +9,13 @@ aggregate compute throughput as processors are added.
 
 import pytest
 
-from conftest import report
-from repro.core import MultiNoCPlatform
-
-WORK_PROGRAM = """
-        CLR  R0
-        LDI  R1, 200
-        LDL  R2, 1
-        CLR  R3
-loop:   ADD  R3, R3, R1
-        SUB  R1, R1, R2
-        JMPZD done
-        JMP  loop
-done:   LDI  R4, 0xFFFF
-        ST   R3, R4, R0
-        HALT
-"""
+from conftest import build_platform, report, run_compute_workload
 
 
 def run_platform(mesh, n_processors, n_memories=1):
-    session = MultiNoCPlatform(
-        mesh=mesh, n_processors=n_processors, n_memories=n_memories
-    ).launch()
-    session.host.sync()
-    for pid in range(1, n_processors + 1):
-        session.start(pid, WORK_PROGRAM)
-    start = session.sim.cycle
-    session.wait_all_halted(max_cycles=5_000_000)
-    elapsed = session.sim.cycle - start
-    session.sim.step(5000)  # drain printfs
-    for pid in range(1, n_processors + 1):
-        values = session.host.monitor(pid).printf_values
-        assert values == [20100], f"P{pid} computed {values}"
-    retired = sum(
-        p.cpu.instructions_retired for p in session.system.processors.values()
+    return run_compute_workload(
+        n_processors, mesh=mesh, n_memories=n_memories
     )
-    return {"elapsed": elapsed, "retired": retired}
 
 
 CONFIGS = [
@@ -81,9 +52,7 @@ def test_construction_cost_of_10x10(benchmark):
     """A hundred-IP platform (the paper's 10x10 vision) instantiates."""
 
     def build():
-        platform = MultiNoCPlatform(
-            mesh=(10, 10), n_processors=60, n_memories=39
-        )
+        platform = build_platform(60, mesh=(10, 10), n_memories=39)
         system = platform.build()
         return sum(1 for _ in system.iter_components())
 

@@ -6,41 +6,45 @@ investigation of current trends to increase the number of embedded
 processors in SoCs, leading to the concept of 'sea of processors'
 systems."
 
-Twelve R8 processors on a 4x4 mesh cooperatively sum the series
+Any number of R8 processors on any fabric cooperatively sum the series
 1..N_TOTAL: every processor computes a partial sum over its own chunk,
 then a wait/notify chain reduces the partials — each processor reads its
 successor's result straight out of that processor's local memory through
 the NUMA window, adds its own, and passes the baton down until processor
 1 printf's the grand total to the host.
+
+The fabric, processor count and chunk size are parameters::
+
+    python examples/sea_of_processors.py                  # 4x4, 14 workers
+    python examples/sea_of_processors.py --mesh 16x16     # 254 workers
+    python examples/sea_of_processors.py --topology torus:8x8 --procs 40
+
+Health monitoring and post-run trace analytics are on by default;
+``--no-health`` / ``--no-analyze`` switch them off, ``--compare``
+forces the strict lock-step cross-check on large fabrics.
 """
 
+import argparse
 import time
 
 from repro.core import MultiNoCPlatform
 
-N_PROCS = 12
-CHUNK = 50  # numbers per processor
 RESULT_ADDR = 0x80  # where each processor parks its (partial) total
 
 
-def window_base(pid: int, peer: int) -> int:
-    """NUMA window base through which *pid* sees *peer*'s local memory.
+def worker(pid: int, n_procs: int, chunk: int, successor_base) -> str:
+    """Partial sum of [(pid-1)*chunk + 1 .. pid*chunk], then reduce.
 
-    Windows are assigned in peer-id order (see
-    MultiNoC._build_address_map): 1K per remote IP, starting at 1024.
+    *successor_base* is the NUMA window base through which this
+    processor sees its successor's local memory (None for the chain
+    head, which has no successor).
     """
-    others = [p for p in range(1, N_PROCS + 1) if p != pid]
-    return 1024 * (1 + others.index(peer))
-
-
-def worker(pid: int) -> str:
-    """Partial sum of [(pid-1)*CHUNK + 1 .. pid*CHUNK], then reduce."""
-    first = (pid - 1) * CHUNK + 1
-    last = pid * CHUNK
+    first = (pid - 1) * chunk + 1
+    last = pid * chunk
     reduce_part = ""
-    if pid < N_PROCS:
+    if pid < n_procs:
         # wait for the successor, then fetch its accumulated total
-        successor_result = window_base(pid, pid + 1) + RESULT_ADDR
+        successor_result = successor_base + RESULT_ADDR
         reduce_part = f"""
         LDI  R3, {pid + 1}
         LDI  R2, 0xFFFE
@@ -83,54 +87,171 @@ summed: LDI  R2, {RESULT_ADDR}
 """
 
 
-def run_sea(strict_lockstep: bool = False):
-    """Deploy and run the whole reduction; returns results + wall time."""
+def run_sea(
+    topology,
+    n_procs,
+    chunk,
+    strict_lockstep=False,
+    health=True,
+    telemetry=False,
+    max_cycles=100_000_000,
+):
+    """Deploy and run the whole reduction; returns (session, cycles, wall)."""
     t0 = time.perf_counter()
-    session = MultiNoCPlatform(mesh=(4, 4), n_processors=N_PROCS).launch(
-        strict_lockstep=strict_lockstep
+    session = MultiNoCPlatform(
+        topology=topology, n_processors=n_procs
+    ).launch(
+        strict_lockstep=strict_lockstep,
+        telemetry=True if telemetry else None,
     )
+    if health:
+        # chain workers legitimately sit in wait states for as long as
+        # the serial loading of everyone behind them takes, so the CPU
+        # stall watchdog is off; invariants and deadlock detection stay
+        session.monitor_health(
+            invariants=True,
+            cpu_stall_cycles=None,
+            max_packet_age=None,
+            on_violation="record",
+        )
     session.host.sync()
-    for pid in range(1, N_PROCS + 1):
-        session.start(pid, worker(pid))
+    for pid in range(1, n_procs + 1):
+        base = (
+            session.system.numa_base(pid, pid + 1) if pid < n_procs else None
+        )
+        if pid < n_procs and base is None:
+            raise RuntimeError(
+                f"no NUMA window from P{pid} to P{pid + 1}; "
+                "the address map cannot support this chain"
+            )
+        session.start(pid, worker(pid, n_procs, chunk, base))
     start = session.sim.cycle
-    session.wait_all_halted(max_cycles=10_000_000)
+    session.wait_all_halted(max_cycles=max_cycles)
     elapsed = session.sim.cycle - start
     session.sim.step(6000)
     return session, elapsed, time.perf_counter() - t0
 
 
-def main() -> None:
-    n_total = N_PROCS * CHUNK
+def parse_args(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument(
+        "--mesh",
+        default="4x4",
+        metavar="WxH",
+        help="mesh dimensions (shorthand for --topology mesh:WxH)",
+    )
+    ap.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help="full fabric spec (mesh:WxH, torus:WxH, cmesh:WxHxC); "
+        "overrides --mesh",
+    )
+    ap.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count (default: every node except serial + 1 memory)",
+    )
+    ap.add_argument(
+        "--chunk", type=int, default=50, metavar="K",
+        help="numbers summed per processor (default 50)",
+    )
+    ap.add_argument(
+        "--max-cycles", type=int, default=100_000_000,
+        help="simulated-cycle budget for the reduction",
+    )
+    ap.add_argument(
+        "--no-health", action="store_true",
+        help="skip health monitoring",
+    )
+    ap.add_argument(
+        "--no-analyze", action="store_true",
+        help="skip post-run trace analytics",
+    )
+    ap.add_argument(
+        "--compare",
+        action="store_true",
+        help="force the strict lock-step cross-check (default only on "
+        "fabrics up to 16 workers — it re-runs everything without "
+        "idle skipping)",
+    )
+    ap.add_argument(
+        "--no-compare", action="store_true",
+        help="skip the strict lock-step cross-check",
+    )
+    return ap.parse_args(argv)
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    from repro.noc.topology import parse_topology
+
+    spec = args.topology if args.topology else f"mesh:{args.mesh}"
+    topo = parse_topology(spec)
+    n_nodes = len(topo.nodes())
+    n_procs = args.procs if args.procs else n_nodes - 2  # serial + 1 memory
+    chunk = args.chunk
+    n_total = n_procs * chunk
     expected = n_total * (n_total + 1) // 2
 
-    print(f"deploying {N_PROCS} workers over a 4x4 Hermes mesh...")
-    session, elapsed, wall = run_sea()
+    print(f"deploying {n_procs} workers over a {topo.spec} Hermes fabric...")
+    session, elapsed, wall = run_sea(
+        spec,
+        n_procs,
+        chunk,
+        health=not args.no_health,
+        telemetry=not args.no_analyze,
+        max_cycles=args.max_cycles,
+    )
 
     total = session.host.monitor(1).printf_values[-1]
     print(f"sum(1..{n_total}) computed by the sea of processors: {total}")
     print(f"expected: {expected & 0xFFFF} (mod 2^16)")
     assert total == expected & 0xFFFF
 
-    partials = [
-        session.read(pid, RESULT_ADDR, 1)[0] for pid in range(1, N_PROCS + 1)
-    ]
-    print("accumulated totals down the chain:", partials)
+    show = list(range(1, min(n_procs, 12) + 1))
+    partials = [session.read(pid, RESULT_ADDR, 1)[0] for pid in show]
+    print(
+        f"accumulated totals down the chain (first {len(show)}):", partials
+    )
     stalls = {
         pid: session.system.processor(pid).cpu.cycles_stalled
-        for pid in (1, N_PROCS)
+        for pid in (1, n_procs)
     }
     print(f"the chain drained {elapsed} cycles after the last activation "
           "(workers compute while later ones are still being loaded); "
           f"P1 (chain end) stalled {stalls[1]} cycles in wait states, "
-          f"P{N_PROCS} (chain start) only {stalls[N_PROCS]}")
+          f"P{n_procs} (chain start) only {stalls[n_procs]}")
 
-    print("\nre-running in strict lock-step (--no-idle-skip) for comparison...")
-    strict_session, strict_elapsed, strict_wall = run_sea(strict_lockstep=True)
-    assert strict_session.host.monitor(1).printf_values[-1] == total
-    assert strict_elapsed == elapsed, "kernel modes must be cycle-exact"
-    print(f"quiescence-aware kernel: {wall:.2f}s wall clock; "
-          f"strict lock-step: {strict_wall:.2f}s "
-          f"-> {strict_wall / wall:.1f}x kernel speedup, identical cycles")
+    if session.health is not None:
+        n = len(session.health.violations)
+        print(f"health: {'OK, no violations' if n == 0 else f'{n} violation(s)'}")
+        assert n == 0, [v.as_dict() for v in session.health.violations]
+    if session.telemetry is not None:
+        analysis = session.analyze()
+        resolved = sum(1 for p in analysis.packets if p.hops)
+        print(
+            f"trace analytics: {len(analysis.packets)} packets, "
+            f"{resolved} with reconstructed hop paths, "
+            f"{analysis.unresolved_hops} unresolved hops"
+        )
+        assert analysis.unresolved_hops == 0
+
+    compare = args.compare or (n_procs <= 16 and not args.no_compare)
+    if compare:
+        print("\nre-running in strict lock-step (--no-idle-skip) "
+              "for comparison...")
+        strict_session, strict_elapsed, strict_wall = run_sea(
+            spec, n_procs, chunk, strict_lockstep=True, health=False,
+            max_cycles=args.max_cycles,
+        )
+        assert strict_session.host.monitor(1).printf_values[-1] == total
+        assert strict_elapsed == elapsed, "kernel modes must be cycle-exact"
+        print(f"quiescence-aware kernel: {wall:.2f}s wall clock; "
+              f"strict lock-step: {strict_wall:.2f}s "
+              f"-> {strict_wall / wall:.1f}x kernel speedup, identical cycles")
     print("sea-of-processors reduction OK")
 
 

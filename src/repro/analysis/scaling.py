@@ -21,11 +21,12 @@ from ..fpga.area import AreaModel
 
 @dataclass
 class ScalingPoint:
-    """NoC area share for one mesh size / IP richness combination."""
+    """NoC area share for one fabric size / IP richness combination."""
 
     mesh: Tuple[int, int]
     ip_area_scale: float
     noc_fraction: float
+    topology: str = "mesh"
 
     @property
     def n_ips(self) -> int:
@@ -36,16 +37,33 @@ def noc_fraction_sweep(
     sizes: Optional[List[int]] = None,
     ip_area_scale: float = 1.0,
     model: Optional[AreaModel] = None,
+    topology: str = "mesh",
 ) -> List[ScalingPoint]:
-    """NoC area fraction across square mesh sizes."""
+    """NoC area fraction across square fabric sizes.
+
+    *topology* selects the plugin kind ("mesh", "torus", "cmesh" — the
+    latter sized ``nxnx2``), so the paper's "fraction shrinks with
+    system size" claim can be checked per topology.
+    """
     sizes = sizes if sizes is not None else [2, 3, 4, 5, 6, 8, 10]
     model = model if model is not None else AreaModel()
-    return [
-        ScalingPoint(
-            (n, n), ip_area_scale, model.noc_fraction((n, n), ip_area_scale=ip_area_scale)
+    points = []
+    for n in sizes:
+        if topology == "mesh":
+            spec = (n, n)
+        elif topology == "cmesh":
+            spec = f"cmesh:{n}x{n}x2"
+        else:
+            spec = f"{topology}:{n}x{n}"
+        points.append(
+            ScalingPoint(
+                (n, n),
+                ip_area_scale,
+                model.noc_fraction(spec, ip_area_scale=ip_area_scale),
+                topology=topology,
+            )
         )
-        for n in sizes
-    ]
+    return points
 
 
 def ip_scale_for_fraction(

@@ -139,6 +139,7 @@ def _debug_system(args, script: str) -> int:
             session.sim,
             args.checkpoint,
             meta={"mesh": list(session.system.config.mesh)},
+            topology=session.system.topology,
         )
         print(f"checkpoint -> {path}")
     return status
@@ -158,15 +159,32 @@ def cmd_cc(args) -> int:
     return 0
 
 
-def cmd_system(args) -> int:
+def _system_platform(args):
+    """The platform a ``system`` run describes: the paper's standard
+    2x2 instance, or ``--topology``/``--procs`` overrides."""
     from .core import MultiNoCPlatform
 
+    topology = getattr(args, "topology", None)
+    procs = getattr(args, "procs", None)
+    if topology is None and not procs:
+        return MultiNoCPlatform.standard()
+    return MultiNoCPlatform(
+        n_processors=procs or 2, topology=topology or (2, 2)
+    )
+
+
+def cmd_system(args) -> int:
     telemetry = None
     if args.trace or args.trace_jsonl or args.metrics:
         from .telemetry import TelemetrySink
 
         telemetry = TelemetrySink()
-    session = MultiNoCPlatform.standard().launch(
+    try:
+        platform = _system_platform(args)
+    except ValueError as exc:  # includes TopologyError at spec parse time
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    session = platform.launch(
         telemetry=telemetry, strict_lockstep=args.no_idle_skip
     )
     profiler = None
@@ -383,9 +401,15 @@ def _print_system_stats(session) -> None:
         )
     else:
         print("latency (cycles): no packets delivered")
-    width, height = session.system.config.mesh
-    print("mesh utilisation (top row = highest y):")
-    print(stats.heatmap(width, height, session.sim.cycle))
+    topo = session.system.topology
+    label = "mesh" if topo.kind == "mesh" else topo.spec
+    print(f"{label} utilisation (top row = highest y):")
+    print(
+        stats.heatmap(
+            topo.width, topo.height, session.sim.cycle,
+            ports=topo.router_ports,
+        )
+    )
 
 
 def cmd_analyze(args) -> int:
@@ -770,6 +794,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("system", help="run on the full MultiNoC")
     p.add_argument("file")
     p.add_argument("--proc", type=int, default=1)
+    p.add_argument(
+        "--topology",
+        metavar="SPEC",
+        help="fabric shape: mesh:WxH, torus:WxH or cmesh:WxHxC "
+        "(default: the paper's 2x2 mesh)",
+    )
+    p.add_argument(
+        "--procs",
+        type=int,
+        metavar="N",
+        help="number of processor IPs to auto-place (default 2; "
+        "combine with --topology for larger fabrics)",
+    )
     p.add_argument("--scanf", help="comma-separated scanf answers")
     p.add_argument("--max-cycles", type=int, default=5_000_000)
     p.add_argument("--vcd", help="dump the serial lines to a VCD file")

@@ -42,20 +42,22 @@ class MultiNoCPlatform:
         serial_at: Address = (0, 0),
         processors_at: Optional[Dict[int, Address]] = None,
         memories_at: Optional[List[Address]] = None,
+        topology=None,
         **config_overrides,
     ):
-        width, height = mesh
+        from ..noc.topology import parse_topology
+
+        topo = parse_topology(topology if topology is not None else tuple(mesh))
+        width, height = topo.width, topo.height
         if processors_at is None or memories_at is None:
-            free = [
-                (x, y)
-                for y in range(height)
-                for x in range(width)
-                if (x, y) != serial_at
-            ]
+            free = [node for node in topo.nodes() if node != tuple(serial_at)]
             needed = n_processors + n_memories
             if needed > len(free):
                 raise ValueError(
                     f"{needed} IPs do not fit a {width}x{height} mesh "
+                    f"(only {len(free)} nodes free)"
+                    if topo.kind == "mesh"
+                    else f"{needed} IPs do not fit {topo.spec} "
                     f"(only {len(free)} nodes free)"
                 )
             processors_at = {
@@ -63,7 +65,8 @@ class MultiNoCPlatform:
             }
             memories_at = free[n_processors : n_processors + n_memories]
         self.config = SystemConfig(
-            mesh=mesh,
+            mesh=(width, height),
+            topology=topo.spec if topology is not None else None,
             serial=serial_at,
             processors=processors_at,
             memories=memories_at,
@@ -276,6 +279,7 @@ class PlatformSession:
             artifacts=artifacts,
             meta={
                 "mesh": list(self.system.config.mesh),
+                "topology": self.system.topology.spec,
                 "processors": len(self.system.config.processors),
                 **(meta or {}),
             },

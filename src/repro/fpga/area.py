@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..noc.topology import Topology, parse_topology
 from ..system.config import SystemConfig
 from .device import FpgaDevice
 from .resources import ResourceUse
@@ -34,6 +35,15 @@ def mesh_port_counts(width: int, height: int) -> List[int]:
             )
             counts.append(neighbours + 1)
     return counts
+
+
+def topology_port_counts(topology) -> List[int]:
+    """Instantiated ports per router for any topology plugin or spec.
+
+    Torus routers pay for their wrap-link ports; concentrated-mesh
+    routers pay for each of their C local ports.
+    """
+    return parse_topology(topology).port_counts()
 
 
 @dataclass
@@ -115,12 +125,13 @@ class AreaModel:
     def system(self, config: Optional[SystemConfig] = None) -> "AreaReport":
         """Itemised area of a MultiNoC instance."""
         config = config if config is not None else SystemConfig.paper()
-        width, height = config.mesh
+        topo = config.topology_plugin()
+        width, height = topo.width, topo.height
         items: Dict[str, ResourceUse] = {}
-        port_counts = mesh_port_counts(width, height)
+        port_counts = topo.port_counts()
         for i, ports in enumerate(port_counts):
-            x, y = i % width, i // width
-            items[f"router{x}{y}"] = self.router(
+            addr = (i % width, i // width)
+            items[f"router{topo.label(addr)}"] = self.router(
                 ports, config.buffer_depth
             )
         for pid in sorted(config.processors):
@@ -134,26 +145,29 @@ class AreaModel:
 
     def noc_fraction(
         self,
-        mesh: Tuple[int, int],
+        mesh,
         buffer_depth: int = 2,
         flit_bits: int = 8,
         ip_area_scale: float = 1.0,
     ) -> float:
         """Fraction of total logic area spent on the NoC.
 
-        *ip_area_scale* models the paper's argument that "when more area
-        is available, the IPs connected to the NoC can increase in area
-        and functionality.  The router surface will remain constant":
-        scale=1 keeps today's processor IP, larger values model richer
-        IPs on bigger devices.
+        *mesh* is a ``(width, height)`` tuple, a topology spec string
+        ("torus:8x8", "cmesh:4x4x2"), or a
+        :class:`~repro.noc.topology.Topology`.  *ip_area_scale* models
+        the paper's argument that "when more area is available, the IPs
+        connected to the NoC can increase in area and functionality.
+        The router surface will remain constant": scale=1 keeps today's
+        processor IP, larger values model richer IPs on bigger devices.
         """
-        width, height = mesh
+        topo = parse_topology(mesh)
         noc = sum(
             self.router(p, buffer_depth, flit_bits).slices
-            for p in mesh_port_counts(width, height)
+            for p in topo.port_counts()
         )
+        # every attachment node but the serial one carries a processor IP
         ip = self.processor_ip().scaled(ip_area_scale).slices * (
-            width * height - 1
+            len(topo.nodes()) - 1
         ) + self.serial_ip().slices
         return noc / (noc + ip)
 

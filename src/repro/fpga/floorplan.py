@@ -90,18 +90,16 @@ class Placement:
 def system_netlist(config: SystemConfig, pin_column: int = 0) -> List[Net]:
     """Connectivity of a MultiNoC instance for wirelength evaluation."""
     nets: List[Net] = []
-    width, height = config.mesh
+    topo = config.topology_plugin()
 
-    def router_name(addr) -> str:
-        return f"router{addr[0]}{addr[1]}"
+    def router_name(node) -> str:
+        return f"router{topo.label(topo.node_router(tuple(node)))}"
 
-    # mesh links
-    for y in range(height):
-        for x in range(width):
-            if x + 1 < width:
-                nets.append(Net(f"router{x}{y}", f"router{x + 1}{y}", 2.0))
-            if y + 1 < height:
-                nets.append(Net(f"router{x}{y}", f"router{x}{y + 1}", 2.0))
+    # fabric links (including torus wrap links, which are long wires)
+    for addr, _port, nb in topo.builder_links():
+        nets.append(
+            Net(f"router{topo.label(addr)}", f"router{topo.label(nb)}", 2.0)
+        )
     # local ports
     nets.append(Net("serial", router_name(config.serial), 2.0))
     for pid, addr in config.processors.items():

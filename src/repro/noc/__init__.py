@@ -27,6 +27,19 @@ from .packet import Packet
 from .router import HermesRouter, RoutingError
 from .routing import ALL_PORTS, OPPOSITE, PORT_DELTA, Port, route_path, xy_route
 from .stats import NetworkStats
+from .topology import (
+    TOPOLOGIES,
+    CMeshTopology,
+    MeshTopology,
+    Topology,
+    TopologyError,
+    TorusTopology,
+    from_descriptor,
+    parse_topology,
+    port_index,
+    port_label,
+    register_topology,
+)
 from . import services
 
 __all__ = [
@@ -46,12 +59,23 @@ __all__ = [
     "PORT_DELTA",
     "Packet",
     "Port",
+    "TOPOLOGIES",
+    "Topology",
+    "TopologyError",
+    "MeshTopology",
+    "TorusTopology",
+    "CMeshTopology",
     "RoundRobinArbiter",
     "RoutingError",
     "decode_address",
     "encode_address",
     "flits_to_words",
     "join_word",
+    "from_descriptor",
+    "parse_topology",
+    "port_index",
+    "port_label",
+    "register_topology",
     "route_path",
     "services",
     "split_word",

@@ -15,6 +15,7 @@ from .mesh import Mesh
 from .ni import NetworkInterface
 from .packet import Packet
 from .stats import NetworkStats
+from .topology import parse_topology
 
 Address = Tuple[int, int]
 
@@ -24,14 +25,20 @@ class HermesNetwork(Component):
 
     def __init__(
         self,
-        width: int,
-        height: int,
+        width: Optional[int] = None,
+        height: Optional[int] = None,
         buffer_depth: int = 2,
         routing_cycles: int = 7,
         stats: Optional[NetworkStats] = None,
         telemetry=None,
+        topology=None,
     ):
-        super().__init__(f"hermes{width}x{height}")
+        if topology is None:
+            name = f"hermes{width}x{height}"
+        else:
+            topology = parse_topology(topology)
+            name = f"hermes.{topology.name}"
+        super().__init__(name)
         if stats is None:
             registry = telemetry.metrics if telemetry is not None else None
             stats = NetworkStats(registry=registry)
@@ -42,11 +49,14 @@ class HermesNetwork(Component):
             buffer_depth=buffer_depth,
             routing_cycles=routing_cycles,
             stats=self.stats,
+            topology=topology,
         )
         self.add_child(self.mesh)
         self.interfaces: Dict[Address, NetworkInterface] = {}
         for addr in self.mesh.addresses():
-            ni = NetworkInterface(f"ni{addr[0]}{addr[1]}", addr, stats=self.stats)
+            ni = NetworkInterface(
+                f"ni{self.mesh.topology.label(addr)}", addr, stats=self.stats
+            )
             into, out = self.mesh.local_channels(addr)
             ni.attach(to_router=into, from_router=out)
             self.interfaces[addr] = ni

@@ -31,6 +31,7 @@ from .arbiter import RoundRobinArbiter
 from .fifo import CircularFifo
 from .flit import decode_address
 from .routing import ALL_PORTS, Port, xy_route
+from .topology import port_label
 
 
 class RoutingError(Exception):
@@ -63,11 +64,24 @@ class HermesRouter(Component):
         buffer_depth: int = 2,
         routing_cycles: int = 7,
         stats=None,
+        topology=None,
     ):
         super().__init__(name)
         if routing_cycles < 1:
             raise ValueError("routing_cycles must be at least 1")
         self.address = address
+        self.topology = topology
+        # The topology plugin supplies the port count, the header codec
+        # and the routing function; without one the router falls back to
+        # the classic five-port XY mesh behaviour.
+        if topology is not None:
+            self.N_PORTS = topology.router_ports
+            self._decode = topology.decode
+            self._route = topology.route
+        else:
+            self._decode = decode_address
+            self._route = xy_route
+        self._port_names = [port_label(p) for p in range(self.N_PORTS)]
         self.buffer_depth = buffer_depth
         self.routing_cycles = routing_cycles
         self.stats = stats
@@ -253,10 +267,10 @@ class HermesRouter(Component):
             opened = self._conn_opened[out_port]
             self.sink.complete(
                 self.name,
-                f"hop>{Port(out_port).name}",
+                f"hop>{self._port_names[out_port]}",
                 opened,
                 self._now - opened,
-                in_port=Port(in_port).name,
+                in_port=self._port_names[in_port],
             )
 
     # -- control logic (arbitration + XY routing) ---------------------------
@@ -284,12 +298,12 @@ class HermesRouter(Component):
             # but a reset mid-route keeps this safe).
             if self.in_conn[in_port] is not None or self.fifos[in_port].is_empty:
                 return
-            target = decode_address(self.fifos[in_port].head)
-            out_port = xy_route(self.address, target)
+            target = self._decode(self.fifos[in_port].head)
+            out_port = self._route(self.address, target)
             if self.out_ch[out_port] is None:
                 raise RoutingError(
                     f"router {self.address}: packet for {target} needs "
-                    f"missing port {Port(out_port).name}"
+                    f"missing port {self._port_names[out_port]}"
                 )
             if self.out_owner[out_port] is None:
                 self.in_conn[in_port] = out_port
@@ -303,8 +317,8 @@ class HermesRouter(Component):
                         "route",
                         self._now,
                         target=f"{target[0]},{target[1]}",
-                        out=Port(out_port).name,
-                        port=Port(in_port).name,
+                        out=self._port_names[out_port],
+                        port=self._port_names[in_port],
                     )
             else:
                 if self.stats is not None:
@@ -314,8 +328,8 @@ class HermesRouter(Component):
                         self.name,
                         "route_blocked",
                         self._now,
-                        out=Port(out_port).name,
-                        port=Port(in_port).name,
+                        out=self._port_names[out_port],
+                        port=self._port_names[in_port],
                         target=f"{target[0]},{target[1]}",
                     )
 
@@ -351,12 +365,12 @@ class HermesRouter(Component):
         uses as each hop's queueing-start boundary)."""
         phase = self._rx_phase[port]
         if phase == _PH_HEADER:
-            target = decode_address(flit)
+            target = self._decode(flit)
             self.sink.instant(
                 self.name,
                 "hdr",
                 self._now,
-                port=Port(port).name,
+                port=self._port_names[port],
                 target=f"{target[0]},{target[1]}",
             )
             self._rx_phase[port] = _PH_SIZE
@@ -384,7 +398,7 @@ class HermesRouter(Component):
             return None
         if self.in_phase[port] != _PH_HEADER:
             return None
-        return decode_address(self.fifos[port].head)
+        return self._decode(self.fifos[port].head)
 
     def probe_state(self) -> dict:
         """Cheap introspection snapshot for health monitoring/diagnostics."""

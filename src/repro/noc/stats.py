@@ -312,22 +312,30 @@ class NetworkStats:
             return 0.0
         return self.flits_sent[(router, port)] * 2 / cycles
 
-    def utilisation_grid(self, width: int, height: int, cycles: int):
-        """Per-router total output utilisation, as a [y][x] grid."""
+    def utilisation_grid(
+        self, width: int, height: int, cycles: int, ports: int = 5
+    ):
+        """Per-router total output utilisation, as a [y][x] grid.
+
+        *ports* is the per-router port count (5 for mesh/torus; pass
+        ``topology.router_ports`` for concentrated fabrics)."""
         grid = []
         for y in range(height):
             row = []
             for x in range(width):
                 total = sum(
-                    self.link_load((x, y), port, cycles) for port in range(5)
+                    self.link_load((x, y), port, cycles)
+                    for port in range(ports)
                 )
                 row.append(total)
             grid.append(row)
         return grid
 
-    def heatmap(self, width: int, height: int, cycles: int) -> str:
-        """ASCII traffic heatmap of the mesh (top row = highest y)."""
-        grid = self.utilisation_grid(width, height, cycles)
+    def heatmap(
+        self, width: int, height: int, cycles: int, ports: int = 5
+    ) -> str:
+        """ASCII traffic heatmap of the fabric (top row = highest y)."""
+        grid = self.utilisation_grid(width, height, cycles, ports=ports)
         peak = max((v for row in grid for v in row), default=0.0) or 1.0
         ramp = " .:-=+*#%@"
         lines = []

@@ -12,11 +12,19 @@ cycles" into "restore the nearest earlier checkpoint and re-execute".
 File format (schema ``multinoc-checkpoint/1``)::
 
     {
-      "schema":  "multinoc-checkpoint/1",
-      "cycle":   123456,
-      "meta":    {...},          # caller-supplied context (config, note)
-      "state":   {...}           # Simulator.snapshot() document
+      "schema":   "multinoc-checkpoint/1",
+      "cycle":    123456,
+      "meta":     {...},         # caller-supplied context (config, note)
+      "topology": {...},         # optional fabric descriptor (additive)
+      "state":    {...}          # Simulator.snapshot() document
     }
+
+The optional top-level ``topology`` key carries the fabric's
+:meth:`~repro.noc.topology.Topology.descriptor`; a restore that passes
+its own topology refuses a checkpoint taken on a different fabric
+before any state is touched (a 4x4-torus checkpoint cannot silently
+restore into a 2x2 mesh).  Checkpoints without the key (pre-topology
+files) restore as before.
 
 Everything is plain JSON — tuples become lists on the way out and are
 rebuilt by each component's ``restore_state``, so a checkpoint written
@@ -43,13 +51,19 @@ class CheckpointError(Exception):
 
 
 def save_checkpoint(
-    sim: Simulator, path: Union[str, Path], meta: Optional[dict] = None
+    sim: Simulator,
+    path: Union[str, Path],
+    meta: Optional[dict] = None,
+    topology=None,
 ) -> Path:
     """Serialise *sim*'s full state to *path*; returns the path.
 
     Must be called at a cycle boundary (between steps or inside a
     watcher).  *meta* is stored verbatim for the restoring side to
     sanity-check (e.g. the system configuration, a free-form note).
+    Pass the system's :class:`~repro.noc.topology.Topology` (or its
+    descriptor dict) as *topology* to stamp the fabric shape into the
+    file for restore-time validation.
     """
     doc = {
         "schema": CHECKPOINT_SCHEMA,
@@ -57,9 +71,17 @@ def save_checkpoint(
         "meta": meta or {},
         "state": sim.snapshot(),
     }
+    if topology is not None:
+        doc["topology"] = _descriptor(topology)
     path = Path(path)
     path.write_text(json.dumps(doc))
     return path
+
+
+def _descriptor(topology) -> dict:
+    if isinstance(topology, dict):
+        return dict(topology)
+    return topology.descriptor()
 
 
 def load_checkpoint(path: Union[str, Path]) -> dict:
@@ -75,17 +97,31 @@ def load_checkpoint(path: Union[str, Path]) -> dict:
         )
     if "state" not in doc or "cycle" not in doc:
         raise CheckpointError(f"{path}: checkpoint missing state/cycle")
+    if "topology" in doc and not isinstance(doc["topology"], dict):
+        raise CheckpointError(f"{path}: malformed topology descriptor")
     return doc
 
 
-def restore_checkpoint(sim: Simulator, doc: Union[dict, str, Path]) -> int:
+def restore_checkpoint(
+    sim: Simulator, doc: Union[dict, str, Path], topology=None
+) -> int:
     """Restore *sim* from a checkpoint document or file path.
 
     Returns the restored cycle.  The simulator must hold a component
-    tree with the same topology the checkpoint was taken from.
+    tree with the same topology the checkpoint was taken from; pass the
+    live system's topology (plugin or descriptor dict) to have that
+    checked against the checkpoint's ``topology`` stamp before any
+    state is touched.
     """
     if not isinstance(doc, dict):
         doc = load_checkpoint(doc)
+    if topology is not None and "topology" in doc:
+        want, have = _descriptor(topology), doc["topology"]
+        if want != have:
+            raise CheckpointError(
+                f"checkpoint was taken on a different fabric: "
+                f"checkpoint {have}, system {want}"
+            )
     try:
         sim.restore(doc["state"])
     except SnapshotError as exc:

@@ -26,6 +26,10 @@ class SystemConfig:
     """
 
     mesh: Tuple[int, int] = (2, 2)
+    #: optional topology spec ("mesh:4x4", "torus:8x8", "cmesh:4x4x2");
+    #: ``None`` keeps a plain mesh of ``mesh``'s dimensions.  When set,
+    #: :meth:`validate` re-derives ``mesh`` as the plugin's router grid.
+    topology: Optional[str] = None
     serial: Address = (0, 0)
     processors: Dict[int, Address] = field(
         default_factory=lambda: {1: (0, 1), 2: (1, 0)}
@@ -37,14 +41,36 @@ class SystemConfig:
     uart_divisor: int = 4
     clock_hz: float = 25_000_000.0  # 50 MHz board clock after the clkdll /2
 
+    def topology_plugin(self):
+        """The :class:`~repro.noc.topology.Topology` this config describes.
+
+        Parses :attr:`topology` (raising
+        :class:`~repro.noc.topology.TopologyError` on a bad spec — the
+        config-parse-time validation) or falls back to a mesh of
+        :attr:`mesh`'s dimensions.
+        """
+        from ..noc.topology import parse_topology
+
+        if self.topology is None:
+            return parse_topology(tuple(self.mesh))
+        return parse_topology(self.topology)
+
     def validate(self) -> None:
+        topo = self.topology_plugin()  # parse-time topology validation
+        self.mesh = (topo.width, topo.height)
         width, height = self.mesh
+        nodes = set(topo.nodes())
         occupied: Dict[Address, str] = {}
 
         def place(addr: Address, what: str) -> None:
-            x, y = addr
-            if not (0 <= x < width and 0 <= y < height):
-                raise ValueError(f"{what} at {addr} outside {width}x{height} mesh")
+            if tuple(addr) not in nodes:
+                if topo.kind == "mesh":
+                    raise ValueError(
+                        f"{what} at {addr} outside {width}x{height} mesh"
+                    )
+                raise ValueError(
+                    f"{what} at {addr} is not a node of {topo.spec}"
+                )
             if addr in occupied:
                 raise ValueError(
                     f"{what} at {addr} collides with {occupied[addr]}"

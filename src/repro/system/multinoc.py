@@ -35,13 +35,12 @@ class MultiNoC(Component):
         registry = telemetry.metrics if telemetry is not None else None
         self.stats = NetworkStats(registry=registry)
 
-        width, height = config.mesh
+        self.topology = config.topology_plugin()
         self.mesh = Mesh(
-            width,
-            height,
             buffer_depth=config.buffer_depth,
             routing_cycles=config.routing_cycles,
             stats=self.stats,
+            topology=self.topology,
         )
         self.add_child(self.mesh)
 
@@ -139,9 +138,11 @@ class MultiNoC(Component):
         for every *other* processor (by id) and then every Memory IP.
 
         The 16-bit address space caps how many remote windows fit below
-        the FFFD-FFFF control cells; windows beyond that are simply not
-        mapped (a processor in a hundred-IP system reaches its nearest
-        peers by NUMA load/store and the rest by message services).
+        the FFFD-FFFF control cells.  When every window fits, the layout
+        is exactly the id-ordered one of the seed; when the system is
+        too big (the paper's hundred-IP argument) the Memory IPs and the
+        peers *nearest in id order* get the windows and the rest are
+        reached by message services instead.
         """
         config = self.config
         amap = AddressMap(config.local_words)
@@ -149,19 +150,50 @@ class MultiNoC(Component):
         step = max(config.local_words, 1024)
         base = step
         limit = 0xFFFD
+        capacity = max(0, (limit - config.local_words - base) // step + 1)
 
-        def try_add(addr) -> None:
-            nonlocal base
-            if base + config.local_words <= limit:
-                amap.add_window(base, config.local_words, encode_address(*addr))
-                base += step
+        targets = [
+            addr
+            for other_pid, addr in sorted(config.processors.items())
+            if other_pid != pid
+        ] + list(config.memories)
+        if len(targets) > capacity:
+            near = sorted(
+                (
+                    (other_pid, addr)
+                    for other_pid, addr in config.processors.items()
+                    if other_pid != pid
+                ),
+                key=lambda pa: (abs(pa[0] - pid), pa[0]),
+            )
+            targets = list(config.memories) + [addr for _, addr in near]
 
-        for other_pid, other_addr in sorted(config.processors.items()):
-            if other_pid != pid:
-                try_add(other_addr)
-        for mem_addr in config.memories:
-            try_add(mem_addr)
+        for addr in targets:
+            if base + config.local_words > limit:
+                break
+            amap.add_window(base, config.local_words, encode_address(*addr))
+            base += step
         return amap
+
+    def numa_base(self, pid: int, target) -> Optional[int]:
+        """Base address of *pid*'s NUMA window onto *target*.
+
+        *target* is a peer processor id, a ``"memN"`` string, or an
+        ``(x, y)`` node address; returns ``None`` when the window did
+        not fit the 16-bit address space (see :meth:`_build_address_map`).
+        """
+        config = self.config
+        if isinstance(target, int):
+            addr = config.processors[target]
+        elif isinstance(target, str) and target.startswith("mem"):
+            addr = config.memories[int(target[3:] or "0")]
+        else:
+            addr = tuple(target)
+        flit = encode_address(*addr)
+        for window in self.processors[pid].address_map.windows:
+            if window.target_flit == flit:
+                return window.base
+        return None
 
     # -- checkpointing -------------------------------------------------------
 

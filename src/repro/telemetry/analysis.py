@@ -59,6 +59,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..noc.routing import OPPOSITE, PORT_DELTA, Port
+from ..noc.topology import from_descriptor, port_index
 from .events import TelemetrySink
 
 #: schema tag carried by every exported analysis document
@@ -448,6 +449,7 @@ def analyze_trace(sink: TelemetrySink) -> TraceAnalysis:
     hop_spans: List[Tuple[int, str, str, str, int]] = []
     samples: Dict[str, Dict] = {}
     symtabs: Dict[str, Dict[str, int]] = {}
+    topology = None  # non-mesh traces carry a fabric descriptor
 
     for event in sink.events:
         name, args = event.name, event.args or {}
@@ -460,6 +462,11 @@ def analyze_trace(sink: TelemetrySink) -> TraceAnalysis:
                 )
                 routers[event.track] = info
                 by_addr[info.address] = info
+            elif name == "topology":
+                try:
+                    topology = from_descriptor(args)
+                except Exception:
+                    topology = None  # unknown plugin; fall back to XY replay
             elif name == "hdr":
                 hdrs.setdefault((event.track, args["port"]), deque()).append(
                     event.ts
@@ -516,10 +523,14 @@ def analyze_trace(sink: TelemetrySink) -> TraceAnalysis:
                 queued=args.get("queued"),
             )
             analysis.packets.append(packet)
-            info = by_addr.get(src)
+            router_addr, in_label = src, Port.LOCAL.name
+            if topology is not None:
+                router_addr = topology.node_router(src)
+                in_label = topology.port_name(topology.local_port(src))
+            info = by_addr.get(router_addr)
             if info is None:
                 continue  # router not in trace; leave the packet unresolved
-            pending.setdefault((info.track, Port.LOCAL.name), deque()).append(
+            pending.setdefault((info.track, in_label), deque()).append(
                 packet
             )
 
@@ -573,16 +584,22 @@ def analyze_trace(sink: TelemetrySink) -> TraceAnalysis:
         )
         link.busy_cycles += dur
         link.packets += 1
-        if out_port == Port.LOCAL.name:
-            arrivals = deliveries.get(info.address)
+        if out_port.startswith("LOCAL"):
+            node = info.address
+            if topology is not None:
+                node = topology.port_node(info.address, port_index(out_port))
+            arrivals = deliveries.get(node)
             if arrivals:
                 packet.delivered = arrivals.popleft()
                 hop.end = packet.delivered
         else:
-            dx, dy = PORT_DELTA[Port[out_port]]
-            neighbour = by_addr.get(
-                (info.address[0] + dx, info.address[1] + dy)
-            )
+            if topology is not None:
+                # replay the plugin's link graph (wrap links included)
+                nb_addr = topology.neighbour(info.address, port_index(out_port))
+            else:
+                dx, dy = PORT_DELTA[Port[out_port]]
+                nb_addr = (info.address[0] + dx, info.address[1] + dy)
+            neighbour = by_addr.get(nb_addr)
             if neighbour is not None:
                 pending.setdefault(
                     (neighbour.track, OPPOSITE[Port[out_port]].name), deque()

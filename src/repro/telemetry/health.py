@@ -60,6 +60,7 @@ from typing import (
 )
 
 from ..noc.routing import OPPOSITE, PORT_DELTA, Port, xy_route
+from ..noc.topology import port_label
 from ..sim.kernel import stride_points
 
 Address = Tuple[int, int]
@@ -366,6 +367,7 @@ class HealthMonitor:
 
         self.sim = None
         self.mesh = None
+        self.topology = None
         self.stats = None
         self.nis: List[Any] = []
         self.processors: List[Any] = []
@@ -408,6 +410,7 @@ class HealthMonitor:
             processors = list(system.processors.values())
         self.sim = sim
         self.mesh = mesh
+        self.topology = getattr(mesh, "topology", None)
         self.stats = stats
         self.nis = list(nis)
         self.processors = list(processors)
@@ -713,9 +716,9 @@ class HealthMonitor:
                     "invariant.fifo_bounds",
                     router.name,
                     cycle,
-                    f"port {Port(port).name} FIFO holds {n} flits "
+                    f"port {port_label(port)} FIFO holds {n} flits "
                     f"(capacity {fifo.capacity})",
-                    details={"port": Port(port).name, "occupancy": n,
+                    details={"port": port_label(port), "occupancy": n,
                              "capacity": fifo.capacity},
                 )
         if self.stats is not None and occupancy != received - sent:
@@ -729,18 +732,28 @@ class HealthMonitor:
                          "sent": sent,
                          "fifos": [f.snapshot() for f in router.fifos]},
             )
+        topo = self.topology
         for in_port, out_port in enumerate(router.in_conn):
             if out_port is None:
                 continue
-            if Port(out_port) not in _XY_LEGAL[Port(in_port)]:
+            if topo is not None:
+                legal = topo.legal_turn(in_port, out_port)
+            else:
+                legal = Port(out_port) in _XY_LEGAL[Port(in_port)]
+            if not legal:
+                mesh_like = topo is None or topo.kind == "mesh"
                 self._violate(
-                    "invariant.xy_routing",
+                    "invariant.xy_routing"
+                    if mesh_like
+                    else "invariant.route_legality",
                     router.name,
                     cycle,
-                    f"connection {Port(in_port).name} -> "
-                    f"{Port(out_port).name} is an illegal XY turn",
-                    details={"in_port": Port(in_port).name,
-                             "out_port": Port(out_port).name,
+                    f"connection {port_label(in_port)} -> "
+                    f"{port_label(out_port)} is an illegal "
+                    + ("XY turn" if mesh_like
+                       else f"turn for {topo.spec} routing"),
+                    details={"in_port": port_label(in_port),
+                             "out_port": port_label(out_port),
                              "state": router.probe_state()},
                 )
         for out_port in range(router.N_PORTS):
@@ -759,12 +772,12 @@ class HealthMonitor:
                     "invariant.single_producer",
                     router.name,
                     cycle,
-                    f"output {Port(out_port).name} claimed by inputs "
-                    f"{[Port(p).name for p in owners]} but owner table "
-                    f"says {Port(owner).name if owner is not None else None}",
-                    details={"out_port": Port(out_port).name,
-                             "claimants": [Port(p).name for p in owners],
-                             "owner": (Port(owner).name
+                    f"output {port_label(out_port)} claimed by inputs "
+                    f"{[port_label(p) for p in owners]} but owner table "
+                    f"says {port_label(owner) if owner is not None else None}",
+                    details={"out_port": port_label(out_port),
+                             "claimants": [port_label(p) for p in owners],
+                             "owner": (port_label(owner)
                                        if owner is not None else None),
                              "state": router.probe_state()},
                 )
@@ -785,7 +798,7 @@ class HealthMonitor:
         ni_at = {ni.address: ni for ni in self.nis}
         for addr, router in self.mesh.routers.items():
             for port in range(router.N_PORTS):
-                node = f"{router.name}.{Port(port).name}"
+                node = f"{router.name}.{port_label(port)}"
                 conn = router.in_conn[port]
                 if conn is not None:
                     dst, blocked, reason = self._downstream(
@@ -799,15 +812,18 @@ class HealthMonitor:
                 target = router.pending_header_target(port)
                 if target is None:
                     continue
-                out = xy_route(addr, target)
+                if self.topology is not None:
+                    out = self.topology.route(addr, target)
+                else:
+                    out = xy_route(addr, target)
                 owner = router.out_owner[out]
                 if owner is not None:
                     edges.append(
                         {
                             "src": node,
-                            "dst": f"{router.name}.{Port(owner).name}",
-                            "reason": f"output {Port(out).name} held by "
-                            f"input {Port(owner).name}",
+                            "dst": f"{router.name}.{port_label(owner)}",
+                            "reason": f"output {port_label(out)} held by "
+                            f"input {port_label(owner)}",
                             "blocked": True,
                         }
                     )
@@ -841,21 +857,29 @@ class HealthMonitor:
         self, router, out_port: int, ni_at: Dict[Address, Any]
     ) -> Tuple[str, bool, str]:
         """(node, blocked, reason) for an established connection's sink."""
-        if out_port == Port.LOCAL:
-            ni = ni_at.get(router.address)
+        topo = self.topology
+        if out_port >= Port.LOCAL:
+            node = router.address
+            if topo is not None:
+                node = topo.port_node(router.address, out_port)
+            ni = ni_at.get(node)
             name = ni.name if ni is not None else f"{router.name}.local-ip"
-            ch = router.out_ch[Port.LOCAL]
+            ch = router.out_ch[out_port]
             blocked = bool(ch.tx.value) and not bool(ch.ack.value)
             return f"{name}.rx", blocked, "delivering to local IP"
-        x, y = router.address
-        dx, dy = PORT_DELTA[Port(out_port)]
-        neighbour = self.mesh.routers[(x + dx, y + dy)]
+        if topo is not None:
+            nb_addr = topo.neighbour(router.address, out_port)
+        else:
+            x, y = router.address
+            dx, dy = PORT_DELTA[Port(out_port)]
+            nb_addr = (x + dx, y + dy)
+        neighbour = self.mesh.routers[nb_addr]
         in_port = OPPOSITE[Port(out_port)]
         blocked = neighbour.fifos[in_port].is_full
         return (
             f"{neighbour.name}.{in_port.name}",
             blocked,
-            f"streaming out {Port(out_port).name}",
+            f"streaming out {port_label(out_port)}",
         )
 
     def fifo_snapshots(self) -> Dict[str, Dict[str, List[int]]]:
@@ -864,7 +888,7 @@ class HealthMonitor:
             return {}
         return {
             router.name: {
-                Port(p).name: router.fifos[p].snapshot()
+                port_label(p): router.fifos[p].snapshot()
                 for p in range(router.N_PORTS)
                 if not router.fifos[p].is_empty
             }

@@ -253,6 +253,9 @@ class LiveStream:
         }
         if self.mesh is not None:
             frame["mesh"] = [self.mesh.width, self.mesh.height]
+            topology = getattr(self.mesh, "topology", None)
+            if topology is not None:
+                frame["topology"] = topology.descriptor()
 
         router_rate: Dict[Address, float] = {}
         if self.stats is not None:
@@ -363,6 +366,9 @@ class LiveStream:
         out: Dict[str, Dict[str, Any]] = {}
         for addr, router in self.mesh.routers.items():
             out[router.name] = {
+                # explicit grid position: router names like "router115"
+                # are ambiguous once a coordinate reaches two digits
+                "coords": [addr[0], addr[1]],
                 "occupancy": sum(len(f) for f in router.fifos),
                 "watermark": max(f.watermark for f in router.fifos),
                 "rate": round(router_rate.get(addr, 0.0), 4),

@@ -196,15 +196,31 @@ class MeshTop:
     def _mesh_heatmap(self, frame: Dict[str, Any]) -> List[str]:
         width, height = frame["mesh"]
         routers = frame["routers"]
+        # Prefer explicit coordinates (the "router115" name is ambiguous
+        # once a coordinate reaches two digits — x=1,y=15 vs x=11,y=5);
+        # fall back to name parsing for pre-topology frames.
+        by_coord: Dict[Any, Dict[str, Any]] = {}
+        for name, state in routers.items():
+            coords = state.get("coords")
+            if coords is not None:
+                by_coord[(coords[0], coords[1])] = state
         rates = []
         occs = []
         for y in range(height):
             for x in range(width):
-                r = routers.get(f"router{x}{y}", {})
+                r = by_coord.get((x, y))
+                if r is None:
+                    r = routers.get(f"router{x}{y}", {})
                 rates.append(r.get("rate", 0.0))
                 occs.append(r.get("occupancy", 0))
         max_rate = max(max(rates), 1e-9)
         max_occ = max(max(occs), 1)
+        topo = frame.get("topology") or {}
+        # torus rows/columns wrap: mark the grid edges with ~ so the
+        # dashboard shows traffic can re-enter on the far side
+        wrap_x = topo.get("topology") == "torus" and width >= 3
+        wrap_y = topo.get("topology") == "torus" and height >= 3
+        lb, rb = ("~", "~") if wrap_x else ("[", "]")
 
         def cell(value: float, peak: float) -> str:
             idx = int(value / peak * (len(self.ramp) - 1) + 0.5)
@@ -215,6 +231,9 @@ class MeshTop:
                 f"{'link util (out)':<{2 * width + 6}} fifo occupancy"
             )
         ]
+        if wrap_y:
+            tilde = " " * 5 + "~" * (2 * width)
+            lines.append(self._dim(tilde + " " * 8 + tilde))
         for y in range(height - 1, -1, -1):  # row y=0 at the bottom
             util_row = "".join(
                 cell(rates[y * width + x], max_rate) for x in range(width)
@@ -222,7 +241,13 @@ class MeshTop:
             occ_row = "".join(
                 cell(occs[y * width + x], max_occ) for x in range(width)
             )
-            lines.append(f"  y{y} [{util_row}]   y{y} [{occ_row}]")
+            label = f"y{y:<2}" if height > 10 else f"y{y}"
+            lines.append(
+                f"  {label} {lb}{util_row}{rb}   {label} {lb}{occ_row}{rb}"
+            )
+        if wrap_y:
+            tilde = " " * 5 + "~" * (2 * width)
+            lines.append(self._dim(tilde + " " * 8 + tilde))
         lines.append(
             self._dim(
                 f"  peak util {max(rates) if rates else 0.0:.3f}"

@@ -1,0 +1,299 @@
+"""Topology plugin layer: registry, routing contracts, bit-identity.
+
+Covers the three plugin families (mesh, torus, cmesh):
+
+* spec parsing and the 4-bit header-nibble validation errors,
+* deterministic deadlock-free routing (channel-dependency-graph
+  acyclicity for the torus dateline scheme, delivery under transpose
+  traffic),
+* the guarantee that building the seed's 2x2 mesh through the plugin
+  registry is bit-identical — same telemetry event stream, same VCD —
+  to the default constructor path, in both kernel modes.
+"""
+
+import pytest
+
+from repro.noc import HermesNetwork
+from repro.noc.topology import (
+    CMeshTopology,
+    MeshTopology,
+    TOPOLOGIES,
+    TopologyError,
+    TorusTopology,
+    from_descriptor,
+    parse_topology,
+)
+from repro.sim import VcdWriter
+from repro.telemetry import TelemetrySink
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing and registry
+# ---------------------------------------------------------------------------
+
+
+class TestParse:
+    def test_registry_has_the_three_families(self):
+        assert {"mesh", "torus", "cmesh"} <= set(TOPOLOGIES)
+
+    @pytest.mark.parametrize(
+        "spec,cls,dims",
+        [
+            ("mesh:4x4", MeshTopology, (4, 4)),
+            ("4x4", MeshTopology, (4, 4)),
+            ("torus:5x3", TorusTopology, (5, 3)),
+            ("cmesh:4x4x2", CMeshTopology, (4, 4)),
+        ],
+    )
+    def test_spec_forms(self, spec, cls, dims):
+        topo = parse_topology(spec)
+        assert isinstance(topo, cls)
+        assert (topo.width, topo.height) == dims
+
+    def test_tuple_and_passthrough(self):
+        topo = parse_topology((2, 2))
+        assert isinstance(topo, MeshTopology)
+        assert parse_topology(topo) is topo
+
+    def test_unknown_kind_lists_known_plugins(self):
+        with pytest.raises(TopologyError, match="mesh"):
+            parse_topology("hypercube:4x4")
+
+    def test_roundtrip_via_descriptor(self):
+        for spec in ("mesh:3x2", "torus:4x4", "cmesh:2x2x2"):
+            topo = parse_topology(spec)
+            again = from_descriptor(topo.descriptor())
+            assert again.spec == topo.spec
+            assert again.descriptor() == topo.descriptor()
+
+    def test_nibble_limit_is_a_parse_error(self):
+        # flit headers pack the target as (x << 4) | y: 16 is the hard
+        # per-dimension node ceiling, and the error must say so
+        assert parse_topology("mesh:16x16").width == 16
+        with pytest.raises(TopologyError, match="nibble"):
+            parse_topology("mesh:17x2")
+        with pytest.raises(TopologyError, match="nibble"):
+            parse_topology("torus:2x17")
+        # cmesh is limited by its *node* grid: 9 routers x 2 cores = 18
+        with pytest.raises(TopologyError, match="nibble"):
+            parse_topology("cmesh:9x4x2")
+        assert parse_topology("cmesh:8x4x2").spec == "cmesh:8x4x2"
+
+    def test_topology_error_is_a_value_error(self):
+        # callers that guarded the old bare ValueError keep working
+        assert issubclass(TopologyError, ValueError)
+
+    def test_config_validates_spec_at_parse_time(self):
+        from repro.system.config import SystemConfig
+
+        config = SystemConfig(topology="mesh:17x17")
+        with pytest.raises(ValueError, match="nibble"):
+            config.validate()
+
+    def test_cli_rejects_oversized_topology(self, capsys, tmp_path):
+        from repro.cli import main
+
+        program = tmp_path / "halt.asm"
+        program.write_text("HALT\n")
+        code = main(["system", "--topology", "mesh:17x17", str(program)])
+        assert code == 2
+        assert "nibble" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Coordinate labels (component/wire naming)
+# ---------------------------------------------------------------------------
+
+
+class TestLabels:
+    def test_single_digit_grids_keep_seed_names(self):
+        topo = MeshTopology(2, 2)
+        assert topo.label((1, 0)) == "10"
+
+    def test_wide_grids_are_collision_free(self):
+        topo = MeshTopology(16, 16)
+        labels = [topo.label(addr) for addr in topo.routers()]
+        assert len(set(labels)) == 256
+        # the classic alias: (1, 15) vs (11, 5)
+        assert topo.label((1, 15)) != topo.label((11, 5))
+
+
+# ---------------------------------------------------------------------------
+# Routing contracts
+# ---------------------------------------------------------------------------
+
+
+def _channel_dependency_cycle(topo):
+    """True when any route makes channel A wait on channel B on a cycle.
+
+    Classic Dally/Seitz argument: wormhole routing is deadlock-free iff
+    the channel dependency graph (directed links as nodes, consecutive
+    hops of any route as edges) is acyclic.
+    """
+    deps = {}
+    for src in topo.nodes():
+        for dst in topo.nodes():
+            if src == dst:
+                continue
+            path = topo.route_path(src, dst)
+            channels = [
+                (path[i], path[i + 1]) for i in range(len(path) - 1)
+            ]
+            for a, b in zip(channels, channels[1:]):
+                deps.setdefault(a, set()).add(b)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {}
+
+    def dfs(node):
+        colour[node] = GREY
+        for nxt in deps.get(node, ()):
+            state = colour.get(nxt, WHITE)
+            if state == GREY:
+                return True
+            if state == WHITE and dfs(nxt):
+                return True
+        colour[node] = BLACK
+        return False
+
+    return any(
+        dfs(node) for node in list(deps) if colour.get(node, WHITE) == WHITE
+    )
+
+
+class TestRoutingContracts:
+    @pytest.mark.parametrize(
+        "spec", ["mesh:4x4", "torus:4x4", "torus:5x3", "cmesh:4x4x2"]
+    )
+    def test_all_pairs_converge_with_legal_turns(self, spec):
+        topo = parse_topology(spec)
+        for src in topo.nodes():
+            for dst in topo.nodes():
+                path = topo.route_path(src, dst)
+                assert path[0] == topo.node_router(src)
+                assert path[-1] == topo.node_router(dst)
+
+    @pytest.mark.parametrize("spec", ["torus:4x4", "torus:5x3", "torus:3x3"])
+    def test_torus_wrap_only_as_last_ring_hop(self, spec):
+        topo = parse_topology(spec)
+        for src in topo.nodes():
+            for dst in topo.nodes():
+                path = topo.route_path(src, dst)
+                for i in range(len(path) - 1):
+                    (x0, y0), (x1, y1) = path[i], path[i + 1]
+                    wrapped_x = abs(x1 - x0) > 1
+                    wrapped_y = abs(y1 - y0) > 1
+                    if wrapped_x:
+                        assert x1 == dst[0], (src, dst, path)
+                    if wrapped_y:
+                        assert y1 == dst[1], (src, dst, path)
+
+    @pytest.mark.parametrize(
+        "spec", ["mesh:4x4", "torus:4x4", "torus:5x3", "cmesh:4x4x2"]
+    )
+    def test_channel_dependency_graph_is_acyclic(self, spec):
+        assert not _channel_dependency_cycle(parse_topology(spec))
+
+    def test_torus_takes_the_short_way_round(self):
+        topo = parse_topology("torus:4x4")
+        # (0,0) -> (3,0): one wrap hop west beats three hops east
+        assert topo.route_path((0, 0), (3, 0)) == [(0, 0), (3, 0)]
+
+
+# ---------------------------------------------------------------------------
+# Delivery in the cycle-accurate model
+# ---------------------------------------------------------------------------
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("spec", ["torus:4x4", "cmesh:2x2x2"])
+    def test_transpose_traffic_drains(self, spec):
+        """Transpose traffic is the adversarial pattern for dimension-
+        ordered schemes: every packet turns, and on a torus every ring
+        carries wrapping and non-wrapping packets simultaneously."""
+        net = HermesNetwork(topology=spec)
+        sim = net.make_simulator()
+        nodes = net.mesh.addresses()
+        sent = 0
+        for x, y in nodes:
+            target = (y, x)
+            if (x, y) == target or target not in net.interfaces:
+                continue
+            net.send((x, y), target, [x, y, 0xAB])
+            sent += 1
+        net.run_to_drain(sim, max_cycles=200_000)
+        received = net.collect_received()
+        assert len(received) == sent
+        for packet in received:
+            x, y = packet.payload[:2]  # the sender stamped its address
+            assert packet.target == (y, x)
+            assert packet.payload == [x, y, 0xAB]
+
+    def test_torus_all_pairs(self):
+        net = HermesNetwork(topology="torus:4x4")
+        sim = net.make_simulator()
+        nodes = net.mesh.addresses()
+        pairs = [(s, d) for s in nodes for d in nodes if s != d]
+        for i, (s, d) in enumerate(pairs):
+            net.send(s, d, [i & 0xFF])
+        net.run_to_drain(sim, max_cycles=500_000)
+        assert len(net.collect_received()) == len(pairs)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: plugin registry path vs the default 2x2 constructor
+# ---------------------------------------------------------------------------
+
+
+def _mesh_wires(mesh):
+    """Every handshake wire in the fabric, in a deterministic order."""
+    channels = {}
+    for router in mesh.routers.values():
+        for ch in list(router.in_ch) + list(router.out_ch):
+            if ch is not None:
+                channels[ch.tx.name] = ch
+    return [w for name in sorted(channels) for w in channels[name].wires()]
+
+
+def _run_2x2(tmp_path, tag, strict, topology):
+    sink = TelemetrySink()
+    if topology is None:
+        net = HermesNetwork(2, 2, telemetry=sink)
+    else:
+        net = HermesNetwork(telemetry=sink, topology=topology)
+    sim = net.make_simulator(strict_lockstep=strict)
+    vcd = VcdWriter(_mesh_wires(net.mesh))
+    sim.add_watcher(vcd.sample)
+    nodes = net.mesh.addresses()
+    for i, (s, d) in enumerate(
+        (s, d) for s in nodes for d in nodes if s != d
+    ):
+        net.send(s, d, [i, i ^ 0xFF])
+    net.run_to_drain(sim, max_cycles=100_000)
+    path = tmp_path / f"{tag}.vcd"
+    vcd.write(path)
+    events = [
+        (e.ph, e.name, e.track, e.ts, e.dur, e.args) for e in sink.events
+    ]
+    return sim.cycle, events, path.read_bytes()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_plugin_path_matches_legacy_2x2(self, tmp_path, strict):
+        legacy = _run_2x2(tmp_path, f"legacy{strict}", strict, None)
+        plugin = _run_2x2(
+            tmp_path, f"plugin{strict}", strict, parse_topology("mesh:2x2")
+        )
+        assert legacy[0] == plugin[0]  # cycle count
+        assert legacy[1] == plugin[1]  # telemetry event stream
+        assert legacy[2] == plugin[2]  # VCD, byte for byte
+
+    def test_component_names_match_seed(self):
+        net = HermesNetwork(topology="mesh:2x2")
+        assert sorted(r.name for r in net.mesh.routers.values()) == [
+            "router00",
+            "router01",
+            "router10",
+            "router11",
+        ]
+        assert net.mesh.local_channels((1, 0))[0].tx.name == "local10.in.tx"
