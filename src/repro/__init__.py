@@ -26,8 +26,10 @@ from .core import MultiNoCPlatform, PlatformSession, Program
 from .debug import SystemDebugger
 from .system import MultiNoC, SystemConfig
 from .telemetry import (
+    FlightRecorder,
     HealthMonitor,
     HealthViolation,
+    HostPerfProfiler,
     KernelProfiler,
     MetricsRegistry,
     TelemetrySink,
@@ -36,8 +38,10 @@ from .telemetry import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "FlightRecorder",
     "HealthMonitor",
     "HealthViolation",
+    "HostPerfProfiler",
     "KernelProfiler",
     "MetricsRegistry",
     "MultiNoC",

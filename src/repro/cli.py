@@ -8,6 +8,7 @@ Run as ``python -m repro.cli <command>``::
     debug FILE          run a debugger script against a program
     cc FILE             compile R8C to assembly or object code
     system FILE         load and run on the full MultiNoC platform
+    profile [FILE]      host performance observatory (sampling profiler)
     top                 live terminal dashboard for a served simulation
     analyze TRACE       post-mortem analysis of a JSONL trace
     runs ...            cross-run registry: list/show/diff/trend/gc
@@ -192,6 +193,9 @@ def cmd_system(args) -> int:
         from .telemetry import KernelProfiler
 
         profiler = KernelProfiler().attach(session.sim)
+    hostperf = None
+    if args.hostperf:
+        hostperf = session.profile_host()
     vcd = None
     if args.vcd:
         from .sim import VcdWriter
@@ -241,6 +245,10 @@ def cmd_system(args) -> int:
         top = MeshTop(color=False if args.no_color else None).attach(live)
         if engine is not None:
             top.attach_alerts(engine)
+    flight = None
+    if args.crash_dir:
+        # after live wiring so the recorder can mirror frames
+        flight = session.flight_recorder(args.crash_dir)
     session.host.sync()
     obj = _load_program(args.file)
     addr = session.processor_address(args.proc)
@@ -256,9 +264,32 @@ def cmd_system(args) -> int:
             max_cycles=args.max_cycles,
         )
     except Exception as exc:
-        if health is None:
+        if hostperf is not None:
+            hostperf.stop()
+        if flight is not None:
+            bundle = flight.record(
+                exc,
+                sim=session.sim,
+                hostperf=hostperf,
+                health=health,
+                meta={"program": str(args.file), "proc": args.proc},
+            )
+            print(f"crash bundle -> {bundle}", file=sys.stderr)
+        if health is not None:
+            _report_health_failure(exc, health, args.health_report)
+        elif profiler is None and hostperf is None and flight is None:
             raise
-        _report_health_failure(exc, health, args.health_report)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        # exactly the runs that most need their instrumentation: flush
+        # what was collected before the failure, then report it
+        if telemetry is not None:
+            session.system.flush_telemetry()
+        _flush_system_exports(session, args, telemetry, vcd)
+        if profiler is not None:
+            print(profiler.report())
+        if hostperf is not None:
+            print(hostperf.report())
         _record_system_run(session, args, status="failed", exit_code=1)
         return 1
     session.sim.step(6000)
@@ -279,25 +310,13 @@ def cmd_system(args) -> int:
     if telemetry is not None:
         # flush deferred telemetry (CPU PC samples) before any export
         session.system.flush_telemetry()
-    try:
-        if telemetry is not None and args.trace:
-            from .telemetry import write_chrome_trace
-
-            path = write_chrome_trace(
-                telemetry, args.trace, clock_hz=session.system.config.clock_hz
-            )
-            print(f"chrome trace ({len(telemetry)} events) -> {path}")
-        if telemetry is not None and args.trace_jsonl:
-            from .telemetry import write_jsonl
-
-            print(f"event log -> {write_jsonl(telemetry, args.trace_jsonl)}")
-        if vcd is not None:
-            print(f"serial-line waveform -> {vcd.write(args.vcd)}")
-    except OSError as exc:
-        print(f"error: cannot write export file: {exc}", file=sys.stderr)
+    if _flush_system_exports(session, args, telemetry, vcd) != 0:
         return 1
     if profiler is not None:
         print(profiler.report())
+    if hostperf is not None:
+        hostperf.stop()
+        print(hostperf.report())
     if health is not None:
         if health.sampler is not None:
             print("health timeline:")
@@ -322,6 +341,33 @@ def cmd_system(args) -> int:
             except KeyboardInterrupt:
                 pass
         server.close()
+    return 0
+
+
+def _flush_system_exports(session, args, telemetry, vcd) -> int:
+    """Write the ``--trace``/``--trace-jsonl``/``--vcd`` outputs.
+
+    Shared by the success path and the failure path (a failing run's
+    partial trace is often the most valuable artifact it leaves).
+    Returns 0, or 1 when an export target cannot be written.
+    """
+    try:
+        if telemetry is not None and args.trace:
+            from .telemetry import write_chrome_trace
+
+            path = write_chrome_trace(
+                telemetry, args.trace, clock_hz=session.system.config.clock_hz
+            )
+            print(f"chrome trace ({len(telemetry)} events) -> {path}")
+        if telemetry is not None and args.trace_jsonl:
+            from .telemetry import write_jsonl
+
+            print(f"event log -> {write_jsonl(telemetry, args.trace_jsonl)}")
+        if vcd is not None:
+            print(f"serial-line waveform -> {vcd.write(args.vcd)}")
+    except OSError as exc:
+        print(f"error: cannot write export file: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -410,6 +456,125 @@ def _print_system_stats(session) -> None:
             ports=topo.router_ports,
         )
     )
+
+
+def cmd_profile(args) -> int:
+    """``multinoc profile``: the host performance observatory.
+
+    Runs a program (or the built-in edge-detection workload) under the
+    sampling :class:`~repro.telemetry.hostperf.HostPerfProfiler` —
+    never changing the kernel's execution mode — and reports where host
+    wall-clock goes: per subsystem, per kernel region, and as the
+    headline host-seconds per simulated kilocycle.  Optional outputs:
+    a ``multinoc-hostperf/1`` JSON snapshot (``--json``), a
+    folded-stack flamegraph (``--flamegraph``, same format as
+    ``analyze --flamegraph``), and a crash bundle on failure
+    (``--crash-dir``).
+    """
+    import json
+
+    if not args.file and args.workload is None:
+        print(
+            "error: profile needs a program file or --workload",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        platform = _system_platform(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    session = platform.launch(strict_lockstep=args.no_idle_skip)
+    hostperf = session.profile_host(interval=args.interval)
+    flight = None
+    if args.crash_dir:
+        flight = session.flight_recorder(args.crash_dir)
+
+    status = 0
+    try:
+        if args.workload == "edge-detection":
+            import random
+
+            from .apps.edge_detection import EdgeDetectionApp, reference_sobel
+
+            processors = sorted(session.system.processors)
+            app = EdgeDetectionApp(session.host, processors=processors)
+            app.deploy()
+            rng = random.Random(11)
+            image = [
+                [rng.randrange(256) for _ in range(16)] for _ in range(6)
+            ]
+            result = app.run(image)
+            if result.output != reference_sobel(image):
+                print("error: edge-detection output mismatch", file=sys.stderr)
+                status = 1
+        else:
+            session.host.sync()
+            obj = _load_program(args.file)
+            addr = session.processor_address(args.proc)
+            session.host.load_program(addr, obj)
+            session.host.activate(addr)
+            session.sim.run_until(
+                lambda: session.system.processors[args.proc].cpu.halted,
+                max_cycles=args.max_cycles,
+            )
+            session.sim.step(6000)
+    except Exception as exc:
+        hostperf.stop()
+        if flight is not None:
+            bundle = flight.record(
+                exc,
+                sim=session.sim,
+                hostperf=hostperf,
+                meta={"workload": args.workload or str(args.file)},
+            )
+            print(f"crash bundle -> {bundle}", file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        status = 1
+    hostperf.stop()
+
+    print(hostperf.report(top=args.top))
+    try:
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(hostperf.snapshot(), indent=2) + "\n"
+            )
+            print(f"hostperf snapshot -> {args.json}")
+        if args.flamegraph:
+            lines = hostperf.folded_stacks()
+            Path(args.flamegraph).write_text(
+                "\n".join(lines) + ("\n" if lines else "")
+            )
+            print(f"folded stacks ({len(lines)}) -> {args.flamegraph}")
+    except OSError as exc:
+        print(f"error: cannot write output file: {exc}", file=sys.stderr)
+        status = status or 1
+
+    if not args.no_record:
+        from .telemetry.registry import AUTO
+
+        artifacts = {
+            name: str(value)
+            for name, value in (
+                ("hostperf", args.json),
+                ("flamegraph", args.flamegraph),
+            )
+            if value
+        }
+        try:
+            record = session.record_run(
+                registry=args.runs_dir,
+                kind="profile",
+                status="ok" if status == 0 else "failed",
+                exit_code=status,
+                artifacts=artifacts,
+                meta={"workload": args.workload or str(args.file)},
+                git_rev=AUTO,
+            )
+            print(f"run record {record['run_id']} -> registry", file=sys.stderr)
+        except OSError as exc:
+            print(f"warning: could not record run: {exc}", file=sys.stderr)
+    return status
 
 
 def cmd_analyze(args) -> int:
@@ -827,7 +992,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--profile",
         action="store_true",
-        help="profile kernel wall-clock time per component",
+        help="profile kernel wall-clock time per component "
+        "(exact but forces lock-step; see --hostperf for sampling)",
+    )
+    p.add_argument(
+        "--hostperf",
+        action="store_true",
+        help="attach the sampling host profiler (host-seconds per "
+        "kilocycle per subsystem; never changes the execution mode)",
+    )
+    p.add_argument(
+        "--crash-dir",
+        metavar="DIR",
+        help="write a multinoc-crash/1 bundle (frames, hostperf "
+        "snapshot, health diagnostics) under DIR if the run fails",
     )
     p.add_argument(
         "--monitor",
@@ -908,6 +1086,78 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $MULTINOC_RUNS_DIR or .multinoc/runs)",
     )
     p.set_defaults(fn=cmd_system)
+
+    p = sub.add_parser(
+        "profile",
+        help="host performance observatory: sampling self-profiler",
+    )
+    p.add_argument("file", nargs="?", help="program to run under the profiler")
+    p.add_argument(
+        "--workload",
+        choices=["edge-detection"],
+        help="profile a built-in workload instead of a program file",
+    )
+    p.add_argument("--proc", type=int, default=1)
+    p.add_argument(
+        "--topology",
+        metavar="SPEC",
+        help="fabric shape: mesh:WxH, torus:WxH or cmesh:WxHxC",
+    )
+    p.add_argument(
+        "--procs",
+        type=int,
+        metavar="N",
+        help="number of processor IPs to auto-place",
+    )
+    p.add_argument("--max-cycles", type=int, default=5_000_000)
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="stack-sampling interval (default 5 ms)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        metavar="N",
+        help="subsystem rows in the report table",
+    )
+    p.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the multinoc-hostperf/1 snapshot as JSON",
+    )
+    p.add_argument(
+        "--flamegraph",
+        metavar="FILE",
+        help="write sampled stacks in folded format "
+        "(flamegraph.pl / speedscope, same as `analyze --flamegraph`)",
+    )
+    p.add_argument(
+        "--crash-dir",
+        metavar="DIR",
+        help="write a multinoc-crash/1 bundle under DIR if the run fails",
+    )
+    p.add_argument(
+        "--no-idle-skip",
+        action="store_true",
+        help="profile the strict lock-step kernel instead of the "
+        "quiescent fast path",
+    )
+    p.add_argument(
+        "--no-record",
+        action="store_true",
+        help="do not append this run to the cross-run registry",
+    )
+    p.add_argument(
+        "--runs-dir",
+        metavar="DIR",
+        help="registry root for the run record "
+        "(default: $MULTINOC_RUNS_DIR or .multinoc/runs)",
+    )
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser(
         "top", help="live terminal dashboard for a served simulation"

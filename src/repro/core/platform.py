@@ -126,6 +126,8 @@ class PlatformSession:
     health: Optional[object] = None
     live: Optional[object] = None
     alerts: Optional[object] = None
+    hostperf: Optional[object] = None
+    flight: Optional[object] = None
 
     def live_stream(self, **kwargs):
         """Attach a :class:`~repro.telemetry.live.LiveStream`.
@@ -223,6 +225,48 @@ class PlatformSession:
         self.health = monitor
         return monitor
 
+    def profile_host(self, *, start: bool = True, **kwargs):
+        """Attach a sampling host profiler (the mode-preserving one).
+
+        Keyword arguments are forwarded to
+        :class:`~repro.telemetry.hostperf.HostPerfProfiler`
+        (``interval``, ``history``, ``trace_memory``, ...).  The
+        profiler is attached to the simulator, bound to the system's
+        metrics registry (so ``/metrics`` carries host gauges), started
+        on the calling thread unless ``start=False``, stored as
+        ``session.hostperf`` and returned.  Sampling never changes the
+        kernel's execution path — a profiled run stays bit-identical
+        and keeps the quiescent fast path.
+        """
+        from ..telemetry.hostperf import HostPerfProfiler
+
+        profiler = HostPerfProfiler(**kwargs)
+        profiler.attach(self.sim)
+        profiler.bind_metrics(self.system.stats.registry)
+        if start:
+            profiler.start()
+        self.hostperf = profiler
+        return profiler
+
+    def flight_recorder(self, root, **kwargs):
+        """Attach a crash flight recorder writing bundles under *root*.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.telemetry.hostperf.FlightRecorder`
+        (``keep_frames``).  If a live stream is attached, the recorder
+        mirrors its frames as the black-box ring.  Stored as
+        ``session.flight`` and returned; wrap the run in
+        ``flight.armed(...)`` or call ``flight.record(exc, ...)`` from
+        an exception handler.
+        """
+        from ..telemetry.hostperf import FlightRecorder
+
+        recorder = FlightRecorder(root, **kwargs)
+        if self.live is not None:
+            recorder.watch(self.live)
+        self.flight = recorder
+        return recorder
+
     def record_run(
         self,
         *,
@@ -268,6 +312,8 @@ class PlatformSession:
                 latency_p99=float(summary["p99"]),
                 latency_max=float(summary["max"]),
             )
+        if self.hostperf is not None:
+            base_metrics.update(self.hostperf.run_metrics())
         base_metrics.update(metrics or {})
         return registry.record(
             kind=kind,

@@ -20,8 +20,13 @@ quiescent component's eval is by contract a no-op, and skipped idle
 evals are credited through ``on_wake`` so per-cycle counters (CPU stall
 accounting, PC samples) match bit for bit.  ``Simulator(
 strict_lockstep=True)`` keeps the original evaluate-everything loop for
-A/B comparison, and an attached profiler also forces lock-step so wall
-clock attribution stays per-component.
+A/B comparison, and an attached :class:`~repro.telemetry.profiler.
+KernelProfiler` also forces lock-step so wall clock attribution stays
+per-component (it announces the fidelity change on attach and restores
+the fast path on ``detach()``).  The sampling
+:class:`~repro.telemetry.hostperf.HostPerfProfiler` is the
+mode-preserving alternative: it observes this thread from the side and
+never alters which loop runs.
 
 Watcher semantics across a fast-forwarded span: plain watchers run once
 at the landing cycle (state is frozen during the span, so change-based
@@ -106,6 +111,11 @@ class Simulator:
         #: set, step() takes the instrumented lock-step path — the plain
         #: loop is untouched so disabled profiling costs one None-check.
         self.profiler = None
+        #: optional HostPerfProfiler (see repro.telemetry.hostperf); set
+        #: by HostPerfProfiler.attach().  Purely observational — a side
+        #: thread samples this thread's stack, so the kernel never
+        #: consults it and keeps whichever execution path it was on.
+        self.hostperf = None
         #: optional HealthMonitor (see repro.telemetry.health); set by
         #: HealthMonitor.attach().  Only consulted on the cold timeout
         #: path, so an unmonitored run pays nothing per cycle.
@@ -492,6 +502,7 @@ class Simulator:
         target = self.cycle + cycles
         while self.cycle < target:
             cyc = self.cycle
+            # hostperf: wake_heap
             while heap and heap[0][0] <= cyc:
                 unit = heappop(heap)[2]
                 if not unit._awake and unit in unit_set:
@@ -503,6 +514,7 @@ class Simulator:
                     land = target
                 self._fast_forward(cyc, land)
                 continue
+            # hostperf: eval
             for u in units:
                 if u._awake:
                     s = u._slept_since
@@ -515,6 +527,7 @@ class Simulator:
                         u._awake = False
                         u._slept_since = cyc + 1
                         self._n_awake -= 1
+            # hostperf: commit
             if driven:
                 n_awake = self._n_awake
                 for w in driven:
@@ -529,6 +542,7 @@ class Simulator:
                 self._n_awake = n_awake
                 driven.clear()
             self.cycle = cyc + 1
+            # hostperf: watchers
             for fn in watchers:
                 fn(self.cycle)
         return self.cycle
@@ -539,11 +553,14 @@ class Simulator:
         watchers = self._watchers
         for _ in range(cycles):
             cyc = self.cycle
+            # hostperf: eval
             for c in components:
                 c.eval(cyc)
+            # hostperf: commit
             for c in components:
                 c.commit()
             self.cycle = cyc + 1
+            # hostperf: watchers
             for fn in watchers:
                 fn(self.cycle)
         return self.cycle

@@ -55,6 +55,13 @@ from .health import (
     glyph_ramp,
     terminal_is_rich,
 )
+from .hostperf import (
+    CRASH_SCHEMA,
+    HOSTPERF_SCHEMA,
+    FlightRecorder,
+    HostPerfProfiler,
+    read_rss_bytes,
+)
 from .live import LIVE_SCHEMA, LIVE_TRACKS, LiveStream
 from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
 from .profiler import KernelProfiler
@@ -85,15 +92,19 @@ __all__ = [
     "AlertEngine",
     "AlertRule",
     "Condition",
+    "CRASH_SCHEMA",
     "Counter",
     "CpuProfile",
     "Event",
     "FLEET_SCHEMA",
+    "FlightRecorder",
     "Gauge",
+    "HOSTPERF_SCHEMA",
     "HealthMonitor",
     "HealthViolation",
     "Histogram",
     "HopBreakdown",
+    "HostPerfProfiler",
     "KernelProfiler",
     "LIVE_SCHEMA",
     "LIVE_TRACKS",
@@ -138,6 +149,7 @@ __all__ = [
     "metric_arrow",
     "parse_condition",
     "parse_rules",
+    "read_rss_bytes",
     "stream_frames",
     "terminal_is_rich",
     "watch_fleet",

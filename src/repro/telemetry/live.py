@@ -42,8 +42,10 @@ Address = Tuple[int, int]
 LIVE_SCHEMA = "multinoc-live/1"
 
 #: every track a frame can carry; construct with ``tracks=`` to restrict
+#: (the ``host`` track only materialises when a HostPerfProfiler is
+#: attached to the simulator, so unprofiled frames are unchanged)
 LIVE_TRACKS = frozenset(
-    {"packets", "links", "routers", "cpus", "health", "checkpoints"}
+    {"packets", "links", "routers", "cpus", "health", "checkpoints", "host"}
 )
 
 
@@ -282,6 +284,10 @@ class LiveStream:
                 if ring is not None
                 else []
             )
+        if "host" in self.tracks:
+            hostperf = getattr(self.sim, "hostperf", None)
+            if hostperf is not None:
+                frame["host"] = hostperf.frame_fields()
 
         self._feed_sampler(cycle, frame, sim_rate)
         self._last_cycle = cycle

@@ -8,15 +8,27 @@ work: composites whose ``eval`` is the default child-dispatch loop
 so a profile of the full platform shows individual routers, processor
 IPs and the serial IP rather than one opaque "multinoc" line.
 
+**Fidelity note:** while a profiler is attached the kernel diverts to
+its instrumented lock-step path (``Simulator._step_profiled``) so every
+component can be timed individually — the quiescence fast path and its
+idle fast-forward (typically a ~3.5x speedup on sparse workloads) are
+suspended for the duration.  Results stay architecturally bit-identical;
+only wall clock changes.  :meth:`KernelProfiler.attach` announces this
+on stderr, and :meth:`KernelProfiler.detach` restores the fast path
+mid-run.  For attribution *without* changing the execution mode, use the
+sampling :class:`~repro.telemetry.hostperf.HostPerfProfiler` instead.
+
 Usage::
 
     profiler = KernelProfiler().attach(sim)
     sim.step(10_000)
     print(profiler.report())
+    profiler.detach()  # back to the quiescent fast path
 """
 
 from __future__ import annotations
 
+import sys
 from time import perf_counter
 from typing import Dict, List, Tuple
 
@@ -26,15 +38,42 @@ from ..sim.component import Component
 class KernelProfiler:
     """Accumulates wall-clock seconds per (component, phase)."""
 
-    def __init__(self):
+    def __init__(self, *, quiet: bool = False):
         #: (component name, phase) -> [seconds, calls]
         self.samples: Dict[Tuple[str, str], List[float]] = {}
         self.cycles = 0
+        self.quiet = quiet
+        self._sim = None
 
     def attach(self, sim) -> "KernelProfiler":
-        """Install on *sim*; its step loop switches to the profiled path."""
+        """Install on *sim*; its step loop switches to the profiled path.
+
+        This is a fidelity change for wall clock (never for architectural
+        state): idle fast-forwarding is disabled while attached, so the
+        run is exact-per-component but slower.  A one-line notice goes to
+        stderr unless constructed with ``quiet=True``.
+        """
         sim.profiler = self
+        self._sim = sim
+        if not self.quiet:
+            print(
+                "kernel profiler: forcing lock-step evaluation "
+                "(idle fast-forward disabled while attached; "
+                "detach() restores it)",
+                file=sys.stderr,
+            )
         return self
+
+    def detach(self) -> None:
+        """Restore the simulator's fast path; keeps accumulated samples.
+
+        Safe to call when never attached, or after another profiler has
+        replaced this one (only *this* profiler's installation is
+        removed).
+        """
+        if self._sim is not None and self._sim.profiler is self:
+            self._sim.profiler = None
+        self._sim = None
 
     # -- timed phases (called by Simulator._step_profiled) ----------------
 

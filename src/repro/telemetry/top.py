@@ -137,6 +137,9 @@ class MeshTop:
             lines.extend(self._cpu_badges(cpus))
         lines.append("")
         lines.append(self._health_line(frame.get("health")))
+        host = frame.get("host")
+        if host:
+            lines.append(self._host_line(host))
         lines.extend(self._alerts_section(frame))
         checkpoints = frame.get("checkpoints")
         if checkpoints:
@@ -164,6 +167,13 @@ class MeshTop:
             )
             self._sampler.append("in_flight", cycle, packets.get("in_flight", 0))
         self._sampler.append("sim_rate", cycle, frame.get("sim_rate_hz", 0.0))
+        host = frame.get("host")
+        if host:
+            self._sampler.append("host_rss", cycle, host.get("rss_mb", 0.0))
+            regions = host.get("regions") or {}
+            self._sampler.append(
+                "host_eval_share", cycle, regions.get("eval", 0.0)
+            )
 
     def _header(self, frame: Dict[str, Any]) -> str:
         rate = frame.get("sim_rate_hz", 0.0)
@@ -338,6 +348,27 @@ class MeshTop:
             return [f"{_YELLOW}{text}{_RESET}" if self.color else text]
         return [self._dim(text)]
 
+    def _host_line(self, host: Dict[str, Any]) -> str:
+        """Host observatory panel: RSS, GC pressure, phase shares and
+        the headline host-seconds-per-kilocycle figure."""
+        regions = host.get("regions") or {}
+        phase_text = "  ".join(
+            f"{name} {share:.0%}"
+            for name, share in sorted(
+                regions.items(), key=lambda kv: kv[1], reverse=True
+            )[:4]
+        )
+        parts = [
+            f"host: rss {host.get('rss_mb', 0.0):.1f} MB",
+            f"gc {host.get('gc_pauses', 0)}"
+            f"/{host.get('gc_pause_ms', 0.0):.1f}ms",
+            f"{host.get('host_s_per_kcycle', 0.0):.4f} s/kcyc",
+        ]
+        line = "  ".join(parts)
+        if phase_text:
+            line += f"  [{phase_text}]"
+        return self._cyan(line)
+
     def _sparklines(self) -> List[str]:
         lines = []
         ascii_only = not self.color
@@ -345,6 +376,8 @@ class MeshTop:
             ("throughput", "thru"),
             ("in_flight", "infl"),
             ("sim_rate", "rate"),
+            ("host_rss", "rss "),
+            ("host_eval_share", "eval"),
         ):
             spark = self._sampler.sparkline(
                 name, width=self.sparkline_width, ascii=ascii_only

@@ -317,6 +317,86 @@ class TestSystem:
         doc = json.loads(report.read_text())
         assert doc["violations"], "the failure must land in the report"
 
+    def test_failed_run_still_prints_profile(self, tmp_path, capsys):
+        # exactly the runs that most need profiling: a timed-out run
+        # must still emit the kernel-profile table before returning 1
+        path = tmp_path / "wedge.asm"
+        path.write_text(ECHO)
+        assert (
+            main(
+                [
+                    "system",
+                    str(path),
+                    "--profile",
+                    "--max-cycles",
+                    "40000",
+                    "--no-record",
+                ]
+            )
+            == 1
+        )
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "kernel profile" in captured.out
+
+    def test_failed_run_flushes_exports(self, tmp_path, capsys):
+        path = tmp_path / "wedge.asm"
+        path.write_text(ECHO)
+        trace = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "system",
+                    str(path),
+                    "--monitor",
+                    "--trace-jsonl",
+                    str(trace),
+                    "--max-cycles",
+                    "400000",
+                    "--no-record",
+                ]
+            )
+            == 1
+        )
+        assert "event log ->" in capsys.readouterr().out
+        assert trace.exists() and trace.read_text().strip()
+
+    def test_hostperf_flag(self, asm_file, capsys):
+        assert (
+            main(["system", str(asm_file), "--hostperf", "--no-record"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "host profile" in out
+        assert "memory: rss" in out
+
+    def test_crash_dir_writes_bundle_on_failure(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "wedge.asm"
+        path.write_text(ECHO)
+        crash_dir = tmp_path / "crashes"
+        assert (
+            main(
+                [
+                    "system",
+                    str(path),
+                    "--hostperf",
+                    "--crash-dir",
+                    str(crash_dir),
+                    "--max-cycles",
+                    "40000",
+                    "--no-record",
+                ]
+            )
+            == 1
+        )
+        assert "crash bundle ->" in capsys.readouterr().err
+        bundles = list(crash_dir.iterdir())
+        assert len(bundles) == 1
+        manifest = json.loads((bundles[0] / "manifest.json").read_text())
+        assert manifest["schema"] == "multinoc-crash/1"
+        assert manifest["exception"]["type"] == "SimulationTimeout"
+
 
 class TestPrototype:
     def test_report(self, capsys):
